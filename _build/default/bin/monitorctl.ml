@@ -1,0 +1,394 @@
+(* monitorctl — command-line front end for the monitoring-placement
+   library.
+
+   Subcommands mirror the paper's workflows: generate a POP topology
+   and traffic matrix, place passive taps (PPM), place sampling
+   devices (PPME), re-optimize sampling rates (PPME star), place
+   active beacons, and run the figure sweeps.
+
+   Examples:
+     monitorctl topology --preset pop10 --seed 1 --dot pop.dot
+     monitorctl passive --preset pop15 --seed 3 --coverage 0.95 --method exact
+     monitorctl sampling --preset pop10 --coverage 0.9
+     monitorctl active --preset pop29 --vb 12 --method ilp
+     monitorctl dynamic --steps 40 --sigma 0.3
+     monitorctl sweep --figure fig9 *)
+
+module Instance = Monpos.Instance
+module Passive = Monpos.Passive
+module Sampling = Monpos.Sampling
+module Mecf = Monpos.Mecf
+module Active = Monpos.Active
+module Scenario = Monpos.Scenario
+module Pop = Monpos_topo.Pop
+module Graph = Monpos_graph.Graph
+module Table = Monpos_util.Table
+module Prng = Monpos_util.Prng
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                    *)
+
+let preset_conv =
+  let parse = function
+    | "pop10" -> Ok `Pop10
+    | "pop15" -> Ok `Pop15
+    | "pop29" -> Ok `Pop29
+    | "pop80" -> Ok `Pop80
+    | s -> Error (`Msg (Printf.sprintf "unknown preset %S (pop10|pop15|pop29|pop80)" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Pop.preset_name p) in
+  Arg.conv (parse, print)
+
+let preset_arg =
+  let doc = "POP preset: pop10, pop15, pop29 or pop80 (paper instances)." in
+  Arg.(value & opt preset_conv `Pop10 & info [ "preset"; "p" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed (topology and traffic are derived from it)." in
+  Arg.(value & opt int 1 & info [ "seed"; "s" ] ~doc)
+
+let coverage_arg =
+  let doc = "Coverage target k in (0, 1]." in
+  Arg.(value & opt float 0.9 & info [ "coverage"; "k" ] ~doc)
+
+let sample_arg =
+  let doc =
+    "Use an embedded sample topology (backbone-11 or metro-7) instead \
+     of a generated preset."
+  in
+  Arg.(value & opt (some string) None & info [ "sample" ] ~doc)
+
+let load_pop preset seed = function
+  | Some name -> Monpos_topo.Topo_file.load_sample name
+  | None -> Pop.make_preset preset ~seed
+
+let load_instance ?sample preset seed =
+  let pop = load_pop preset seed sample in
+  (pop, Instance.of_pop pop ~seed:(seed * 131))
+
+(* ------------------------------------------------------------------ *)
+(* topology                                                            *)
+
+let topology_cmd =
+  let dot_arg =
+    let doc = "Write a Graphviz rendering (loads as edge thickness)." in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~doc)
+  in
+  let run preset seed sample dot =
+    let pop, inst = load_instance ?sample preset seed in
+    Format.printf "%s (seed %d): %a@." pop.Pop.name seed Instance.pp_summary inst;
+    Format.printf "routers: %d (backbone+access), endpoints: %d@."
+      (Pop.num_routers pop)
+      (List.length (Pop.endpoints pop));
+    (match dot with
+    | None -> ()
+    | Some path ->
+      let s =
+        Monpos_graph.Dot.with_loads pop.Pop.graph ~loads:inst.Instance.loads
+      in
+      Out_channel.with_open_text path (fun oc -> output_string oc s);
+      Format.printf "dot written to %s@." path);
+    0
+  in
+  let doc = "Generate a POP topology + traffic matrix and summarize it." in
+  Cmd.v
+    (Cmd.info "topology" ~doc)
+    Term.(const run $ preset_arg $ seed_arg $ sample_arg $ dot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* passive                                                             *)
+
+let passive_cmd =
+  let method_arg =
+    let doc =
+      "Solver: greedy, static (load-order greedy), exact, mip-lp1, \
+       mip-lp2 or mecf."
+    in
+    Arg.(value & opt string "exact" & info [ "method"; "m" ] ~doc)
+  in
+  let budget_arg =
+    let doc = "Maximize coverage under a device budget instead of fixing k." in
+    Arg.(value & opt (some int) None & info [ "budget" ] ~doc)
+  in
+  let installed_arg =
+    let doc = "Comma-separated installed link ids (incremental placement)." in
+    Arg.(value & opt (some string) None & info [ "installed" ] ~doc)
+  in
+  let dot_arg =
+    let doc = "Write a Graphviz rendering with monitored links highlighted." in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~doc)
+  in
+  let run preset seed sample k method_ budget installed dot =
+    let _, inst = load_instance ?sample preset seed in
+    let parse_edges s =
+      List.map int_of_string (String.split_on_char ',' s)
+    in
+    let sol =
+      match (budget, installed) with
+      | Some b, _ -> Passive.budgeted ~budget:b inst
+      | None, Some links ->
+        Passive.incremental ~k ~installed:(parse_edges links) inst
+      | None, None -> (
+        match method_ with
+        | "greedy" -> Passive.greedy ~k inst
+        | "static" -> Passive.greedy_static ~k inst
+        | "exact" -> Passive.solve_exact ~k inst
+        | "mip-lp1" -> Passive.solve_mip ~k ~formulation:`Lp1 inst
+        | "mip-lp2" -> Passive.solve_mip ~k ~formulation:`Lp2 inst
+        | "mecf" -> Mecf.solve_mip ~k inst
+        | other -> failwith (Printf.sprintf "unknown method %S" other))
+    in
+    Format.printf "%a@." Passive.pp sol;
+    print_string (Monpos.Report.passive_table inst sol);
+    (match dot with
+    | None -> ()
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Monpos.Report.passive_dot inst sol));
+      Format.printf "dot written to %s@." path);
+    0
+  in
+  let doc = "Place passive monitoring taps (PPM(k), §4)." in
+  Cmd.v
+    (Cmd.info "passive" ~doc)
+    Term.(
+      const run $ preset_arg $ seed_arg $ sample_arg $ coverage_arg
+      $ method_arg $ budget_arg $ installed_arg $ dot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sampling                                                            *)
+
+let sampling_cmd =
+  let install_cost_arg =
+    let doc = "Installation cost per device." in
+    Arg.(value & opt float 10.0 & info [ "install-cost" ] ~doc)
+  in
+  let scaled_arg =
+    let doc = "Scale exploitation cost with link load (default uniform)." in
+    Arg.(value & flag & info [ "load-scaled" ] ~doc)
+  in
+  let run preset seed k install_cost scaled =
+    let _, inst = load_instance preset seed in
+    let costs =
+      if scaled then Sampling.load_scaled_costs inst ~install:install_cost ()
+      else Sampling.uniform_costs ~install:install_cost ()
+    in
+    let pb = Sampling.make_problem ~k ~costs inst in
+    let sol = Sampling.solve_milp pb in
+    Format.printf "%a@." Sampling.pp sol;
+    List.iter
+      (fun e ->
+        Format.printf "  link %d %s rate %.3f@." e
+          (Graph.edge_name inst.Instance.graph e)
+          sol.Sampling.rates.(e))
+      sol.Sampling.installed;
+    0
+  in
+  let doc = "Place sampling devices and choose rates (PPME(h,k), §5)." in
+  Cmd.v
+    (Cmd.info "sampling" ~doc)
+    Term.(
+      const run $ preset_arg $ seed_arg $ coverage_arg $ install_cost_arg
+      $ scaled_arg)
+
+(* ------------------------------------------------------------------ *)
+(* active                                                              *)
+
+let active_cmd =
+  let vb_arg =
+    let doc = "Number of selectable beacons |V_B| (random router subset)." in
+    Arg.(value & opt int 8 & info [ "vb" ] ~doc)
+  in
+  let method_arg =
+    let doc = "Placement: thiran, greedy or ilp." in
+    Arg.(value & opt string "ilp" & info [ "method"; "m" ] ~doc)
+  in
+  let run preset seed vb method_ =
+    let pop = Pop.make_preset preset ~seed in
+    let routers = Array.of_list (Pop.routers pop) in
+    let rng = Prng.create ((seed * 104729) + vb) in
+    Prng.shuffle rng routers;
+    let candidates =
+      List.sort compare
+        (Array.to_list (Array.sub routers 0 (min vb (Array.length routers))))
+    in
+    let probes =
+      Active.compute_probes ~targets:candidates pop.Pop.graph ~candidates
+    in
+    Format.printf "%s: |V_B| = %d, probe set size %d@." pop.Pop.name
+      (List.length candidates) (List.length probes);
+    if probes = [] then begin
+      Format.printf "no probes (candidate pairs are disconnected?)@.";
+      0
+    end
+    else begin
+      let placement =
+        match method_ with
+        | "thiran" -> Active.place_thiran probes ~candidates
+        | "greedy" -> Active.place_greedy probes ~candidates
+        | "ilp" -> Active.place_ilp probes ~candidates
+        | other -> failwith (Printf.sprintf "unknown method %S" other)
+      in
+      Format.printf "%s places %d beacon(s):%s@." placement.Active.method_name
+        (List.length placement.Active.beacons)
+        (String.concat ""
+           (List.map
+              (fun b -> " " ^ Graph.label pop.Pop.graph b)
+              placement.Active.beacons));
+      Format.printf "placement valid: %b@."
+        (Active.validate probes ~beacons:placement.Active.beacons ~candidates);
+      0
+    end
+  in
+  let doc = "Compute probes and place active beacons (§6)." in
+  Cmd.v
+    (Cmd.info "active" ~doc)
+    Term.(const run $ preset_arg $ seed_arg $ vb_arg $ method_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dynamic                                                             *)
+
+let dynamic_cmd =
+  let steps_arg =
+    Arg.(value & opt int 30 & info [ "steps" ] ~doc:"Drift steps to simulate.")
+  in
+  let sigma_arg =
+    Arg.(value & opt float 0.25 & info [ "sigma" ] ~doc:"Drift strength.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.85
+      & info [ "threshold" ] ~doc:"Coverage tolerance T triggering PPME*.")
+  in
+  let run preset seed k steps sigma threshold =
+    let points =
+      Scenario.dynamic_run ~preset ~seed ~k ~threshold ~steps ~sigma ()
+    in
+    Table.print
+      ~header:[ "step"; "before"; "after"; "reopts" ]
+      (List.map
+         (fun (p : Scenario.dynamic_point) ->
+           [
+             string_of_int p.Scenario.step;
+             Table.float_cell ~decimals:3 p.Scenario.coverage_before;
+             Table.float_cell ~decimals:3 p.Scenario.coverage_after;
+             string_of_int p.Scenario.reoptimizations;
+           ])
+         points);
+    0
+  in
+  let doc = "Simulate traffic drift with PPME* re-optimizations (§5.4)." in
+  Cmd.v
+    (Cmd.info "dynamic" ~doc)
+    Term.(
+      const run $ preset_arg $ seed_arg $ coverage_arg $ steps_arg $ sigma_arg
+      $ threshold_arg)
+
+(* ------------------------------------------------------------------ *)
+(* campaign                                                            *)
+
+let campaign_cmd =
+  let budget_arg =
+    Arg.(value & opt int 3 & info [ "budget" ] ~doc:"Taps available today.")
+  in
+  let kpaths_arg =
+    Arg.(value & opt int 4 & info [ "k-paths" ] ~doc:"Alternative routes per demand.")
+  in
+  let run preset seed budget k_paths =
+    let _, inst = load_instance preset seed in
+    let placed = Passive.budgeted ~budget inst in
+    Format.printf "placement: %a@." Passive.pp placed;
+    let c =
+      Monpos.Campaign.reroute_for_monitors ~k_paths inst
+        ~monitors:placed.Passive.monitors
+    in
+    Format.printf
+      "campaign: coverage %.1f%% -> %.1f%% by re-routing %d demand(s)@."
+      (100.0 *. c.Monpos.Campaign.coverage_before)
+      (100.0 *. c.Monpos.Campaign.coverage_after)
+      (List.length c.Monpos.Campaign.moves);
+    0
+  in
+  let doc = "Re-route traffic to maximize monitorability (§7 extension)." in
+  Cmd.v
+    (Cmd.info "campaign" ~doc)
+    Term.(const run $ preset_arg $ seed_arg $ budget_arg $ kpaths_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+
+let sweep_cmd =
+  let figure_arg =
+    let doc = "Which figure to regenerate: fig7, fig8, fig9, fig10, fig11." in
+    Arg.(value & opt string "fig7" & info [ "figure"; "f" ] ~doc)
+  in
+  let seeds_arg =
+    Arg.(value & opt int 10 & info [ "seeds" ] ~doc:"Number of seeds to average.")
+  in
+  let run figure nseeds =
+    let seeds = List.init nseeds (fun i -> i + 1) in
+    (match figure with
+    | "fig7" | "fig8" ->
+      let preset = if figure = "fig7" then `Pop10 else `Pop15 in
+      let node_limit = if figure = "fig8" then Some 250_000 else None in
+      let points = Scenario.passive_sweep ~preset ~seeds ?node_limit () in
+      Table.print
+        ~header:[ "k%"; "greedy(load)"; "greedy(adapt)"; "ILP" ]
+        (List.map
+           (fun (p : Scenario.passive_point) ->
+             [
+               string_of_int p.Scenario.k_percent;
+               Table.float_cell ~decimals:1 p.Scenario.greedy_static_devices;
+               Table.float_cell ~decimals:1 p.Scenario.greedy_devices;
+               Table.float_cell ~decimals:1 p.Scenario.ilp_devices
+               ^ (if p.Scenario.ilp_optimal then "" else " *");
+             ])
+           points)
+    | "fig9" | "fig10" | "fig11" ->
+      let preset =
+        match figure with
+        | "fig9" -> `Pop15
+        | "fig10" -> `Pop29
+        | _ -> `Pop80
+      in
+      let points = Scenario.active_sweep ~preset ~seeds () in
+      Table.print
+        ~header:[ "|V_B|"; "probes"; "thiran"; "greedy"; "ilp" ]
+        (List.map
+           (fun (p : Scenario.active_point) ->
+             [
+               string_of_int p.Scenario.vb_size;
+               Table.float_cell ~decimals:1 p.Scenario.probes;
+               Table.float_cell ~decimals:1 p.Scenario.thiran_beacons;
+               Table.float_cell ~decimals:1 p.Scenario.greedy_beacons;
+               Table.float_cell ~decimals:1 p.Scenario.ilp_beacons;
+             ])
+           points)
+    | other -> failwith (Printf.sprintf "unknown figure %S" other));
+    0
+  in
+  let doc = "Regenerate a paper figure's data series." in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ figure_arg $ seeds_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "optimal positioning of active and passive monitoring devices \
+     (CoNEXT'05 reproduction)"
+  in
+  let info = Cmd.info "monitorctl" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            topology_cmd;
+            passive_cmd;
+            sampling_cmd;
+            active_cmd;
+            dynamic_cmd;
+            campaign_cmd;
+            sweep_cmd;
+          ]))

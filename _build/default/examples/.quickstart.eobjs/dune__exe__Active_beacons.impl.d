@@ -1,0 +1,1 @@
+examples/active_beacons.ml: Array Format List Monpos Monpos_topo Monpos_util

@@ -1,0 +1,1 @@
+examples/file_topology.ml: Array Format Fun List Monpos Monpos_graph Monpos_topo Monpos_traffic Monpos_util Sys

@@ -1,0 +1,1 @@
+examples/incremental_upgrade.ml: Format List Monpos Monpos_graph Monpos_topo Monpos_util Printf String

@@ -1,0 +1,1 @@
+examples/measurement_campaign.ml: Array Format List Monpos Monpos_graph Monpos_lp Monpos_topo Monpos_traffic Monpos_util Printf

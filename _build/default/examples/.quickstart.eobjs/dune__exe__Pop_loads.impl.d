@@ -1,0 +1,1 @@
+examples/pop_loads.ml: Array Format Fun List Monpos Monpos_graph Monpos_topo Monpos_util Out_channel Sys

@@ -1,0 +1,1 @@
+examples/sampling_dynamic.ml: Format List Monpos Monpos_topo Monpos_util

@@ -1,0 +1,50 @@
+(* §6 end to end: compute the optimal probe set on a 15-router POP and
+   compare the three beacon-placement algorithms (the [15] baseline,
+   the paper's greedy, the paper's ILP) as the candidate set grows —
+   a single-seed Figure 9.
+
+   Run with: dune exec examples/active_beacons.exe *)
+
+module Active = Monpos.Active
+module Pop = Monpos_topo.Pop
+module Prng = Monpos_util.Prng
+module Table = Monpos_util.Table
+
+let () =
+  let pop = Pop.make_preset `Pop15 ~seed:8 in
+  let routers = Array.of_list (Pop.routers pop) in
+  Format.printf "POP %s: %d routers@.@." pop.Pop.name (Array.length routers);
+  let rows =
+    List.filter_map
+      (fun vb_size ->
+        let rng = Prng.create (100 + vb_size) in
+        let shuffled = Array.copy routers in
+        Prng.shuffle rng shuffled;
+        let candidates =
+          List.sort compare (Array.to_list (Array.sub shuffled 0 vb_size))
+        in
+        let probes =
+          Active.compute_probes ~targets:candidates pop.Pop.graph ~candidates
+        in
+        if probes = [] then None
+        else begin
+          let t = Active.place_thiran probes ~candidates in
+          let g = Active.place_greedy probes ~candidates in
+          let i = Active.place_ilp probes ~candidates in
+          Some
+            [
+              string_of_int vb_size;
+              string_of_int (List.length probes);
+              string_of_int (List.length t.Active.beacons);
+              string_of_int (List.length g.Active.beacons);
+              string_of_int (List.length i.Active.beacons);
+            ]
+        end)
+      (List.init (Array.length routers) (fun i -> i + 1))
+  in
+  Table.print
+    ~header:[ "|V_B|"; "probes"; "thiran"; "greedy"; "ilp" ]
+    rows;
+  Format.printf
+    "@.The ILP never places more beacons than either greedy, and the gap@.";
+  Format.printf "to the [15] baseline widens as the candidate set grows (\u{00a7}6.2).@."

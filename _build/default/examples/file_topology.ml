@@ -1,0 +1,79 @@
+(* Loading a measured topology from a file (the Rocketfuel workflow of
+   §4.4, with our own file format standing in for the Rocketfuel data)
+   and running the full pipeline on it: structural analysis, passive
+   placement, active beacons with traffic-overhead accounting.
+
+   Run with: dune exec examples/file_topology.exe [-- path/to/topo.txt] *)
+
+module Instance = Monpos.Instance
+module Passive = Monpos.Passive
+module Active = Monpos.Active
+module Pop = Monpos_topo.Pop
+module Topo_file = Monpos_topo.Topo_file
+module Graph = Monpos_graph.Graph
+module Metrics = Monpos_graph.Metrics
+module Traffic = Monpos_traffic.Traffic
+module Table = Monpos_util.Table
+
+let () =
+  let pop =
+    match Sys.argv with
+    | [| _; path |] -> (
+      match Topo_file.parse_file path with
+      | Ok pop -> pop
+      | Error e ->
+        prerr_endline ("cannot load topology: " ^ e);
+        exit 1)
+    | _ ->
+      Format.printf "(no file given; using the embedded sample \"backbone-11\")@.";
+      Topo_file.load_sample "backbone-11"
+  in
+  let g = pop.Pop.graph in
+  Format.printf "%s: %d routers, %d links, %d endpoints@.@." pop.Pop.name
+    (Pop.num_routers pop) (Graph.num_edges g)
+    (List.length (Pop.endpoints pop));
+  (* structural analysis: where is the network fragile / load-bearing? *)
+  let bridges = Metrics.bridges g in
+  let betweenness = Metrics.edge_betweenness g in
+  Format.printf "diameter %d hops; %d bridge link(s)@." (Metrics.diameter g)
+    (List.length bridges);
+  let order =
+    List.sort
+      (fun a b -> compare betweenness.(b) betweenness.(a))
+      (List.init (Graph.num_edges g) Fun.id)
+  in
+  Format.printf "most structurally loaded links (betweenness):@.";
+  List.iteri
+    (fun i e ->
+      if i < 5 then
+        Format.printf "  %-22s %.0f shortest-path pairs%s@." (Graph.edge_name g e)
+          betweenness.(e)
+          (if List.mem e bridges then "  [bridge]" else ""))
+    order;
+  (* gravity traffic + passive placement *)
+  let m =
+    Traffic.generate_gravity g ~endpoints:(Pop.endpoints pop) ~seed:3
+  in
+  let inst = Instance.make g m in
+  Format.printf "@.gravity matrix: %a@." Instance.pp_summary inst;
+  List.iter
+    (fun k ->
+      let sol = Passive.solve_exact ~k inst in
+      Format.printf "  k = %.2f -> %a@." k Passive.pp sol)
+    [ 0.8; 0.95; 1.0 ];
+  (* active monitoring with overhead accounting *)
+  let candidates = Pop.routers pop in
+  let probes = Active.compute_probes ~targets:candidates g ~candidates in
+  let ilp = Active.place_ilp probes ~candidates in
+  let cost = Active.overhead probes ~beacons:ilp.Active.beacons in
+  Format.printf "@.active: %d probes; ILP places %d beacons;@."
+    (List.length probes)
+    (List.length ilp.Active.beacons);
+  Format.printf "measurement round costs %d messages / %d link traversals@."
+    cost.Active.messages cost.Active.hops;
+  let rows =
+    List.map
+      (fun (b, c) -> [ Graph.label g b; string_of_int c ])
+      cost.Active.per_beacon
+  in
+  Table.print ~header:[ "beacon"; "probes sent" ] rows

@@ -1,0 +1,55 @@
+(* §4.3's planning variants: an operator already runs some taps and
+   wants to know (a) the cheapest upgrade to a higher coverage target,
+   and (b) what each extra device in the budget would buy — "the
+   estimation of the expected gain in buying one or a set of new
+   devices".
+
+   Run with: dune exec examples/incremental_upgrade.exe *)
+
+module Instance = Monpos.Instance
+module Passive = Monpos.Passive
+module Pop = Monpos_topo.Pop
+module Graph = Monpos_graph.Graph
+module Table = Monpos_util.Table
+
+let () =
+  let pop = Pop.make_preset `Pop10 ~seed:21 in
+  let inst = Instance.of_pop pop ~seed:22 in
+  Format.printf "Instance: %a@.@." Instance.pp_summary inst;
+  (* today: an 80%-coverage optimal deployment *)
+  let today = Passive.solve_exact ~k:0.8 inst in
+  Format.printf "Installed base (k = 0.80): %a@.@." Passive.pp today;
+  (* upgrade path: reach 90, 95, 100% without moving anything *)
+  Format.printf "Upgrades keeping the installed devices in place:@.";
+  let rows =
+    List.map
+      (fun k ->
+        let up =
+          Passive.incremental ~k ~installed:today.Passive.monitors inst
+        in
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. k);
+          string_of_int up.Passive.count;
+          String.concat " "
+            (List.map (Graph.edge_name inst.Instance.graph) up.Passive.monitors);
+        ])
+      [ 0.9; 0.95; 1.0 ]
+  in
+  Table.print ~header:[ "target"; "new devices"; "links" ] rows;
+  (* marginal value of a budget: best coverage for 1..6 devices *)
+  Format.printf "@.Expected gain of buying n devices (greenfield):@.";
+  let rows =
+    List.map
+      (fun b ->
+        let sol = Passive.budgeted ~budget:b inst in
+        [
+          string_of_int b;
+          Table.float_cell ~decimals:1 (100.0 *. sol.Passive.fraction);
+        ])
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  Table.print ~header:[ "devices"; "best coverage %" ] rows;
+  Format.printf
+    "@.Diminishing returns are immediate: the first couple of taps sit on@.";
+  Format.printf
+    "the aggregation links and buy most of the volume (\u{00a7}4.4's 95%% advice).@."

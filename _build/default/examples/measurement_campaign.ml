@@ -1,0 +1,79 @@
+(* §7's measurement-campaign extension: with taps already bolted to a
+   few links, the operator re-routes traffics onto alternative
+   (k-shortest) paths that cross a tap, lifting the monitored ratio
+   without buying hardware. The joint variant chooses placement and
+   routing together.
+
+   Run with: dune exec examples/measurement_campaign.exe *)
+
+module Instance = Monpos.Instance
+module Passive = Monpos.Passive
+module Campaign = Monpos.Campaign
+module Pop = Monpos_topo.Pop
+module Graph = Monpos_graph.Graph
+module Table = Monpos_util.Table
+
+let () =
+  let pop = Pop.make_preset `Pop10 ~seed:12 in
+  let inst = Instance.of_pop pop ~seed:13 in
+  Format.printf "Instance: %a@.@." Instance.pp_summary inst;
+  (* a tight budget: the 3 best taps under today's routing *)
+  let budget = Passive.budgeted ~budget:3 inst in
+  Format.printf "3-device budget placement: %a@." Passive.pp budget;
+  let campaign =
+    Campaign.reroute_for_monitors ~k_paths:4 inst
+      ~monitors:budget.Passive.monitors
+  in
+  Format.printf
+    "campaign: coverage %.1f%% -> %.1f%% by re-routing %d of %d demands@.@."
+    (100.0 *. campaign.Campaign.coverage_before)
+    (100.0 *. campaign.Campaign.coverage_after)
+    (List.length campaign.Campaign.moves)
+    (Array.length inst.Instance.demands);
+  let top_moves =
+    List.sort
+      (fun a b -> compare b.Campaign.gain a.Campaign.gain)
+      campaign.Campaign.moves
+  in
+  let rows =
+    List.filteri (fun i _ -> i < 8) top_moves
+    |> List.map (fun (m : Campaign.reroute) ->
+           let d = inst.Instance.demands.(m.Campaign.demand) in
+           [
+             Printf.sprintf "%s -> %s"
+               (Graph.label inst.Instance.graph d.Monpos_traffic.Traffic.src)
+               (Graph.label inst.Instance.graph d.Monpos_traffic.Traffic.dst);
+             string_of_int (List.length m.Campaign.old_edges);
+             string_of_int (List.length m.Campaign.new_edges);
+             Table.float_cell m.Campaign.gain;
+           ])
+  in
+  Table.print
+    ~header:[ "demand"; "old hops"; "new hops"; "volume gained" ]
+    rows;
+  (* joint placement: how many devices does coverage need when the
+     operator may also re-route? (on a trimmed matrix so the joint MIP
+     proves optimality quickly) *)
+  let small =
+    let endpoints =
+      List.filteri (fun i _ -> i < 6) (Pop.endpoints pop)
+    in
+    let m =
+      Monpos_traffic.Traffic.generate pop.Pop.graph ~endpoints ~seed:13
+    in
+    Instance.make pop.Pop.graph m
+  in
+  let fixed = Passive.solve_exact ~k:0.95 small in
+  let joint, _ =
+    Campaign.joint_placement ~k_paths:3 ~coverage:0.95
+      ~options:Monpos_lp.Mip.default_options small
+  in
+  Format.printf "@.On a 6-endpoint matrix (30 demands):@.";
+  Format.printf "95%% coverage, fixed routing:   %d devices@."
+    fixed.Passive.count;
+  Format.printf "95%% coverage, joint w/ routing: %d devices%s@."
+    joint.Passive.count
+    (if joint.Passive.optimal then " (proved)" else " (incumbent)");
+  Format.printf
+    "@.Re-routing is a knob the MIP framework absorbs for free — the@.";
+  Format.printf "flow-based model 'applies perfectly' as \u{00a7}7 anticipated.@."

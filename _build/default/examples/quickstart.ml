@@ -1,0 +1,39 @@
+(* Quickstart: the paper's Figure 3 example end to end.
+
+   Builds the 6-node POP carrying four traffics (weights 2, 2, 1, 1),
+   runs the greedy heuristic and the exact/MIP solvers, and shows why
+   the greedy pays one extra device.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Instance = Monpos.Instance
+module Passive = Monpos.Passive
+module Graph = Monpos_graph.Graph
+
+let () =
+  let inst = Instance.figure3 () in
+  Format.printf "Instance: %a@." Instance.pp_summary inst;
+  Format.printf "Link loads:@.";
+  Array.iteri
+    (fun e load ->
+      Format.printf "  %s load %.0f@." (Graph.edge_name inst.Instance.graph e) load)
+    inst.Instance.loads;
+  Format.printf "@.";
+  let greedy = Passive.greedy inst in
+  let exact = Passive.solve_exact inst in
+  let mip = Passive.solve_mip ~formulation:`Lp2 inst in
+  let show (s : Passive.solution) =
+    Format.printf "%a@.  links:%s@." Passive.pp s
+      (String.concat ""
+         (List.map
+            (fun e -> " " ^ Graph.edge_name inst.Instance.graph e)
+            s.Passive.monitors))
+  in
+  show greedy;
+  show exact;
+  show mip;
+  Format.printf
+    "@.The greedy grabs the load-4 backbone link first and then needs two@.";
+  Format.printf
+    "more taps; the optimum ignores it and covers everything with the two@.";
+  Format.printf "load-3 links — the \u{00a7}4.3 counterexample, reproduced.@."

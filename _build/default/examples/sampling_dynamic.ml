@@ -1,0 +1,49 @@
+(* §5 end to end: place sampling-capable devices with the PPME MILP,
+   then survive 30 steps of traffic drift with the §5.4 threshold
+   controller, re-optimizing sampling rates (PPME*, a pure LP) when
+   coverage sinks below the tolerance.
+
+   Run with: dune exec examples/sampling_dynamic.exe *)
+
+module Instance = Monpos.Instance
+module Sampling = Monpos.Sampling
+module Pop = Monpos_topo.Pop
+module Table = Monpos_util.Table
+
+let () =
+  let pop = Pop.make_preset `Pop10 ~seed:3 in
+  let inst = Instance.of_pop pop ~seed:11 in
+  let pb =
+    Sampling.make_problem ~k:0.9
+      ~costs:(Sampling.load_scaled_costs inst ~install:8.0 ())
+      inst
+  in
+  Format.printf "Instance: %a@." Instance.pp_summary inst;
+  let placement = Sampling.solve_milp pb in
+  Format.printf "PPME placement: %a@.@." Sampling.pp placement;
+  let ticks =
+    Sampling.run_dynamic pb ~installed:placement.Sampling.installed
+      ~threshold:0.87 ~steps:30 ~sigma:0.25 ~seed:5
+  in
+  let rows =
+    List.map
+      (fun (t : Sampling.tick) ->
+        [
+          string_of_int t.Sampling.step;
+          Table.float_cell ~decimals:3 t.Sampling.fraction_before;
+          (if t.Sampling.reoptimized then "yes" else "");
+          Table.float_cell ~decimals:3 t.Sampling.fraction_after;
+          Table.float_cell t.Sampling.exploit_cost;
+        ])
+      ticks
+  in
+  Table.print
+    ~header:[ "step"; "coverage"; "reopt?"; "after"; "exploit cost" ]
+    rows;
+  let n_reopt =
+    List.length (List.filter (fun t -> t.Sampling.reoptimized) ticks)
+  in
+  Format.printf
+    "@.%d re-optimizations over %d drift steps; devices never moved — only@."
+    n_reopt (List.length ticks);
+  Format.printf "their sampling rates did (a polynomial min-cost computation).@."

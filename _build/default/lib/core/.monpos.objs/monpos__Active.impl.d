@@ -1,0 +1,1 @@
+lib/core/active.ml: Array Fun Hashtbl List Monpos_graph Monpos_lp Option Printf

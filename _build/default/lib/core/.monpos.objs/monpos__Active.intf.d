@@ -1,0 +1,1 @@
+lib/core/active.mli: Monpos_graph Monpos_lp

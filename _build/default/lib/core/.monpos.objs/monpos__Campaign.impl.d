@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Array Hashtbl Instance List Monpos_graph Monpos_lp Monpos_traffic Option Passive Printf Sampling

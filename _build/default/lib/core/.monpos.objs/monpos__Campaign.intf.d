@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Instance Monpos_graph Monpos_lp Passive Sampling

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Format List Monpos_cover Monpos_graph Monpos_topo Monpos_traffic Monpos_util

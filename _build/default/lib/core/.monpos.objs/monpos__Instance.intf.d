@@ -1,0 +1,1 @@
+lib/core/instance.mli: Format Monpos_cover Monpos_graph Monpos_topo Monpos_traffic

@@ -1,0 +1,1 @@
+lib/core/mecf.ml: Array Fun Hashtbl Instance List Monpos_flow Monpos_graph Monpos_lp Passive Printf

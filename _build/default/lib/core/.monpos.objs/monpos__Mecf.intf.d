@@ -1,0 +1,1 @@
+lib/core/mecf.mli: Instance Monpos_graph Monpos_lp Passive

@@ -1,0 +1,1 @@
+lib/core/passive.ml: Array Format Fun Hashtbl Instance List Monpos_cover Monpos_graph Monpos_lp Monpos_util Option Printf

@@ -1,0 +1,1 @@
+lib/core/report.ml: Active Array Instance List Monpos_graph Monpos_topo Monpos_util Passive Printf Sampling

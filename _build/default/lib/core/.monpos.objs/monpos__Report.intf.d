@@ -1,0 +1,1 @@
+lib/core/report.mli: Active Instance Monpos_topo Passive Sampling

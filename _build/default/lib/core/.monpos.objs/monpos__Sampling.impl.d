@@ -1,0 +1,1 @@
+lib/core/sampling.ml: Array Format Fun Hashtbl Instance Int64 List Monpos_flow Monpos_graph Monpos_lp Monpos_traffic Monpos_util Option Printf

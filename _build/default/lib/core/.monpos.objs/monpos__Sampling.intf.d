@@ -1,0 +1,1 @@
+lib/core/sampling.mli: Format Instance Monpos_graph Monpos_lp

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Active Array Instance List Mecf Monpos_topo Monpos_traffic Monpos_util Passive Sampling

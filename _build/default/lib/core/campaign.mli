@@ -1,0 +1,63 @@
+(** Measurement campaigns — the third §7 perspective.
+
+    "We are investigating on solutions for measurement campaign, where
+    the operator of a POP or an AS can modify the routing strategy in
+    order to maximize the monitoring ratio, given a set of already
+    installed measurement points. For this last perspective, the
+    flow-based model is expected to apply perfectly."
+
+    Given installed devices, each traffic may be re-routed onto any of
+    its [k] shortest paths. Because a traffic is monitored iff its own
+    path crosses a monitored link (and, with sampling, its monitored
+    fraction is [min(1, Σ_{e∈p} r_e)]), the per-traffic choices are
+    independent and the optimal campaign is polynomial — per-demand
+    path selection. The joint problem (choose placement *and* routing
+    together) is NP-hard and solved here as a MIP. *)
+
+type reroute = {
+  demand : int;  (** demand index *)
+  old_edges : Monpos_graph.Graph.edge list;  (** previous route *)
+  new_edges : Monpos_graph.Graph.edge list;  (** chosen route *)
+  gain : float;  (** monitored volume gained by the move *)
+}
+
+type result = {
+  instance : Instance.t;  (** the instance re-built on the new routes *)
+  moves : reroute list;  (** demands whose route changed *)
+  coverage_before : float;  (** monitored fraction before the campaign *)
+  coverage_after : float;  (** monitored fraction after *)
+}
+
+val reroute_for_monitors :
+  ?k_paths:int ->
+  Instance.t ->
+  monitors:Monpos_graph.Graph.edge list ->
+  result
+(** Optimal campaign for plain taps: each demand switches to a
+    [k_paths]-shortest path (default 3) crossing a monitored link when
+    one exists, preferring the cheapest such path; demands that cannot
+    be monitored keep their shortest route. Multi-routed demands are
+    collapsed onto the selected single path (the operator pins the
+    route during the campaign). *)
+
+val reroute_for_rates :
+  ?k_paths:int -> Sampling.problem -> rates:float array -> result
+(** Sampling-aware campaign: each demand picks the path maximizing its
+    monitored fraction [min(1, Σ_{e∈p} r_e)], tie-broken by path cost.
+    The result's coverages use the same fraction semantics as
+    {!Sampling.coverage_with_rates}. *)
+
+val joint_placement :
+  ?k_paths:int ->
+  ?coverage:float ->
+  ?options:Monpos_lp.Mip.options ->
+  Instance.t ->
+  Passive.solution * result
+(** Choose device positions and routes together: minimize the device
+    count such that, with every demand free to use any of its
+    [k_paths] shortest paths, the routed-and-monitored volume reaches
+    [coverage] (default 1.). Returns the placement and the campaign
+    realizing it. A proven-optimal joint placement never needs more
+    devices than [Passive.solve_exact ~k:coverage] on the fixed
+    routing. Like {!Sampling.solve_milp}, the default [options] run the
+    branch and bound to a 1% gap under a 20-second budget. *)

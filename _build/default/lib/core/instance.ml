@@ -1,0 +1,109 @@
+module Graph = Monpos_graph.Graph
+module Paths = Monpos_graph.Paths
+module Traffic = Monpos_traffic.Traffic
+module Cover = Monpos_cover.Cover
+
+type traffic = { t_edges : Graph.edge list; t_volume : float; t_demand : int }
+
+type t = {
+  graph : Graph.t;
+  demands : Traffic.matrix;
+  traffics : traffic array;
+  loads : float array;
+  total_volume : float;
+}
+
+let make graph demands =
+  let traffics = ref [] in
+  Array.iteri
+    (fun i (d : Traffic.demand) ->
+      List.iter
+        (fun (r : Traffic.route) ->
+          if r.Traffic.volume > 0.0 then
+            traffics :=
+              {
+                t_edges = r.Traffic.path.Paths.edges;
+                t_volume = r.Traffic.volume;
+                t_demand = i;
+              }
+              :: !traffics)
+        d.Traffic.routes)
+    demands;
+  let traffics = Array.of_list (List.rev !traffics) in
+  let loads = Array.make (Graph.num_edges graph) 0.0 in
+  Array.iter
+    (fun tr ->
+      List.iter (fun e -> loads.(e) <- loads.(e) +. tr.t_volume) tr.t_edges)
+    traffics;
+  let total_volume =
+    Monpos_util.Stats.sum (Array.map (fun tr -> tr.t_volume) traffics)
+  in
+  { graph; demands; traffics; loads; total_volume }
+
+let of_pop ?params pop ~seed =
+  let endpoints = Monpos_topo.Pop.endpoints pop in
+  let m = Traffic.generate ?params pop.Monpos_topo.Pop.graph ~endpoints ~seed in
+  make pop.Monpos_topo.Pop.graph m
+
+(* Figure 3: nodes n0..n5 on a path; central link carries both heavy
+   traffics. Edge ids: e0=(n2,n3) load 4, e1=(n1,n2) load 3,
+   e2=(n3,n4) load 3, e3=(n0,n1) load 1, e4=(n4,n5) load 1. *)
+let figure3 () =
+  let g = Graph.create ~num_nodes:6 () in
+  List.iteri (fun i l -> Graph.set_label g i l)
+    [ "isp1"; "bb1"; "bb2"; "bb3"; "bb4"; "isp2" ];
+  let e0 = Graph.add_edge g 2 3 in
+  let e1 = Graph.add_edge g 1 2 in
+  let e2 = Graph.add_edge g 3 4 in
+  let e3 = Graph.add_edge g 0 1 in
+  let e4 = Graph.add_edge g 4 5 in
+  let mk src dst nodes edges volume : Traffic.demand =
+    {
+      Traffic.src;
+      dst;
+      volume;
+      routes =
+        [
+          {
+            Traffic.path = { Paths.nodes; edges; cost = float_of_int (List.length edges) };
+            volume;
+          };
+        ];
+    }
+  in
+  let demands =
+    [|
+      mk 1 3 [ 1; 2; 3 ] [ e1; e0 ] 2.0;
+      mk 2 4 [ 2; 3; 4 ] [ e0; e2 ] 2.0;
+      mk 0 2 [ 0; 1; 2 ] [ e3; e1 ] 1.0;
+      mk 5 3 [ 5; 4; 3 ] [ e4; e2 ] 1.0;
+    |]
+  in
+  make g demands
+
+let num_traffics t = Array.length t.traffics
+
+let coverage t monitored =
+  let flags = Array.make (Graph.num_edges t.graph) false in
+  List.iter (fun e -> flags.(e) <- true) monitored;
+  Array.fold_left
+    (fun acc tr ->
+      if List.exists (fun e -> flags.(e)) tr.t_edges then acc +. tr.t_volume
+      else acc)
+    0.0 t.traffics
+
+let coverage_fraction t monitored =
+  if t.total_volume <= 0.0 then 1.0 else coverage t monitored /. t.total_volume
+
+let cover_view t =
+  let weights = Array.map (fun tr -> tr.t_volume) t.traffics in
+  let paths = Array.map (fun tr -> tr.t_edges) t.traffics in
+  Cover.Reduction.of_monitoring ~num_edges:(Graph.num_edges t.graph) ~weights
+    paths
+
+let replace_demands t demands = make t.graph demands
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%d nodes, %d links, %d traffics, volume %.1f"
+    (Graph.num_nodes t.graph) (Graph.num_edges t.graph)
+    (Array.length t.traffics) t.total_volume

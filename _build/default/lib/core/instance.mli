@@ -1,0 +1,61 @@
+(** Monitoring problem instances.
+
+    An instance couples a POP graph with a traffic matrix. For the
+    passive problems of §4 each *traffic* is a single weighted path, so
+    multi-routed demands are flattened ("such a situation was tackled
+    by considering each weighted route as a whole traffic", §5); the
+    sampling problems of §5 work on the structured demands directly. *)
+
+type traffic = {
+  t_edges : Monpos_graph.Graph.edge list;  (** links the traffic crosses *)
+  t_volume : float;  (** bandwidth [v_t] *)
+  t_demand : int;  (** index of the demand it belongs to *)
+}
+
+type t = {
+  graph : Monpos_graph.Graph.t;
+  demands : Monpos_traffic.Traffic.matrix;
+  traffics : traffic array;  (** flattened weighted paths *)
+  loads : float array;  (** per-edge load (sum of crossing volumes) *)
+  total_volume : float;  (** [V = sum_t v_t] *)
+}
+
+val make : Monpos_graph.Graph.t -> Monpos_traffic.Traffic.matrix -> t
+(** Flatten the demands and precompute loads. Zero-volume routes are
+    dropped. *)
+
+val of_pop :
+  ?params:Monpos_traffic.Traffic.gen_params ->
+  Monpos_topo.Pop.t ->
+  seed:int ->
+  t
+(** Generate a §4.4-style traffic matrix between all POP endpoints
+    and build the instance. *)
+
+val figure3 : unit -> t
+(** The exact counterexample of the paper's Figure 3: four traffics of
+    weights 2, 2, 1, 1 on a 6-node POP where the load-order greedy
+    needs three measurement points but two suffice. *)
+
+val num_traffics : t -> int
+(** Number of flattened traffics ([|D|]). *)
+
+val coverage : t -> Monpos_graph.Graph.edge list -> float
+(** Total volume of the traffics that cross at least one monitored
+    link (the PPM objective's left-hand side). *)
+
+val coverage_fraction : t -> Monpos_graph.Graph.edge list -> float
+(** {!coverage} divided by the total volume (1.0 when the instance is
+    empty). *)
+
+val cover_view : t -> Monpos_cover.Cover.instance
+(** The Theorem 1 view of the instance: items = traffics (weighted by
+    volume), sets = links. Links carrying no traffic appear as empty
+    sets so that set indices coincide with edge ids. *)
+
+val replace_demands : t -> Monpos_traffic.Traffic.matrix -> t
+(** Rebuild the instance around a new matrix on the same graph (used
+    by the §5.4 dynamic-traffic loop). *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: nodes/links/traffics/volume. *)

@@ -1,0 +1,34 @@
+(** Minimum Edge Cost Flow view of PPM(k) — §4.3, Theorem 2.
+
+    The auxiliary graph has a source [S], one node [w_e] per link, one
+    node [w_t] per traffic and a sink [T]; arcs [(S, w_e)] cost 1 and
+    are unbounded, [(w_e, w_t)] exist when traffic [t] crosses link
+    [e], and [(w_t, T)] have capacity [v_t]. Routing [k·V] units of
+    flow while paying for the fewest [(S, w_e)] arcs is exactly
+    PPM(k).
+
+    This module provides three consumers of that construction:
+    - {!solve_mip}: the MECF as a mixed-integer program (binary
+      arc-opening variables), cross-validating {!Passive.solve_mip};
+    - {!flow_heuristic}: the linear relaxation with costs [1/load]
+      solved as a pure min-cost flow — the paper's reading of the
+      greedy heuristics as flows — followed by redundancy pruning;
+    - {!coverage_via_flow}: a max-flow oracle for the volume
+      monitorable by a fixed set of links (equals
+      {!Instance.coverage}; used by tests as an independent check). *)
+
+val solve_mip :
+  ?k:float -> ?options:Monpos_lp.Mip.options -> Instance.t -> Passive.solution
+(** Exact PPM(k) through the MECF integer program. *)
+
+val flow_heuristic : ?k:float -> Instance.t -> Passive.solution
+(** Min-cost-flow relaxation with per-unit costs [1/load(e)] on the
+    [(S, w_e)] arcs (the flow formalization of the greedy family),
+    selecting the links that carry flow and then dropping redundant
+    ones. Feasible but not necessarily optimal. *)
+
+val coverage_via_flow :
+  Instance.t -> monitors:Monpos_graph.Graph.edge list -> float
+(** Maximum volume routable from [S] to [T] when only the [w_e] of
+    monitored links are connected to [S]: by Theorem 2 this equals the
+    monitored volume. *)

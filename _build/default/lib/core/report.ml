@@ -1,0 +1,78 @@
+module Graph = Monpos_graph.Graph
+module Dot = Monpos_graph.Dot
+module Pop = Monpos_topo.Pop
+module Table = Monpos_util.Table
+
+let load_share inst e =
+  let total = Array.fold_left ( +. ) 0.0 inst.Instance.loads in
+  if total <= 0.0 then 0.0 else inst.Instance.loads.(e) /. total
+
+let edge_flags num_edges edges =
+  let a = Array.make num_edges false in
+  List.iter (fun e -> a.(e) <- true) edges;
+  a
+
+let passive_dot inst (sol : Passive.solution) =
+  let g = inst.Instance.graph in
+  let monitored = edge_flags (Graph.num_edges g) sol.Passive.monitors in
+  Dot.to_string
+    ~edge_attrs:(fun e ->
+      let base =
+        [
+          ("label", Printf.sprintf "%.1f%%" (100.0 *. load_share inst e));
+          ("penwidth", Printf.sprintf "%.2f" (0.5 +. (10.0 *. load_share inst e)));
+        ]
+      in
+      if monitored.(e) then ("color", "red") :: ("style", "bold") :: base
+      else base)
+    g
+
+let sampling_dot inst (sol : Sampling.solution) =
+  let g = inst.Instance.graph in
+  let installed = edge_flags (Graph.num_edges g) sol.Sampling.installed in
+  Dot.to_string
+    ~edge_attrs:(fun e ->
+      if installed.(e) then
+        [
+          ("color", "red");
+          ("style", "bold");
+          ("label", Printf.sprintf "r=%.2f" sol.Sampling.rates.(e));
+        ]
+      else [ ("penwidth", "0.7") ])
+    g
+
+let beacons_dot pop probes (placement : Active.placement) =
+  let g = pop.Pop.graph in
+  let probed = Array.make (Graph.num_edges g) false in
+  List.iter
+    (fun (p : Active.probe) ->
+      List.iter
+        (fun e -> probed.(e) <- true)
+        p.Active.path.Monpos_graph.Paths.edges)
+    probes;
+  let beacon = Array.make (Graph.num_nodes g) false in
+  List.iter (fun b -> beacon.(b) <- true) placement.Active.beacons;
+  Dot.to_string
+    ~node_attrs:(fun v ->
+      if beacon.(v) then
+        [ ("shape", "box"); ("style", "filled"); ("fillcolor", "gold") ]
+      else if Pop.is_router pop v then [ ("shape", "ellipse") ]
+      else [ ("shape", "point") ])
+    ~edge_attrs:(fun e ->
+      if probed.(e) then [ ("color", "blue") ] else [ ("style", "dashed") ])
+    g
+
+let passive_table inst (sol : Passive.solution) =
+  let g = inst.Instance.graph in
+  let rows =
+    List.map
+      (fun e ->
+        [
+          string_of_int e;
+          Graph.edge_name g e;
+          Table.float_cell inst.Instance.loads.(e);
+          Table.float_cell ~decimals:1 (100.0 *. load_share inst e);
+        ])
+      sol.Passive.monitors
+  in
+  Table.render ~header:[ "link"; "name"; "load"; "% of volume" ] rows

@@ -1,0 +1,1 @@
+lib/cover/cover.ml: Array Hashtbl List Monpos_graph Monpos_util Printf

@@ -1,0 +1,1 @@
+lib/cover/cover.mli: Monpos_graph

@@ -1,0 +1,502 @@
+module Bitset = Monpos_util.Bitset
+module Graph = Monpos_graph.Graph
+
+type instance = {
+  num_items : int;
+  item_weight : float array;
+  sets : int list array;
+}
+
+let make ~num_items ?weights sets =
+  let item_weight =
+    match weights with Some w -> w | None -> Array.make num_items 1.0
+  in
+  if Array.length item_weight <> num_items then
+    invalid_arg "Cover.make: weights length mismatch";
+  Array.iter
+    (fun w -> if w < 0.0 then invalid_arg "Cover.make: negative weight")
+    item_weight;
+  Array.iter
+    (List.iter (fun u ->
+         if u < 0 || u >= num_items then invalid_arg "Cover.make: bad item"))
+    sets;
+  { num_items; item_weight; sets }
+
+let total_weight inst = Monpos_util.Stats.sum inst.item_weight
+
+let covered_weight inst chosen =
+  let seen = Bitset.create inst.num_items in
+  List.iter
+    (fun j -> List.iter (fun u -> Bitset.add seen u) inst.sets.(j))
+    chosen;
+  Bitset.fold (fun u acc -> acc +. inst.item_weight.(u)) seen 0.0
+
+let is_cover ?target inst chosen =
+  let target = match target with Some t -> t | None -> total_weight inst in
+  covered_weight inst chosen >= target -. 1e-9
+
+let slack = 1e-9
+
+let greedy ?target inst =
+  let target = match target with Some t -> t | None -> total_weight inst in
+  let nsets = Array.length inst.sets in
+  let covered = Bitset.create inst.num_items in
+  let covered_w = ref 0.0 in
+  let chosen = ref [] in
+  let gain j =
+    List.fold_left
+      (fun acc u -> if Bitset.mem covered u then acc else acc +. inst.item_weight.(u))
+      0.0 inst.sets.(j)
+  in
+  let continue = ref (!covered_w < target -. slack) in
+  while !continue do
+    let best = ref (-1) and best_gain = ref 0.0 in
+    for j = 0 to nsets - 1 do
+      let g = gain j in
+      if g > !best_gain +. 1e-12 then begin
+        best := j;
+        best_gain := g
+      end
+    done;
+    if !best = -1 then failwith "Cover.greedy: target unreachable"
+    else begin
+      chosen := !best :: !chosen;
+      List.iter (fun u -> Bitset.add covered u) inst.sets.(!best);
+      covered_w := !covered_w +. !best_gain;
+      if !covered_w >= target -. slack then continue := false
+    end
+  done;
+  List.rev !chosen
+
+let greedy_guarantee inst =
+  let d =
+    Array.fold_left (fun acc s -> max acc (List.length s)) 0 inst.sets
+  in
+  let h = ref 0.0 in
+  for i = 1 to d do
+    h := !h +. (1.0 /. float_of_int i)
+  done;
+  !h
+
+(* Exact branch and bound. Branch on the set with the largest current
+   gain: either it is in the solution, or it is excluded for good.
+   Bound: the fewest remaining sets whose (current, independent) gains
+   could reach the missing weight. *)
+type exact_result = { chosen : int list; proven_optimal : bool; nodes : int }
+
+(* Local-search polish for full covers: drop redundant sets, then
+   (2,1)-exchanges — replace two chosen sets by one set that covers
+   everything the pair was needed for. Seeds the branch and bound with
+   a tighter incumbent, which shrinks the search tree directly. *)
+let polish_full_cover inst set_bits solution =
+  let nsets = Array.length inst.sets in
+  let current = ref (List.sort_uniq compare solution) in
+  let union_of sets =
+    let u = Bitset.create inst.num_items in
+    List.iter (fun j -> Bitset.union_into u set_bits.(j)) sets;
+    u
+  in
+  let full = union_of (List.init nsets (fun j -> j)) in
+  let covers_all u = Bitset.subset full u in
+  (* redundancy elimination *)
+  let drop_redundant () =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun a ->
+          let without = List.filter (( <> ) a) !current in
+          if covers_all (union_of without) then begin
+            current := without;
+            changed := true
+          end)
+        !current
+    done
+  in
+  drop_redundant ();
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let sol = !current in
+    let try_pair a b =
+      if not !improved then begin
+        let without = List.filter (fun j -> j <> a && j <> b) sol in
+        let covered = union_of without in
+        (* find one set covering everything still missing *)
+        let missing = Bitset.copy full in
+        Bitset.diff_into missing covered;
+        let found = ref (-1) in
+        for j = 0 to nsets - 1 do
+          if !found = -1 && j <> a && j <> b && Bitset.subset missing set_bits.(j)
+          then found := j
+        done;
+        if !found >= 0 then begin
+          current := List.sort_uniq compare (!found :: without);
+          improved := true
+        end
+      end
+    in
+    List.iter (fun a -> List.iter (fun b -> if a < b then try_pair a b) sol) sol;
+    if !improved then drop_redundant ()
+  done;
+  !current
+
+(* Core branch and bound over a (possibly reduced) instance. Branch on
+   the set with the largest current gain: either it is in the solution
+   or it is excluded for good. Bounds: (a) the fewest remaining sets
+   whose independent gains reach the missing weight; (b) for full
+   covers, a disjoint-items bound — items whose candidate sets are
+   pairwise disjoint each require their own set. *)
+let exact_core ?(node_limit = 20_000_000) inst target ~full_cover =
+  let nsets = Array.length inst.sets in
+  let set_bits =
+    Array.map (fun s -> Bitset.of_list inst.num_items s) inst.sets
+  in
+  (* per-item covering-set bitsets, for the disjoint bound *)
+  let item_cover = Array.init inst.num_items (fun _ -> Bitset.create nsets) in
+  Array.iteri
+    (fun j items -> List.iter (fun u -> Bitset.add item_cover.(u) j) items)
+    inst.sets;
+  let item_order =
+    let order = Array.init inst.num_items (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        compare (Bitset.cardinal item_cover.(a)) (Bitset.cardinal item_cover.(b)))
+      order;
+    order
+  in
+  (* incumbent: greedy, polished by local search on full covers *)
+  let best_sol =
+    ref
+      (try
+         let g = greedy ~target inst in
+         Some (if full_cover then polish_full_cover inst set_bits g else g)
+       with Failure _ -> None)
+  in
+  let best_card =
+    ref (match !best_sol with Some s -> List.length s | None -> max_int)
+  in
+  let covered = Bitset.create inst.num_items in
+  let excluded = Array.make nsets false in
+  let excluded_bits = Bitset.create nsets in
+  let gains = Array.make nsets 0.0 in
+  let node_count = ref 0 in
+  let truncated = ref false in
+  let gain j =
+    List.fold_left
+      (fun acc u -> if Bitset.mem covered u then acc else acc +. inst.item_weight.(u))
+      0.0 inst.sets.(j)
+  in
+  (* full covers only: every uncovered item whose available sets are
+     disjoint from previously counted items' sets needs its own set *)
+  let disjoint_bound () =
+    let blocked = Bitset.create nsets in
+    let count = ref 0 in
+    let infeasible = ref false in
+    Array.iter
+      (fun i ->
+        if (not !infeasible) && not (Bitset.mem covered i) then begin
+          let avail = Bitset.copy item_cover.(i) in
+          Bitset.diff_into avail excluded_bits;
+          if Bitset.is_empty avail then infeasible := true
+          else if Bitset.inter_cardinal avail blocked = 0 then begin
+            incr count;
+            Bitset.union_into blocked avail
+          end
+        end)
+      item_order;
+    if !infeasible then max_int else !count
+  in
+  (* Partial covers: binary include/exclude branching on the
+     max-gain set. *)
+  let rec go chosen depth covered_w =
+    incr node_count;
+    if !node_count > node_limit then truncated := true
+    else if covered_w >= target -. slack then begin
+      if depth < !best_card then begin
+        best_card := depth;
+        best_sol := Some (List.rev chosen)
+      end
+    end
+    else if depth + 1 < !best_card then begin
+      (* gains of available sets *)
+      let avail = ref [] in
+      for j = 0 to nsets - 1 do
+        if not excluded.(j) then begin
+          let g = gain j in
+          gains.(j) <- g;
+          if g > slack then avail := j :: !avail
+        end
+      done;
+      let avail = !avail in
+      if avail <> [] then begin
+        let sorted =
+          List.sort (fun a b -> compare gains.(b) gains.(a)) avail
+        in
+        let needed = target -. covered_w in
+        let rec count_bound acc k = function
+          | [] -> if acc >= needed -. slack then k else max_int
+          | j :: rest ->
+            if acc >= needed -. slack then k
+            else count_bound (acc +. gains.(j)) (k + 1) rest
+        in
+        let lb = count_bound 0.0 0 sorted in
+        if lb <> max_int && depth + lb < !best_card then begin
+          let pick = List.hd sorted in
+          (* include branch *)
+          let saved = Bitset.copy covered in
+          Bitset.union_into covered set_bits.(pick);
+          go (pick :: chosen) (depth + 1) (covered_w +. gains.(pick));
+          Bitset.clear covered;
+          Bitset.union_into covered saved;
+          (* exclude branch *)
+          excluded.(pick) <- true;
+          Bitset.add excluded_bits pick;
+          go chosen depth covered_w;
+          excluded.(pick) <- false;
+          Bitset.remove excluded_bits pick
+        end
+      end
+    end
+  in
+  (* Full covers: branch on the uncovered item with the fewest
+     available covering sets, enumerating which of them covers it
+     (each alternative excludes the previously tried sets, so the
+     subtrees partition the space). Unit items propagate as 1-way
+     branches. *)
+  let int_gain j =
+    List.fold_left
+      (fun acc u -> if Bitset.mem covered u then acc else acc + 1)
+      0 inst.sets.(j)
+  in
+  let uncovered_count () = inst.num_items - Bitset.cardinal covered in
+  let rec go_full chosen depth =
+    incr node_count;
+    if !node_count > node_limit then truncated := true
+    else begin
+      (* pick the uncovered item with fewest available sets *)
+      let best_item = ref (-1) and best_avail = ref max_int in
+      Array.iter
+        (fun i ->
+          if !best_avail > 1 && not (Bitset.mem covered i) then begin
+            let avail = Bitset.copy item_cover.(i) in
+            Bitset.diff_into avail excluded_bits;
+            let c = Bitset.cardinal avail in
+            if c < !best_avail then begin
+              best_avail := c;
+              best_item := i
+            end
+          end)
+        item_order;
+      if !best_item = -1 then begin
+        (* everything covered *)
+        if depth < !best_card then begin
+          best_card := depth;
+          best_sol := Some (List.rev chosen)
+        end
+      end
+      else if !best_avail = 0 then () (* dead branch *)
+      else if depth + 1 < !best_card then begin
+        (* bounds *)
+        let remaining = uncovered_count () in
+        let max_gain =
+          let m = ref 0 in
+          for j = 0 to nsets - 1 do
+            if not excluded.(j) then m := max !m (int_gain j)
+          done;
+          !m
+        in
+        let lb1 =
+          if max_gain = 0 then max_int
+          else (remaining + max_gain - 1) / max_gain
+        in
+        let lb = if lb1 = max_int then max_int else max lb1 (disjoint_bound ()) in
+        if lb <> max_int && depth + lb < !best_card then begin
+          let avail = Bitset.copy item_cover.(!best_item) in
+          Bitset.diff_into avail excluded_bits;
+          let alternatives =
+            List.sort
+              (fun a b -> compare (int_gain b) (int_gain a))
+              (Bitset.elements avail)
+          in
+          let newly_excluded = ref [] in
+          List.iter
+            (fun j ->
+              let saved = Bitset.copy covered in
+              Bitset.union_into covered set_bits.(j);
+              go_full (j :: chosen) (depth + 1);
+              Bitset.clear covered;
+              Bitset.union_into covered saved;
+              (* exclude j for the remaining alternatives *)
+              excluded.(j) <- true;
+              Bitset.add excluded_bits j;
+              newly_excluded := j :: !newly_excluded)
+            alternatives;
+          List.iter
+            (fun j ->
+              excluded.(j) <- false;
+              Bitset.remove excluded_bits j)
+            !newly_excluded
+        end
+      end
+    end
+  in
+  if full_cover then go_full [] 0 else go [] 0 0.0;
+  match !best_sol with
+  | Some s ->
+    { chosen = s; proven_optimal = not !truncated; nodes = !node_count }
+  | None -> failwith "Cover.exact: target unreachable"
+
+(* Dominance reductions. Column (set) dominance is always valid: a set
+   whose items are a subset of another set's can be swapped out of any
+   solution. Row (item) dominance is valid for full covers only:
+   if every set covering item i also covers item j, then covering i
+   covers j for free and j can be dropped. *)
+let exact_detailed ?target ?node_limit inst =
+  let total = total_weight inst in
+  let target = match target with Some t -> t | None -> total in
+  let full_cover = target >= total -. slack in
+  let nsets = Array.length inst.sets in
+  let set_bits =
+    Array.map (fun s -> Bitset.of_list inst.num_items s) inst.sets
+  in
+  (* column dominance *)
+  let alive = Array.make nsets true in
+  for i = 0 to nsets - 1 do
+    if alive.(i) then
+      for j = 0 to nsets - 1 do
+        if
+          alive.(i) && i <> j && alive.(j)
+          && Bitset.subset set_bits.(i) set_bits.(j)
+          && ((not (Bitset.equal set_bits.(i) set_bits.(j))) || i > j)
+        then alive.(i) <- false
+      done
+  done;
+  (* row dominance (full cover only) *)
+  let item_keep = Array.make inst.num_items true in
+  if full_cover then begin
+    let item_cover = Array.init inst.num_items (fun _ -> Bitset.create nsets) in
+    Array.iteri
+      (fun j items ->
+        if alive.(j) then List.iter (fun u -> Bitset.add item_cover.(u) j) items)
+      inst.sets;
+    (* an item covered by no alive set makes the full cover unreachable *)
+    Array.iter
+      (fun c -> if Bitset.is_empty c then failwith "Cover.exact: target unreachable")
+      item_cover;
+    for i = 0 to inst.num_items - 1 do
+      if item_keep.(i) then
+        for j = 0 to inst.num_items - 1 do
+          if
+            item_keep.(i) && i <> j && item_keep.(j)
+            && Bitset.subset item_cover.(i) item_cover.(j)
+            && ((not (Bitset.equal item_cover.(i) item_cover.(j))) || i < j)
+          then item_keep.(j) <- false
+        done
+    done
+  end;
+  (* build the reduced instance *)
+  let new_item = Array.make inst.num_items (-1) in
+  let n_items = ref 0 in
+  for i = 0 to inst.num_items - 1 do
+    if item_keep.(i) then begin
+      new_item.(i) <- !n_items;
+      incr n_items
+    end
+  done;
+  let weights = Array.make !n_items 1.0 in
+  if not full_cover then
+    Array.iteri
+      (fun i w -> if new_item.(i) >= 0 then weights.(new_item.(i)) <- w)
+      inst.item_weight;
+  let kept_sets = ref [] in
+  Array.iteri
+    (fun j items ->
+      if alive.(j) then begin
+        let mapped = List.filter_map (fun u ->
+            if new_item.(u) >= 0 then Some new_item.(u) else None) items
+        in
+        kept_sets := (j, mapped) :: !kept_sets
+      end)
+    inst.sets;
+  let kept_sets = List.rev !kept_sets in
+  let reduced =
+    make ~num_items:!n_items ~weights
+      (Array.of_list (List.map snd kept_sets))
+  in
+  let reduced_target =
+    if full_cover then total_weight reduced
+    else target
+  in
+  let r = exact_core ?node_limit reduced reduced_target ~full_cover in
+  let back = Array.of_list (List.map fst kept_sets) in
+  { r with chosen = List.sort compare (List.map (fun j -> back.(j)) r.chosen) }
+
+let exact ?target inst = (exact_detailed ?target inst).chosen
+
+module Reduction = struct
+  type monitoring = {
+    graph : Graph.t;
+    paths : (Graph.node list * Graph.edge list) array;
+    edge_of_set : Graph.edge array;
+  }
+
+  let to_monitoring inst =
+    let nsets = Array.length inst.sets in
+    let g = Graph.create () in
+    (* one edge e_i = (a_i, b_i) per set *)
+    let a = Array.make nsets 0 and b = Array.make nsets 0 in
+    let edge_of_set =
+      Array.init nsets (fun i ->
+          a.(i) <- Graph.add_node ~label:(Printf.sprintf "a%d" i) g;
+          b.(i) <- Graph.add_node ~label:(Printf.sprintf "b%d" i) g;
+          Graph.add_edge g a.(i) b.(i))
+    in
+    let set_bits =
+      Array.map (fun s -> Bitset.of_list inst.num_items s) inst.sets
+    in
+    (* linking 4-cycles for intersecting pairs: e_ij = (b_i, a_j) and
+       e_ji = (b_j, a_i) *)
+    let link = Hashtbl.create 16 in
+    for i = 0 to nsets - 1 do
+      for j = i + 1 to nsets - 1 do
+        if Bitset.inter_cardinal set_bits.(i) set_bits.(j) > 0 then begin
+          Hashtbl.replace link (i, j) (Graph.add_edge g b.(i) a.(j));
+          Hashtbl.replace link (j, i) (Graph.add_edge g b.(j) a.(i))
+        end
+      done
+    done;
+    (* one traffic per item, crossing each containing set's edge *)
+    let paths =
+      Array.init inst.num_items (fun u ->
+          let containing =
+            List.filter
+              (fun j -> List.mem u inst.sets.(j))
+              (List.init nsets (fun j -> j))
+          in
+          match containing with
+          | [] ->
+            invalid_arg "Cover.Reduction.to_monitoring: item in no set"
+          | first :: rest ->
+            let rec build prev nodes edges = function
+              | [] -> (List.rev nodes, List.rev edges)
+              | j :: tl ->
+                let lnk = Hashtbl.find link (prev, j) in
+                build j
+                  (b.(j) :: a.(j) :: nodes)
+                  (edge_of_set.(j) :: lnk :: edges)
+                  tl
+            in
+            build first [ b.(first); a.(first) ] [ edge_of_set.(first) ] rest)
+    in
+    { graph = g; paths; edge_of_set }
+
+  let of_monitoring ~num_edges ~weights paths_as_edges =
+    let sets = Array.make num_edges [] in
+    Array.iteri
+      (fun t edges ->
+        List.iter (fun e -> sets.(e) <- t :: sets.(e)) edges)
+      paths_as_edges;
+    let sets = Array.map (List.sort_uniq compare) sets in
+    make ~num_items:(Array.length paths_as_edges) ~weights sets
+end

@@ -1,0 +1,149 @@
+(* Dinic with arc pairs: arc 2k is forward, 2k+1 its residual twin. *)
+
+type t = {
+  n : int;
+  mutable head : int array; (* arc -> dst *)
+  mutable cap : float array;
+  mutable next : int array; (* arc -> next arc of same origin *)
+  mutable first : int array; (* node -> first arc *)
+  mutable narcs : int;
+  mutable level : int array;
+  mutable iter : int array;
+  mutable orig_cap : float array option;
+}
+
+type arc = int
+
+let create n =
+  {
+    n;
+    head = Array.make 16 0;
+    cap = Array.make 16 0.0;
+    next = Array.make 16 (-1);
+    first = Array.make (max 1 n) (-1);
+    narcs = 0;
+    level = Array.make (max 1 n) (-1);
+    iter = Array.make (max 1 n) (-1);
+    orig_cap = None;
+  }
+
+let grow t =
+  let capn = Array.length t.head in
+  if t.narcs + 2 > capn then begin
+    let extend a fill =
+      let b = Array.make (2 * capn) fill in
+      Array.blit a 0 b 0 t.narcs;
+      b
+    in
+    t.head <- extend t.head 0;
+    t.cap <- extend t.cap 0.0;
+    t.next <- extend t.next (-1)
+  end
+
+let raw_add t u v c =
+  grow t;
+  let a = t.narcs in
+  t.head.(a) <- v;
+  t.cap.(a) <- c;
+  t.next.(a) <- t.first.(u);
+  t.first.(u) <- a;
+  t.narcs <- t.narcs + 1;
+  a
+
+let add_arc t ~src ~dst ~capacity =
+  assert (capacity >= 0.0);
+  assert (0 <= src && src < t.n && 0 <= dst && dst < t.n);
+  let a = raw_add t src dst capacity in
+  let _ = raw_add t dst src 0.0 in
+  t.orig_cap <- None;
+  a
+
+let snapshot t =
+  match t.orig_cap with
+  | Some s -> s
+  | None ->
+    let s = Array.sub t.cap 0 t.narcs in
+    t.orig_cap <- Some s;
+    s
+
+let bfs t source sink =
+  Array.fill t.level 0 t.n (-1);
+  t.level.(source) <- 0;
+  let q = Queue.create () in
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let a = ref t.first.(u) in
+    while !a <> -1 do
+      let v = t.head.(!a) in
+      if t.cap.(!a) > 1e-12 && t.level.(v) = -1 then begin
+        t.level.(v) <- t.level.(u) + 1;
+        Queue.add v q
+      end;
+      a := t.next.(!a)
+    done
+  done;
+  t.level.(sink) <> -1
+
+let rec dfs t u sink pushed =
+  if u = sink then pushed
+  else begin
+    let result = ref 0.0 in
+    while !result = 0.0 && t.iter.(u) <> -1 do
+      let a = t.iter.(u) in
+      let v = t.head.(a) in
+      if t.cap.(a) > 1e-12 && t.level.(v) = t.level.(u) + 1 then begin
+        let d = dfs t v sink (min pushed t.cap.(a)) in
+        if d > 0.0 then begin
+          t.cap.(a) <- t.cap.(a) -. d;
+          t.cap.(a lxor 1) <- t.cap.(a lxor 1) +. d;
+          result := d
+        end
+        else t.iter.(u) <- t.next.(a)
+      end
+      else t.iter.(u) <- t.next.(a)
+    done;
+    !result
+  end
+
+let solve t ~source ~sink =
+  assert (source <> sink);
+  (* restore capacities so solve is repeatable *)
+  let s = snapshot t in
+  Array.blit s 0 t.cap 0 t.narcs;
+  let total = ref 0.0 in
+  while bfs t source sink do
+    Array.blit t.first 0 t.iter 0 t.n;
+    let rec push () =
+      let d = dfs t source sink infinity in
+      if d > 0.0 then begin
+        total := !total +. d;
+        push ()
+      end
+    in
+    push ()
+  done;
+  !total
+
+let flow t a =
+  let s = snapshot t in
+  s.(a) -. t.cap.(a)
+
+let min_cut_side t ~source =
+  let side = Array.make t.n false in
+  let q = Queue.create () in
+  side.(source) <- true;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let a = ref t.first.(u) in
+    while !a <> -1 do
+      let v = t.head.(!a) in
+      if t.cap.(!a) > 1e-12 && not side.(v) then begin
+        side.(v) <- true;
+        Queue.add v q
+      end;
+      a := t.next.(!a)
+    done
+  done;
+  side

@@ -1,0 +1,30 @@
+(** Maximum flow (Dinic's algorithm) on directed networks with float
+    capacities.
+
+    Used by tests as an independent oracle (max-flow/min-cut checks on
+    the MECF auxiliary graph) and available to flow-based placement
+    heuristics. *)
+
+type t
+(** Mutable flow network. *)
+
+type arc
+(** Handle on a directed arc (identifies the forward copy). *)
+
+val create : int -> t
+(** [create n] is an empty network on nodes [0 .. n-1]. *)
+
+val add_arc : t -> src:int -> dst:int -> capacity:float -> arc
+(** Append a directed arc. Capacity must be non-negative
+    ([infinity] allowed). *)
+
+val solve : t -> source:int -> sink:int -> float
+(** Compute a maximum [source]->[sink] flow and return its value.
+    Can be called repeatedly; flows are reset on each call. *)
+
+val flow : t -> arc -> float
+(** Flow carried by the arc after the last {!solve}. *)
+
+val min_cut_side : t -> source:int -> bool array
+(** After {!solve}: nodes still reachable from the source in the
+    residual network (the source side of a minimum cut). *)

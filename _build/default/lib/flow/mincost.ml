@@ -1,0 +1,197 @@
+(* Successive shortest paths with potentials. Internally the network
+   has two extra nodes: a super-source (n) and super-sink (n+1) that
+   absorb both user supplies and the lower-bound transformation. *)
+
+type raw_arc = {
+  a_src : int;
+  a_dst : int;
+  a_lower : float;
+  a_cap : float;
+  a_cost : float;
+}
+
+type arc = int
+
+type status = Optimal | Infeasible
+
+type t = {
+  n : int;
+  mutable arcs : raw_arc list; (* reversed *)
+  mutable narcs : int;
+  supply : (int, float) Hashtbl.t;
+  mutable last_flow : float array; (* per user arc, includes lower *)
+  mutable last_cost : float;
+}
+
+let create n =
+  {
+    n;
+    arcs = [];
+    narcs = 0;
+    supply = Hashtbl.create 16;
+    last_flow = [||];
+    last_cost = 0.0;
+  }
+
+let add_arc ?(lower = 0.0) t ~src ~dst ~capacity ~cost =
+  assert (0 <= src && src < t.n && 0 <= dst && dst < t.n);
+  assert (0.0 <= lower && lower <= capacity);
+  let a =
+    { a_src = src; a_dst = dst; a_lower = lower; a_cap = capacity; a_cost = cost }
+  in
+  t.arcs <- a :: t.arcs;
+  let id = t.narcs in
+  t.narcs <- t.narcs + 1;
+  id
+
+let set_supply t v b =
+  assert (0 <= v && v < t.n);
+  Hashtbl.replace t.supply v b
+
+(* residual graph as parallel arrays; arc 2k forward / 2k+1 backward *)
+type res = {
+  r_n : int;
+  r_head : int array;
+  r_cap : float array;
+  r_cost : float array;
+  r_next : int array;
+  r_first : int array;
+  mutable r_count : int;
+}
+
+let res_create n narcs =
+  {
+    r_n = n;
+    r_head = Array.make (2 * narcs) 0;
+    r_cap = Array.make (2 * narcs) 0.0;
+    r_cost = Array.make (2 * narcs) 0.0;
+    r_next = Array.make (2 * narcs) (-1);
+    r_first = Array.make n (-1);
+    r_count = 0;
+  }
+
+let res_add r u v cap cost =
+  let a = r.r_count in
+  r.r_head.(a) <- v;
+  r.r_cap.(a) <- cap;
+  r.r_cost.(a) <- cost;
+  r.r_next.(a) <- r.r_first.(u);
+  r.r_first.(u) <- a;
+  r.r_head.(a + 1) <- u;
+  r.r_cap.(a + 1) <- 0.0;
+  r.r_cost.(a + 1) <- -.cost;
+  r.r_next.(a + 1) <- r.r_first.(v);
+  r.r_first.(v) <- a + 1;
+  r.r_count <- a + 2;
+  a
+
+let solve t =
+  let n = t.n + 2 in
+  let super_s = t.n and super_t = t.n + 1 in
+  let user_arcs = Array.of_list (List.rev t.arcs) in
+  let narcs_upper = Array.length user_arcs + (2 * t.n) + 2 in
+  let r = res_create n narcs_upper in
+  (* net supply per node: user supplies + lower-bound shifts *)
+  let net = Array.make n 0.0 in
+  Hashtbl.iter (fun v b -> net.(v) <- net.(v) +. b) t.supply;
+  let res_id = Array.make (Array.length user_arcs) (-1) in
+  Array.iteri
+    (fun i a ->
+      if a.a_lower > 0.0 then begin
+        net.(a.a_src) <- net.(a.a_src) -. a.a_lower;
+        net.(a.a_dst) <- net.(a.a_dst) +. a.a_lower
+      end;
+      res_id.(i) <- res_add r a.a_src a.a_dst (a.a_cap -. a.a_lower) a.a_cost)
+    user_arcs;
+  (* hook supplies to the super nodes *)
+  let required = ref 0.0 in
+  for v = 0 to t.n - 1 do
+    if net.(v) > 0.0 then begin
+      ignore (res_add r super_s v net.(v) 0.0);
+      required := !required +. net.(v)
+    end
+    else if net.(v) < 0.0 then ignore (res_add r v super_t (-.net.(v)) 0.0)
+  done;
+  (* Successive shortest paths; each path found by SPFA (queue-based
+     Bellman-Ford), which tolerates the negative residual costs that
+     appear on backward arcs without potential bookkeeping. *)
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let inqueue = Array.make n false in
+  let routed = ref 0.0 in
+  let feasible = ref true in
+  let continue = ref (!required > 1e-12) in
+  while !continue do
+    Array.fill dist 0 n infinity;
+    Array.fill parent 0 n (-1);
+    Array.fill inqueue 0 n false;
+    dist.(super_s) <- 0.0;
+    let q = Queue.create () in
+    Queue.add super_s q;
+    inqueue.(super_s) <- true;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      inqueue.(u) <- false;
+      let a = ref r.r_first.(u) in
+      while !a <> -1 do
+        let v = r.r_head.(!a) in
+        if r.r_cap.(!a) > 1e-12 then begin
+          let nd = dist.(u) +. r.r_cost.(!a) in
+          if nd < dist.(v) -. 1e-12 then begin
+            dist.(v) <- nd;
+            parent.(v) <- !a;
+            if not inqueue.(v) then begin
+              inqueue.(v) <- true;
+              Queue.add v q
+            end
+          end
+        end;
+        a := r.r_next.(!a)
+      done
+    done;
+    if dist.(super_t) = infinity then begin
+      feasible := false;
+      continue := false
+    end
+    else begin
+      (* bottleneck along the path *)
+      let bott = ref (!required -. !routed) in
+      let v = ref super_t in
+      while !v <> super_s do
+        let a = parent.(!v) in
+        bott := min !bott r.r_cap.(a);
+        v := r.r_head.(a lxor 1)
+      done;
+      let v = ref super_t in
+      while !v <> super_s do
+        let a = parent.(!v) in
+        r.r_cap.(a) <- r.r_cap.(a) -. !bott;
+        r.r_cap.(a lxor 1) <- r.r_cap.(a lxor 1) +. !bott;
+        v := r.r_head.(a lxor 1)
+      done;
+      routed := !routed +. !bott;
+      if !routed >= !required -. 1e-9 then continue := false
+    end
+  done;
+  if not !feasible then Infeasible
+  else begin
+    (* read back user arc flows *)
+    t.last_flow <-
+      Array.mapi
+        (fun i a ->
+          let res = res_id.(i) in
+          let used = r.r_cap.(res lxor 1) in
+          a.a_lower +. used)
+        user_arcs;
+    t.last_cost <- 0.0;
+    Array.iteri
+      (fun i a -> t.last_cost <- t.last_cost +. (t.last_flow.(i) *. a.a_cost))
+      user_arcs;
+    Optimal
+  end
+
+let flow t a =
+  assert (0 <= a && a < Array.length t.last_flow);
+  t.last_flow.(a)
+
+let total_cost t = t.last_cost

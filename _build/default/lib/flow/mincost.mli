@@ -1,0 +1,49 @@
+(** Minimum-cost flow with per-arc lower bounds.
+
+    This is the polynomial engine behind two pieces of the paper:
+    the MECF view of PPM(k) in its linearly-relaxed form (the greedy
+    heuristics "are" a min-cost flow with costs 1/load, §4.3), and the
+    PPME*(x,h,k) re-optimization of sampling rates when device
+    positions are fixed (§5.4), which the paper notes "can be expressed
+    as a minimum cost flow problem".
+
+    Algorithm: successive shortest augmenting paths with node
+    potentials (Dijkstra on reduced costs); negative arc costs are
+    handled by an initial Bellman–Ford pass. Lower bounds are removed
+    by the standard supply transformation. *)
+
+type t
+(** Mutable network. *)
+
+type arc
+(** Handle on a directed arc. *)
+
+type status =
+  | Optimal  (** all supplies routed at minimum cost *)
+  | Infeasible  (** supplies/lower bounds cannot be routed *)
+
+val create : int -> t
+(** [create n] is an empty network on nodes [0 .. n-1]. *)
+
+val add_arc :
+  ?lower:float -> t -> src:int -> dst:int -> capacity:float -> cost:float -> arc
+(** Append a directed arc with flow bounds [\[lower, capacity\]]
+    (default [lower = 0.]) and per-unit [cost]. Requires
+    [0. <= lower <= capacity]. *)
+
+val set_supply : t -> int -> float -> unit
+(** [set_supply t v b] makes node [v] a source of [b] units ([b > 0.])
+    or a sink of [-b] units ([b < 0.]). Supplies must globally sum to
+    zero for the instance to be feasible. Overwrites any previous
+    supply of [v]. *)
+
+val solve : t -> status
+(** Route all supplies at minimum cost. May be called repeatedly after
+    modifying supplies. *)
+
+val flow : t -> arc -> float
+(** Flow on the arc after the last {!solve} (includes its lower
+    bound). *)
+
+val total_cost : t -> float
+(** Cost of the last computed flow (sum over arcs of flow × cost). *)

@@ -1,0 +1,1 @@
+lib/graph/metrics.ml: Array Fun Graph List Paths Queue Stack

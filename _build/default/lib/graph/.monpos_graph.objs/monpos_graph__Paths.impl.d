@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Format Graph Hashtbl List Monpos_util Queue Stack String

@@ -1,0 +1,49 @@
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+      (List.init (String.length s) (String.get s)))
+
+let attrs_to_string = function
+  | [] -> ""
+  | attrs ->
+    let body =
+      String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) attrs)
+    in
+    Printf.sprintf " [%s]" body
+
+let to_string ?(graph_name = "pop") ?(node_attrs = fun _ -> [])
+    ?(edge_attrs = fun _ -> []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" graph_name);
+  for u = 0 to Graph.num_nodes g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  %d [label=\"%s\"%s];\n" u
+         (escape (Graph.label g u))
+         (match node_attrs u with
+         | [] -> ""
+         | attrs ->
+           ", "
+           ^ String.concat ", "
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v))
+                  attrs)))
+  done;
+  Graph.iter_edges
+    (fun e u v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -- %d%s;\n" u v (attrs_to_string (edge_attrs e))))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let with_loads g ~loads =
+  let total = Array.fold_left ( +. ) 0.0 loads in
+  let total = if total <= 0.0 then 1.0 else total in
+  to_string
+    ~edge_attrs:(fun e ->
+      let share = loads.(e) /. total in
+      [
+        ("penwidth", Printf.sprintf "%.2f" (0.5 +. (12.0 *. share)));
+        ("label", Printf.sprintf "%.1f%%" (100.0 *. share));
+      ])
+    g

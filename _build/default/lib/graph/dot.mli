@@ -1,0 +1,17 @@
+(** Graphviz export.
+
+    Reproduces the Figure 6 exhibit of the paper: a POP drawing where
+    edge thickness encodes the share of traffic carried by the link. *)
+
+val to_string :
+  ?graph_name:string ->
+  ?node_attrs:(Graph.node -> (string * string) list) ->
+  ?edge_attrs:(Graph.edge -> (string * string) list) ->
+  Graph.t ->
+  string
+(** Render an undirected graph in dot syntax. Attribute callbacks may
+    add per-node / per-edge settings (e.g. [("penwidth", "3")]). *)
+
+val with_loads : Graph.t -> loads:float array -> string
+(** Figure-6 style rendering: edges scaled and labeled by their share
+    of the total carried volume ([loads] is indexed by edge id). *)

@@ -1,0 +1,130 @@
+type node = int
+
+type edge = int
+
+type t = {
+  mutable src : int array;
+  mutable dst : int array;
+  mutable nedges : int;
+  mutable adj : (int * int) list array; (* (neighbor, edge) per node *)
+  mutable labels : string option array;
+  mutable nnodes : int;
+}
+
+let create ?(num_nodes = 0) () =
+  {
+    src = Array.make 16 0;
+    dst = Array.make 16 0;
+    nedges = 0;
+    adj = Array.make (max 16 num_nodes) [];
+    labels = Array.make (max 16 num_nodes) None;
+    nnodes = num_nodes;
+  }
+
+let num_nodes g = g.nnodes
+
+let num_edges g = g.nedges
+
+let grow_nodes g =
+  let cap = Array.length g.adj in
+  if g.nnodes >= cap then begin
+    let adj = Array.make (2 * cap) [] in
+    Array.blit g.adj 0 adj 0 g.nnodes;
+    g.adj <- adj;
+    let labels = Array.make (2 * cap) None in
+    Array.blit g.labels 0 labels 0 g.nnodes;
+    g.labels <- labels
+  end
+
+let add_node ?label g =
+  grow_nodes g;
+  let i = g.nnodes in
+  g.labels.(i) <- label;
+  g.nnodes <- g.nnodes + 1;
+  i
+
+let check_node g u = assert (0 <= u && u < g.nnodes)
+
+let check_edge g e = assert (0 <= e && e < g.nedges)
+
+let add_edge g u v =
+  check_node g u;
+  check_node g v;
+  let cap = Array.length g.src in
+  if g.nedges >= cap then begin
+    let src = Array.make (2 * cap) 0 in
+    Array.blit g.src 0 src 0 g.nedges;
+    g.src <- src;
+    let dst = Array.make (2 * cap) 0 in
+    Array.blit g.dst 0 dst 0 g.nedges;
+    g.dst <- dst
+  end;
+  let e = g.nedges in
+  g.src.(e) <- u;
+  g.dst.(e) <- v;
+  g.nedges <- g.nedges + 1;
+  g.adj.(u) <- (v, e) :: g.adj.(u);
+  if u <> v then g.adj.(v) <- (u, e) :: g.adj.(v);
+  e
+
+let endpoints g e =
+  check_edge g e;
+  (g.src.(e), g.dst.(e))
+
+let other_end g e u =
+  let a, b = endpoints g e in
+  if a = u then b
+  else begin
+    assert (b = u);
+    a
+  end
+
+let neighbors g u =
+  check_node g u;
+  g.adj.(u)
+
+let degree g u =
+  List.fold_left
+    (fun acc (v, _) -> if v = u then acc + 2 else acc + 1)
+    0 (neighbors g u)
+
+let find_edge g u v =
+  check_node g u;
+  check_node g v;
+  List.find_map (fun (w, e) -> if w = v then Some e else None) g.adj.(u)
+
+let has_edge g u v = Option.is_some (find_edge g u v)
+
+let fold_edges f g init =
+  let acc = ref init in
+  for e = 0 to g.nedges - 1 do
+    acc := f e g.src.(e) g.dst.(e) !acc
+  done;
+  !acc
+
+let iter_edges f g =
+  for e = 0 to g.nedges - 1 do
+    f e g.src.(e) g.dst.(e)
+  done
+
+let set_label g u s =
+  check_node g u;
+  g.labels.(u) <- Some s
+
+let label g u =
+  check_node g u;
+  match g.labels.(u) with Some s -> s | None -> Printf.sprintf "n%d" u
+
+let edge_name g e =
+  let u, v = endpoints g e in
+  Printf.sprintf "(%s--%s)" (label g u) (label g v)
+
+let copy g =
+  {
+    src = Array.copy g.src;
+    dst = Array.copy g.dst;
+    nedges = g.nedges;
+    adj = Array.map (fun l -> l) (Array.copy g.adj);
+    labels = Array.copy g.labels;
+    nnodes = g.nnodes;
+  }

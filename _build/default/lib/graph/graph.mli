@@ -1,0 +1,71 @@
+(** Undirected multigraph with dense integer node and edge identifiers.
+
+    POP topologies (§2 of the paper) are modeled on this type: nodes
+    are routers (or virtual traffic endpoints), edges are communication
+    links. Nodes and edges are identified by their creation index,
+    which every other layer (traffics, placements, MIP variables) uses
+    as array offsets. *)
+
+type t
+(** Mutable graph. *)
+
+type node = int
+(** Node identifier: [0 .. num_nodes-1]. *)
+
+type edge = int
+(** Edge identifier: [0 .. num_edges-1]. *)
+
+val create : ?num_nodes:int -> unit -> t
+(** [create ~num_nodes ()] makes a graph with [num_nodes] isolated
+    nodes (default 0). *)
+
+val add_node : ?label:string -> t -> node
+(** Append a node and return its id. *)
+
+val add_edge : t -> node -> node -> edge
+(** [add_edge g u v] appends an undirected edge. Self-loops and
+    parallel edges are allowed (the POP generators never create them,
+    but reductions may). *)
+
+val num_nodes : t -> int
+(** Number of nodes. *)
+
+val num_edges : t -> int
+(** Number of edges. *)
+
+val endpoints : t -> edge -> node * node
+(** Endpoints in creation order. *)
+
+val other_end : t -> edge -> node -> node
+(** [other_end g e u] is the endpoint of [e] that is not [u]. For a
+    self-loop it returns [u]. Requires [u] to be an endpoint. *)
+
+val neighbors : t -> node -> (node * edge) list
+(** Adjacent (node, via-edge) pairs, most recently added first. *)
+
+val degree : t -> node -> int
+(** Number of incident edges (self-loops count twice). *)
+
+val find_edge : t -> node -> node -> edge option
+(** Some edge joining the two nodes, if any. *)
+
+val has_edge : t -> node -> node -> bool
+(** Whether the two nodes are adjacent. *)
+
+val fold_edges : (edge -> node -> node -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over edges in creation order. *)
+
+val iter_edges : (edge -> node -> node -> unit) -> t -> unit
+(** Iterate over edges in creation order. *)
+
+val set_label : t -> node -> string -> unit
+(** Attach a display label to a node. *)
+
+val label : t -> node -> string
+(** Display label; defaults to ["n<i>"]. *)
+
+val edge_name : t -> edge -> string
+(** Readable edge description "(labelU--labelV)". *)
+
+val copy : t -> t
+(** Deep copy. *)

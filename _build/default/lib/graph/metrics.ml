@@ -1,0 +1,109 @@
+let all_pairs_hops g =
+  Array.init (Graph.num_nodes g) (fun s -> Paths.bfs_distances g s)
+
+let diameter g =
+  let d = all_pairs_hops g in
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc x -> max acc x) acc row)
+    0 d
+
+(* Brandes' algorithm adapted to accumulate on edges, unweighted. *)
+let edge_betweenness g =
+  let n = Graph.num_nodes g in
+  let ne = Graph.num_edges g in
+  let score = Array.make ne 0.0 in
+  let dist = Array.make n (-1) in
+  let sigma = Array.make n 0.0 in
+  let delta = Array.make n 0.0 in
+  let preds = Array.make n [] in
+  for s = 0 to n - 1 do
+    Array.fill dist 0 n (-1);
+    Array.fill sigma 0 n 0.0;
+    Array.fill delta 0 n 0.0;
+    Array.fill preds 0 n [];
+    dist.(s) <- 0;
+    sigma.(s) <- 1.0;
+    let order = ref [] in
+    let q = Queue.create () in
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      order := u :: !order;
+      List.iter
+        (fun (v, e) ->
+          if dist.(v) = -1 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end;
+          if dist.(v) = dist.(u) + 1 then begin
+            sigma.(v) <- sigma.(v) +. sigma.(u);
+            preds.(v) <- (u, e) :: preds.(v)
+          end)
+        (Graph.neighbors g u)
+    done;
+    (* accumulate in reverse BFS order *)
+    List.iter
+      (fun w ->
+        List.iter
+          (fun (u, e) ->
+            let share = sigma.(u) /. sigma.(w) *. (1.0 +. delta.(w)) in
+            delta.(u) <- delta.(u) +. share;
+            score.(e) <- score.(e) +. share)
+          preds.(w))
+      !order
+  done;
+  score
+
+(* Tarjan bridges/articulation points via iterative DFS. *)
+let low_link g =
+  let n = Graph.num_nodes g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let parent_edge = Array.make n (-1) in
+  let bridges = ref [] in
+  let artics = Array.make n false in
+  let timer = ref 0 in
+  for root = 0 to n - 1 do
+    if disc.(root) = -1 then begin
+      (* iterative DFS with an explicit stack of (node, remaining adj) *)
+      let stack = Stack.create () in
+      disc.(root) <- !timer;
+      low.(root) <- !timer;
+      incr timer;
+      Stack.push (root, ref (Graph.neighbors g root)) stack;
+      let root_children = ref 0 in
+      while not (Stack.is_empty stack) do
+        let u, rest = Stack.top stack in
+        match !rest with
+        | [] ->
+          ignore (Stack.pop stack);
+          if not (Stack.is_empty stack) then begin
+            let p, _ = Stack.top stack in
+            low.(p) <- min low.(p) low.(u);
+            if p <> root && low.(u) >= disc.(p) then artics.(p) <- true;
+            if low.(u) > disc.(p) then
+              bridges := parent_edge.(u) :: !bridges
+          end
+        | (v, e) :: tl ->
+          rest := tl;
+          if disc.(v) = -1 then begin
+            disc.(v) <- !timer;
+            low.(v) <- !timer;
+            incr timer;
+            parent_edge.(v) <- e;
+            if u = root then incr root_children;
+            Stack.push (v, ref (Graph.neighbors g v)) stack
+          end
+          else if e <> parent_edge.(u) then
+            low.(u) <- min low.(u) disc.(v)
+      done;
+      if !root_children >= 2 then artics.(root) <- true
+    end
+  done;
+  (List.sort compare !bridges, artics)
+
+let bridges g = fst (low_link g)
+
+let articulation_points g =
+  let _, artics = low_link g in
+  List.filter (fun v -> artics.(v)) (List.init (Graph.num_nodes g) Fun.id)

@@ -1,0 +1,28 @@
+(** Structural graph metrics.
+
+    Used for placement insight (which links/nodes are structurally
+    load-bearing), for the hot-pair selection of gravity-style traffic
+    models, and by tests as independent oracles: e.g., a bridge whose
+    removal separates traffic endpoints must appear in any full
+    monitoring cover of traffics crossing it. *)
+
+val all_pairs_hops : Graph.t -> int array array
+(** [all_pairs_hops g] is the hop-distance matrix ([-1] when
+    unreachable). O(n·(n+m)). *)
+
+val diameter : Graph.t -> int
+(** Largest finite hop distance (0 for graphs with ≤ 1 node). *)
+
+val edge_betweenness : Graph.t -> float array
+(** Brandes-style betweenness per edge under unit weights: the number
+    of shortest paths crossing each edge, summed over all ordered
+    pairs and split equally among equal-cost shortest paths. Links
+    with high betweenness are the natural "most loaded" candidates of
+    §4.3 under uniform traffic. *)
+
+val bridges : Graph.t -> Graph.edge list
+(** Edges whose removal disconnects their component (Tarjan low-link),
+    ascending. Parallel edges are never bridges. *)
+
+val articulation_points : Graph.t -> Graph.node list
+(** Nodes whose removal disconnects their component, ascending. *)

@@ -1,0 +1,1 @@
+lib/lp/lp_io.ml: Buffer List Model Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/lp/mip.ml: Array Float List Model Monpos_util Printf Simplex Sys

@@ -1,0 +1,356 @@
+type branching = Most_fractional | Pseudocost
+
+type options = {
+  branching : branching;
+  max_nodes : int;
+  time_limit : float;
+  gap_tolerance : float;
+  integrality_tol : float;
+  heuristic_period : int;
+  log : bool;
+}
+
+let default_options =
+  {
+    branching = Pseudocost;
+    max_nodes = 200_000;
+    time_limit = 120.0;
+    gap_tolerance = 1e-9;
+    integrality_tol = 1e-6;
+    heuristic_period = 16;
+    log = false;
+  }
+
+type status = Optimal | Feasible | Infeasible | Unbounded | No_solution
+
+type result = {
+  status : status;
+  objective : float;
+  solution : float array option;
+  bound : float;
+  nodes : int;
+  gap : float;
+}
+
+type node = {
+  lower : float array;
+  upper : float array;
+  depth : int;
+  (* pseudocost bookkeeping: which branch created this node, and the
+     parent relaxation's score and fractional part, so the child's LP
+     value updates the per-variable degradation statistics *)
+  branched : (int * [ `Down | `Up ] * float * float) option;
+}
+
+(* Internal scores are minimization scores: score = obj for Minimize,
+   -obj for Maximize, so "smaller is better" throughout. *)
+
+let solve ?(options = default_options) model =
+  let n = Model.num_vars model in
+  let problem = Simplex.of_model model in
+  let minimize = Model.direction model = Model.Minimize in
+  let to_score obj = if minimize then obj else -.obj in
+  let of_score s = if minimize then s else -.s in
+  let int_vars =
+    List.filter
+      (fun v ->
+        match Model.var_kind model (Model.var_of_index model v) with
+        | Model.Integer | Model.Binary -> true
+        | Model.Continuous -> false)
+      (List.init n (fun i -> i))
+  in
+  let itol = options.integrality_tol in
+  (* When every objective coefficient sits on integer variables and is
+     itself integral, any LP bound can be rounded up to the next
+     integer — a large amount of extra pruning for pure cardinality
+     objectives like the paper's device counts. *)
+  let integral_objective =
+    List.for_all
+      (fun v ->
+        let c = Model.var_obj model (Model.var_of_index model v) in
+        let is_int_var =
+          match Model.var_kind model (Model.var_of_index model v) with
+          | Model.Integer | Model.Binary -> true
+          | Model.Continuous -> false
+        in
+        if is_int_var then Float.is_integer c else c = 0.0)
+      (List.init n (fun i -> i))
+  in
+  let sharpen score =
+    if integral_objective && score > neg_infinity && score < infinity then
+      Float.round (Float.ceil (score -. 1e-6))
+    else score
+  in
+  let fractional_var primal =
+    (* most fractional integer variable, or None if integral *)
+    let best = ref (-1) and best_dist = ref 0.0 in
+    List.iter
+      (fun v ->
+        let x = primal.(v) in
+        let dist = abs_float (x -. Float.round x) in
+        if dist > itol && dist > !best_dist then begin
+          best := v;
+          best_dist := dist
+        end)
+      int_vars;
+    if !best = -1 then None else Some !best
+  in
+  (* pseudocost state: average objective degradation per unit of
+     rounded-away fraction, per variable and direction *)
+  let pc_down = Array.make n 0.0 and pc_down_n = Array.make n 0 in
+  let pc_up = Array.make n 0.0 and pc_up_n = Array.make n 0 in
+  let record_pseudocost node child_score =
+    match node.branched with
+    | None -> ()
+    | Some (v, dir, parent_score, frac) ->
+      let degradation = max 0.0 (child_score -. parent_score) in
+      (match dir with
+      | `Down ->
+        let per_unit = degradation /. max frac 1e-6 in
+        pc_down.(v) <-
+          ((pc_down.(v) *. float_of_int pc_down_n.(v)) +. per_unit)
+          /. float_of_int (pc_down_n.(v) + 1);
+        pc_down_n.(v) <- pc_down_n.(v) + 1
+      | `Up ->
+        let per_unit = degradation /. max (1.0 -. frac) 1e-6 in
+        pc_up.(v) <-
+          ((pc_up.(v) *. float_of_int pc_up_n.(v)) +. per_unit)
+          /. float_of_int (pc_up_n.(v) + 1);
+        pc_up_n.(v) <- pc_up_n.(v) + 1)
+  in
+  let branch_var primal =
+    match options.branching with
+    | Most_fractional -> fractional_var primal
+    | Pseudocost ->
+      (* product rule over estimated degradations; variables without
+         history fall back to their fractionality *)
+      let best = ref (-1) and best_score = ref neg_infinity in
+      List.iter
+        (fun v ->
+          let x = primal.(v) in
+          let frac = x -. Float.floor x in
+          let dist = abs_float (x -. Float.round x) in
+          if dist > itol then begin
+            let est_down =
+              if pc_down_n.(v) > 0 then pc_down.(v) *. frac else dist
+            in
+            let est_up =
+              if pc_up_n.(v) > 0 then pc_up.(v) *. (1.0 -. frac) else dist
+            in
+            let score = max est_down 1e-6 *. max est_up 1e-6 in
+            if score > !best_score then begin
+              best := v;
+              best_score := score
+            end
+          end)
+        int_vars;
+      if !best = -1 then None else Some !best
+  in
+  let incumbent = ref None (* (score, solution) *) in
+  let incumbent_score () =
+    match !incumbent with Some (s, _) -> s | None -> infinity
+  in
+  let record_candidate primal score =
+    if score < incumbent_score () -. 1e-12 then begin
+      (* snap integers exactly before the feasibility re-check *)
+      let snapped = Array.copy primal in
+      List.iter (fun v -> snapped.(v) <- Float.round snapped.(v)) int_vars;
+      if Model.value_feasible ~tol:1e-6 model snapped then begin
+        incumbent := Some (score, snapped);
+        if options.log then
+          Printf.eprintf "[mip] incumbent %.6f\n%!" (of_score score)
+      end
+    end
+  in
+  (* LP diving: repeatedly fix the most fractional integer variable to
+     its rounded value (retrying the opposite value if that kills
+     feasibility) until the LP relaxation comes out integral. Much more
+     reliable than one-shot rounding on covering-type programs, where
+     rounding fractional openings down is almost always infeasible. *)
+  let diving_heuristic node primal0 =
+    let lower = Array.copy node.lower and upper = Array.copy node.upper in
+    let rec dive primal fuel =
+      if fuel >= 0 then
+        match fractional_var primal with
+        | None ->
+          (* integral: re-solve once to get the continuous completion *)
+          let sol = Simplex.solve ~lower ~upper problem in
+          if sol.Simplex.status = Simplex.Optimal then
+            record_candidate sol.Simplex.primal (to_score sol.Simplex.objective)
+        | Some v ->
+          let try_fix value =
+            let saved_l = lower.(v) and saved_u = upper.(v) in
+            lower.(v) <- value;
+            upper.(v) <- value;
+            let sol = Simplex.solve ~lower ~upper problem in
+            if sol.Simplex.status = Simplex.Optimal then Some sol
+            else begin
+              lower.(v) <- saved_l;
+              upper.(v) <- saved_u;
+              None
+            end
+          in
+          let rounded = Float.round primal.(v) in
+          let rounded = max node.lower.(v) (min node.upper.(v) rounded) in
+          let other =
+            if rounded +. 1.0 <= upper.(v) +. 1e-9 then rounded +. 1.0
+            else rounded -. 1.0
+          in
+          (match try_fix rounded with
+          | Some sol -> dive sol.Simplex.primal (fuel - 1)
+          | None -> (
+            match try_fix other with
+            | Some sol -> dive sol.Simplex.primal (fuel - 1)
+            | None -> ()))
+    in
+    dive primal0 (List.length int_vars)
+  in
+  let queue = Monpos_util.Heap.create () in
+  let root =
+    {
+      lower = Array.init n (fun v -> Model.var_lb model (Model.var_of_index model v));
+      upper = Array.init n (fun v -> Model.var_ub model (Model.var_of_index model v));
+      depth = 0;
+      branched = None;
+    }
+  in
+  let start = Sys.time () in
+  let nodes = ref 0 in
+  let best_open_bound = ref neg_infinity in
+  let root_unbounded = ref false in
+  let infeasible_root = ref true in
+  (* bound accounting: the global dual bound is min(incumbent score,
+     smallest score among open nodes). We push nodes keyed by their
+     parent LP score. *)
+  Monpos_util.Heap.push queue neg_infinity root;
+  let stopped_at_limit = ref false in
+  let continue = ref true in
+  while !continue do
+    match Monpos_util.Heap.pop_min queue with
+    | None -> continue := false
+    | Some (parent_bound, node) ->
+      if !nodes >= options.max_nodes || Sys.time () -. start > options.time_limit
+      then begin
+        stopped_at_limit := true;
+        best_open_bound := parent_bound;
+        continue := false
+      end
+      else if
+        parent_bound
+        >= incumbent_score () -. (options.gap_tolerance *. (1.0 +. abs_float (incumbent_score ())))
+        && !incumbent <> None
+      then begin
+        (* best-first: every remaining node is at least as bad *)
+        best_open_bound := parent_bound;
+        continue := false
+      end
+      else begin
+        incr nodes;
+        let sol = Simplex.solve ~lower:node.lower ~upper:node.upper problem in
+        match sol.Simplex.status with
+        | Simplex.Infeasible -> ()
+        | Simplex.Iteration_limit ->
+          (* treat as unresolved: keep the parent bound, re-queueing
+             would loop, so give up on this subtree pessimistically by
+             keeping it open in the bound accounting *)
+          best_open_bound := min !best_open_bound parent_bound;
+          stopped_at_limit := true
+        | Simplex.Unbounded ->
+          infeasible_root := false;
+          if node.depth = 0 then begin
+            root_unbounded := true;
+            continue := false
+          end
+        | Simplex.Optimal -> (
+          infeasible_root := false;
+          let raw_score = to_score sol.Simplex.objective in
+          record_pseudocost node raw_score;
+          let score = sharpen raw_score in
+          if
+            score
+            >= incumbent_score ()
+               -. (options.gap_tolerance *. (1.0 +. abs_float (incumbent_score ())))
+          then ()
+          else
+            match branch_var sol.Simplex.primal with
+            | None -> record_candidate sol.Simplex.primal score
+            | Some v ->
+              if
+                options.heuristic_period > 0
+                && (!nodes = 1 || !nodes mod options.heuristic_period = 0)
+              then diving_heuristic node sol.Simplex.primal;
+              let x = sol.Simplex.primal.(v) in
+              let f = floor (x +. itol) in
+              let frac = x -. f in
+              let down = { node with upper = Array.copy node.upper } in
+              down.upper.(v) <- f;
+              let up =
+                {
+                  node with
+                  lower = Array.copy node.lower;
+                  depth = node.depth + 1;
+                  branched = Some (v, `Up, raw_score, frac);
+                }
+              in
+              up.lower.(v) <- f +. 1.0;
+              let down =
+                {
+                  down with
+                  depth = node.depth + 1;
+                  branched = Some (v, `Down, raw_score, frac);
+                }
+              in
+              if down.upper.(v) >= down.lower.(v) -. 1e-9 then
+                Monpos_util.Heap.push queue score down;
+              if up.lower.(v) <= up.upper.(v) +. 1e-9 then
+                Monpos_util.Heap.push queue score up)
+      end
+  done;
+  (* fold any still-queued nodes into the bound *)
+  let rec drain () =
+    match Monpos_util.Heap.pop_min queue with
+    | None -> ()
+    | Some (b, _) ->
+      best_open_bound := min !best_open_bound b;
+      drain ()
+  in
+  if !stopped_at_limit then drain ();
+  let inc_score = incumbent_score () in
+  let bound_score =
+    if !stopped_at_limit then min !best_open_bound inc_score
+    else if !best_open_bound > neg_infinity then min !best_open_bound inc_score
+    else inc_score
+  in
+  let gap =
+    if inc_score = infinity || bound_score = neg_infinity then infinity
+    else (inc_score -. bound_score) /. max 1.0 (abs_float inc_score)
+  in
+  let status =
+    if !root_unbounded then Unbounded
+    else
+      match !incumbent with
+      | Some _ ->
+        if (not !stopped_at_limit) || gap <= options.gap_tolerance then Optimal
+        else Feasible
+      | None ->
+        if !stopped_at_limit then No_solution
+        else if !infeasible_root then Infeasible
+        else Infeasible
+  in
+  {
+    status;
+    objective = (match !incumbent with Some (s, _) -> of_score s | None -> nan);
+    solution = (match !incumbent with Some (_, x) -> Some x | None -> None);
+    bound = of_score bound_score;
+    nodes = !nodes;
+    gap = (if status = Optimal then 0.0 else gap);
+  }
+
+let solve_or_fail ?options model =
+  let r = solve ?options model in
+  match (r.status, r.solution) with
+  | Optimal, Some x -> (x, r.objective)
+  | _ ->
+    failwith
+      (Printf.sprintf "Mip.solve_or_fail: no proven optimum (status after %d nodes)"
+         r.nodes)

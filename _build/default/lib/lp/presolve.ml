@@ -1,0 +1,179 @@
+type info = {
+  rows_dropped : int;
+  bounds_tightened : int;
+  fixed_vars : int;
+  infeasible : bool;
+}
+
+let tol = 1e-9
+
+(* Row activity bounds given current variable bounds. *)
+let activity_bounds lb ub terms =
+  List.fold_left
+    (fun (lo, hi) (c, v) ->
+      if c >= 0.0 then (lo +. (c *. lb.(v)), hi +. (c *. ub.(v)))
+      else (lo +. (c *. ub.(v)), hi +. (c *. lb.(v))))
+    (0.0, 0.0) terms
+
+let reduce model =
+  let n = Model.num_vars model in
+  let lb = Array.init n (fun v -> Model.var_lb model (Model.var_of_index model v)) in
+  let ub = Array.init n (fun v -> Model.var_ub model (Model.var_of_index model v)) in
+  let kind = Array.init n (fun v -> Model.var_kind model (Model.var_of_index model v)) in
+  let rows = ref [] in
+  Model.iter_constrs model (fun i terms sense rhs ->
+      ignore i;
+      rows := (terms, sense, rhs) :: !rows);
+  let rows = Array.of_list (List.rev !rows) in
+  let alive = Array.make (Array.length rows) true in
+  let rows_dropped = ref 0 in
+  let bounds_tightened = ref 0 in
+  let infeasible = ref false in
+  (* tighten a variable's bounds; integer bounds round inward *)
+  let tighten v new_lb new_ub =
+    let new_lb, new_ub =
+      match kind.(v) with
+      | Model.Continuous -> (new_lb, new_ub)
+      | Model.Integer | Model.Binary ->
+        ( (if new_lb = neg_infinity then new_lb else Float.ceil (new_lb -. tol)),
+          if new_ub = infinity then new_ub else Float.floor (new_ub +. tol) )
+    in
+    if new_lb > lb.(v) +. tol then begin
+      lb.(v) <- new_lb;
+      incr bounds_tightened
+    end;
+    if new_ub < ub.(v) -. tol then begin
+      ub.(v) <- new_ub;
+      incr bounds_tightened
+    end;
+    if lb.(v) > ub.(v) +. tol then infeasible := true
+  in
+  let pass () =
+    let changed = ref false in
+    Array.iteri
+      (fun i (terms, sense, rhs) ->
+        if alive.(i) && not !infeasible then begin
+          match terms with
+          | [] ->
+            (* empty row: trivially satisfied or infeasible *)
+            let ok =
+              match sense with
+              | Model.Le -> 0.0 <= rhs +. tol
+              | Model.Ge -> 0.0 >= rhs -. tol
+              | Model.Eq -> abs_float rhs <= tol
+            in
+            if not ok then infeasible := true;
+            alive.(i) <- false;
+            incr rows_dropped;
+            changed := true
+          | [ (c, v) ] ->
+            (* singleton row becomes a bound *)
+            let bound = rhs /. c in
+            (match (sense, c > 0.0) with
+            | Model.Le, true | Model.Ge, false -> tighten v neg_infinity bound
+            | Model.Ge, true | Model.Le, false -> tighten v bound infinity
+            | Model.Eq, _ -> tighten v bound bound);
+            alive.(i) <- false;
+            incr rows_dropped;
+            changed := true
+          | _ ->
+            (* redundancy / infeasibility by activity bounds *)
+            let lo, hi = activity_bounds lb ub terms in
+            let redundant =
+              match sense with
+              | Model.Le -> hi <= rhs +. tol
+              | Model.Ge -> lo >= rhs -. tol
+              | Model.Eq -> false
+            in
+            let impossible =
+              match sense with
+              | Model.Le -> lo > rhs +. tol
+              | Model.Ge -> hi < rhs -. tol
+              | Model.Eq -> lo > rhs +. tol || hi < rhs -. tol
+            in
+            if impossible then infeasible := true
+            else if redundant then begin
+              alive.(i) <- false;
+              incr rows_dropped;
+              changed := true
+            end
+            else begin
+              (* bound tightening from the row: for <= rows, each
+                 variable's contribution is bounded by rhs minus the
+                 minimum activity of the others *)
+              let tighten_from upper =
+                (* upper = true handles a.x <= rhs' *)
+                let rhs', sgn = upper in
+                List.iter
+                  (fun (c, v) ->
+                    let c = sgn *. c in
+                    let lo_others =
+                      List.fold_left
+                        (fun acc (c', v') ->
+                          if v' = v then acc
+                          else begin
+                            let c' = sgn *. c' in
+                            if c' >= 0.0 then acc +. (c' *. lb.(v'))
+                            else acc +. (c' *. ub.(v'))
+                          end)
+                        0.0 terms
+                    in
+                    let room = rhs' -. lo_others in
+                    if c > tol then begin
+                      if room /. c < ub.(v) -. tol then
+                        tighten v neg_infinity (room /. c)
+                    end
+                    else if c < -.tol then
+                      if room /. c > lb.(v) +. tol then
+                        tighten v (room /. c) infinity)
+                  terms
+              in
+              (match sense with
+              | Model.Le -> tighten_from (rhs, 1.0)
+              | Model.Ge -> tighten_from (-.rhs, -1.0)
+              | Model.Eq ->
+                tighten_from (rhs, 1.0);
+                tighten_from (-.rhs, -1.0))
+            end
+        end)
+      rows;
+    !changed
+  in
+  let passes = ref 0 in
+  while pass () && !passes < 10 && not !infeasible do
+    incr passes
+  done;
+  (* rebuild *)
+  let reduced = Model.create ~name:(Model.name model ^ "-presolved")
+      (Model.direction model)
+  in
+  let fixed_vars = ref 0 in
+  for v = 0 to n - 1 do
+    let lb_v = lb.(v) and ub_v = ub.(v) in
+    let lb_v, ub_v = if lb_v > ub_v then (lb_v, lb_v) (* infeasible flagged *) else (lb_v, ub_v) in
+    if abs_float (ub_v -. lb_v) < tol then incr fixed_vars;
+    ignore
+      (Model.add_var reduced
+         ~name:(Model.var_name model (Model.var_of_index model v))
+         ~lb:lb_v ~ub:ub_v
+         ~obj:(Model.var_obj model (Model.var_of_index model v))
+         kind.(v))
+  done;
+  Array.iteri
+    (fun i (terms, sense, rhs) ->
+      if alive.(i) then
+        Model.add_constr reduced
+          (List.map (fun (c, v) -> (c, Model.var_of_index reduced v)) terms)
+          sense rhs)
+    rows;
+  ( reduced,
+    {
+      rows_dropped = !rows_dropped;
+      bounds_tightened = !bounds_tightened;
+      fixed_vars = !fixed_vars;
+      infeasible = !infeasible;
+    } )
+
+let restore ~original solution =
+  ignore original;
+  solution

@@ -1,0 +1,33 @@
+(** LP/MIP presolve: cheap model reductions applied before a solve.
+
+    Implements the standard safe reductions (the kind CPLEX applies
+    before its own simplex): removal of empty rows, conversion of
+    singleton rows into variable bounds, bound tightening from row
+    activity, and fixing of variables whose bounds coincide. All
+    reductions are exact: the reduced model has the same optimal value
+    as the original, and {!restore} lifts a reduced solution back to
+    the original variable space.
+
+    Presolve never changes variable indices — reductions only tighten
+    bounds and drop rows — so the lifted solution is index-compatible
+    with the input model. *)
+
+type info = {
+  rows_dropped : int;  (** empty + singleton rows removed *)
+  bounds_tightened : int;  (** variable bound updates applied *)
+  fixed_vars : int;  (** variables whose bounds collapsed to a point *)
+  infeasible : bool;
+      (** presolve proved the model infeasible (contradictory bounds or
+          an unsatisfiable row); the reduced model is meaningless in
+          that case *)
+}
+
+val reduce : Model.t -> Model.t * info
+(** Build the reduced model (a fresh model; the input is not
+    mutated). Iterates the reductions to a fixed point (bounded
+    passes). *)
+
+val restore : original:Model.t -> float array -> float array
+(** Lift a solution of the reduced model back: since indices are
+    preserved this is the identity, provided for interface symmetry
+    and future reductions that substitute variables. *)

@@ -1,0 +1,618 @@
+(* Bounded-variable revised primal simplex with explicit basis inverse.
+
+   Conventions: the problem is solved as a minimization; a Maximize
+   model has its costs negated on input and its objective and duals
+   negated on output. Every row [a.x {<=,>=,=} b] becomes
+   [a.x + s = b] with slack bounds [0,inf) / (-inf,0] / [0,0], so the
+   initial slack basis is the identity. *)
+
+type col = { rows : int array; coefs : float array }
+
+type problem = {
+  n : int; (* structural variables *)
+  m : int; (* rows *)
+  cols : col array; (* structural sparse columns, length n *)
+  cost : float array; (* structural costs, minimization form *)
+  base_lb : float array; (* structural bounds from the model *)
+  base_ub : float array;
+  slack_lb : float array; (* per-row slack bounds *)
+  slack_ub : float array;
+  b : float array;
+  maximize : bool;
+}
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type solution = {
+  status : status;
+  objective : float;
+  primal : float array;
+  duals : float array;
+  reduced_costs : float array;
+  iterations : int;
+}
+
+let num_rows p = p.m
+
+let num_structural p = p.n
+
+let of_model model =
+  let n = Model.num_vars model in
+  let m = Model.num_constrs model in
+  let cols =
+    Array.init n (fun _ -> { rows = [||]; coefs = [||] })
+  in
+  let entries = Array.make n [] in
+  let b = Array.make (max m 1) 0.0 in
+  let slack_lb = Array.make (max m 1) 0.0 in
+  let slack_ub = Array.make (max m 1) 0.0 in
+  Model.iter_constrs model (fun i terms sense rhs ->
+      b.(i) <- rhs;
+      (match sense with
+      | Model.Le ->
+        slack_lb.(i) <- 0.0;
+        slack_ub.(i) <- infinity
+      | Model.Ge ->
+        slack_lb.(i) <- neg_infinity;
+        slack_ub.(i) <- 0.0
+      | Model.Eq ->
+        slack_lb.(i) <- 0.0;
+        slack_ub.(i) <- 0.0);
+      List.iter (fun (c, v) -> entries.(v) <- (i, c) :: entries.(v)) terms);
+  for v = 0 to n - 1 do
+    let es = List.rev entries.(v) in
+    cols.(v) <-
+      {
+        rows = Array.of_list (List.map fst es);
+        coefs = Array.of_list (List.map snd es);
+      }
+  done;
+  let maximize = Model.direction model = Model.Maximize in
+  let cost =
+    Array.init n (fun v ->
+        let c = Model.var_obj model (Model.var_of_index model v) in
+        if maximize then -.c else c)
+  in
+  let base_lb =
+    Array.init n (fun v -> Model.var_lb model (Model.var_of_index model v))
+  in
+  let base_ub =
+    Array.init n (fun v -> Model.var_ub model (Model.var_of_index model v))
+  in
+  { n; m; cols; cost; base_lb; base_ub; slack_lb; slack_ub; b; maximize }
+
+(* --- solver state ------------------------------------------------------ *)
+
+type vstatus = Basic | At_lower | At_upper | Free_nb
+
+type state = {
+  p : problem;
+  nn : int; (* n + m total columns *)
+  lb : float array; (* length nn *)
+  ub : float array;
+  c1 : float array; (* scratch: phase-1 basic costs, length m *)
+  x : float array; (* current value per column *)
+  vstat : vstatus array;
+  basic_var : int array; (* row -> column *)
+  in_row : int array; (* column -> row or -1 *)
+  binv : float array array; (* m x m *)
+  y : float array; (* scratch multipliers *)
+  alpha : float array; (* scratch entering column *)
+  mutable iters : int;
+  mutable degenerate_run : int;
+  mutable bland : bool;
+  mutable refactor_every : int;
+}
+
+let feas_tol = 1e-7
+
+let dj_tol = 1e-7
+
+let piv_tol = 1e-8
+
+let zero_tol = 1e-11
+
+(* Column access treating slacks as unit columns. *)
+let col_iter st j f =
+  if j < st.p.n then begin
+    let c = st.p.cols.(j) in
+    for k = 0 to Array.length c.rows - 1 do
+      f c.rows.(k) c.coefs.(k)
+    done
+  end
+  else f (j - st.p.n) 1.0
+
+let cost_of st j = if j < st.p.n then st.p.cost.(j) else 0.0
+
+(* alpha := B^-1 A_j *)
+let ftran st j =
+  Array.fill st.alpha 0 st.p.m 0.0;
+  col_iter st j (fun i a ->
+      if a <> 0.0 then
+        for r = 0 to st.p.m - 1 do
+          st.alpha.(r) <- st.alpha.(r) +. (st.binv.(r).(i) *. a)
+        done)
+
+(* y := cB^T B^-1 for the given per-row basic costs. *)
+let btran st cb =
+  Array.fill st.y 0 st.p.m 0.0;
+  for r = 0 to st.p.m - 1 do
+    let c = cb.(r) in
+    if c <> 0.0 then begin
+      let row = st.binv.(r) in
+      for i = 0 to st.p.m - 1 do
+        st.y.(i) <- st.y.(i) +. (c *. row.(i))
+      done
+    end
+  done
+
+let reduced_cost st j cost_j =
+  let acc = ref cost_j in
+  col_iter st j (fun i a -> acc := !acc -. (st.y.(i) *. a));
+  !acc
+
+(* Recompute basic variable values from nonbasic values. *)
+let recompute_basics st =
+  let m = st.p.m in
+  let rhs = Array.copy st.p.b in
+  for j = 0 to st.nn - 1 do
+    if st.vstat.(j) <> Basic && st.x.(j) <> 0.0 then
+      col_iter st j (fun i a -> rhs.(i) <- rhs.(i) -. (a *. st.x.(j)))
+  done;
+  for r = 0 to m - 1 do
+    let row = st.binv.(r) in
+    let acc = ref 0.0 in
+    for i = 0 to m - 1 do
+      acc := !acc +. (row.(i) *. rhs.(i))
+    done;
+    st.x.(st.basic_var.(r)) <- !acc
+  done
+
+exception Singular_basis
+
+(* Rebuild binv from scratch by Gauss-Jordan with partial pivoting. *)
+let refactorize st =
+  let m = st.p.m in
+  if m > 0 then begin
+    let mat = Array.init m (fun _ -> Array.make m 0.0) in
+    for r = 0 to m - 1 do
+      let j = st.basic_var.(r) in
+      col_iter st j (fun i a -> mat.(i).(r) <- a)
+    done;
+    let inv = Array.init m (fun r -> Array.init m (fun i -> if r = i then 1.0 else 0.0)) in
+    for k = 0 to m - 1 do
+      (* partial pivot *)
+      let best = ref k and best_abs = ref (abs_float mat.(k).(k)) in
+      for i = k + 1 to m - 1 do
+        let a = abs_float mat.(i).(k) in
+        if a > !best_abs then begin
+          best := i;
+          best_abs := a
+        end
+      done;
+      if !best_abs < 1e-12 then raise Singular_basis;
+      if !best <> k then begin
+        let t = mat.(k) in
+        mat.(k) <- mat.(!best);
+        mat.(!best) <- t;
+        let t = inv.(k) in
+        inv.(k) <- inv.(!best);
+        inv.(!best) <- t
+      end;
+      let piv = mat.(k).(k) in
+      let mk = mat.(k) and ik = inv.(k) in
+      for c = 0 to m - 1 do
+        mk.(c) <- mk.(c) /. piv;
+        ik.(c) <- ik.(c) /. piv
+      done;
+      for i = 0 to m - 1 do
+        if i <> k then begin
+          let f = mat.(i).(k) in
+          if f <> 0.0 then begin
+            let mi = mat.(i) and ii = inv.(i) in
+            for c = 0 to m - 1 do
+              mi.(c) <- mi.(c) -. (f *. mk.(c));
+              ii.(c) <- ii.(c) -. (f *. ik.(c))
+            done
+          end
+        end
+      done
+    done;
+    for r = 0 to m - 1 do
+      Array.blit inv.(r) 0 st.binv.(r) 0 m
+    done;
+    recompute_basics st
+  end
+
+let violation st j =
+  let x = st.x.(j) in
+  if x < st.lb.(j) -. feas_tol then st.lb.(j) -. x
+  else if x > st.ub.(j) +. feas_tol then x -. st.ub.(j)
+  else 0.0
+
+let total_infeasibility st =
+  let acc = ref 0.0 in
+  for r = 0 to st.p.m - 1 do
+    acc := !acc +. violation st st.basic_var.(r)
+  done;
+  !acc
+
+(* Entering-variable selection. [phase1] switches the costs: nonbasic
+   phase-1 costs are zero, so d_j = -y.A_j. Returns (j, dir, d_j). *)
+let choose_entering st ~phase1 =
+  let best = ref (-1) and best_score = ref 0.0 and best_dir = ref 1.0 in
+  let consider j d dir =
+    let score = abs_float d in
+    if score > dj_tol then
+      if st.bland then begin
+        if !best = -1 then begin
+          best := j;
+          best_score := score;
+          best_dir := dir
+        end
+      end
+      else if score > !best_score then begin
+        best := j;
+        best_score := score;
+        best_dir := dir
+      end
+  in
+  for j = 0 to st.nn - 1 do
+    match st.vstat.(j) with
+    | Basic -> ()
+    | At_lower | At_upper | Free_nb ->
+      if st.ub.(j) -. st.lb.(j) > zero_tol || st.vstat.(j) = Free_nb then begin
+        let cj = if phase1 then 0.0 else cost_of st j in
+        let d = reduced_cost st j cj in
+        (match st.vstat.(j) with
+        | At_lower -> if d < -.dj_tol then consider j d 1.0
+        | At_upper -> if d > dj_tol then consider j d (-1.0)
+        | Free_nb ->
+          if d < -.dj_tol then consider j d 1.0
+          else if d > dj_tol then consider j d (-1.0)
+        | Basic -> ())
+      end
+  done;
+  if !best = -1 then None else Some (!best, !best_dir)
+
+type leave = Bound_flip | Leave of int * [ `Lower | `Upper ]
+
+(* Ratio test. In phase 1 infeasible basics may travel to the bound
+   they violate and leave there. Returns (t, leave) or None when the
+   direction is unbounded. Ties within [tie] are broken by the largest
+   pivot magnitude (stability) or, in Bland mode, by the smallest
+   leaving-variable index (anti-cycling). *)
+let ratio_test st j dir ~phase1 =
+  let tie = 1e-9 in
+  let flip_limit =
+    let span = st.ub.(j) -. st.lb.(j) in
+    if span < 0.0 then 0.0 else span
+  in
+  let t_best = ref flip_limit in
+  let leave = ref Bound_flip in
+  let best_piv = ref 0.0 in
+  let leave_var = ref max_int in
+  for r = 0 to st.p.m - 1 do
+    let a = st.alpha.(r) in
+    if abs_float a > piv_tol then begin
+      let v = st.basic_var.(r) in
+      let delta = -.dir *. a in
+      let xr = st.x.(v) and lr = st.lb.(v) and ur = st.ub.(v) in
+      let candidate t side =
+        let t = if t < 0.0 then 0.0 else t in
+        let strictly_less = t < !t_best -. tie in
+        let tied = (not strictly_less) && t <= !t_best +. tie in
+        let wins_tie =
+          tied
+          &&
+          if st.bland then v < !leave_var
+          else abs_float a > !best_piv
+        in
+        if strictly_less || wins_tie then begin
+          if t < !t_best then t_best := t;
+          leave := Leave (r, side);
+          best_piv := abs_float a;
+          leave_var := v
+        end
+      in
+      let below = xr < lr -. feas_tol and above = xr > ur +. feas_tol in
+      if (not below) && not above then begin
+        if delta < 0.0 && lr > neg_infinity then
+          candidate ((xr -. lr) /. -.delta) `Lower
+        else if delta > 0.0 && ur < infinity then
+          candidate ((ur -. xr) /. delta) `Upper
+      end
+      else if phase1 then begin
+        if below && delta > 0.0 then candidate ((lr -. xr) /. delta) `Lower
+        else if above && delta < 0.0 then candidate ((xr -. ur) /. -.delta) `Upper
+      end
+    end
+  done;
+  if !t_best = infinity then None else Some (!t_best, !leave)
+
+(* Apply a step of length t along entering variable j / direction dir. *)
+let apply_step st j dir t leave =
+  let m = st.p.m in
+  (* move basics *)
+  for r = 0 to m - 1 do
+    let a = st.alpha.(r) in
+    if a <> 0.0 then begin
+      let v = st.basic_var.(r) in
+      st.x.(v) <- st.x.(v) -. (a *. dir *. t)
+    end
+  done;
+  match leave with
+  | Bound_flip ->
+    (match st.vstat.(j) with
+    | At_lower ->
+      st.vstat.(j) <- At_upper;
+      st.x.(j) <- st.ub.(j)
+    | At_upper ->
+      st.vstat.(j) <- At_lower;
+      st.x.(j) <- st.lb.(j)
+    | Free_nb | Basic ->
+      (* a free variable has no opposite bound: a flip step of finite
+         length can only come from a finite bound, so this is
+         unreachable for Free_nb; keep the value consistent anyway. *)
+      st.x.(j) <- st.x.(j) +. (dir *. t))
+  | Leave (r, side) ->
+    let v = st.basic_var.(r) in
+    (match side with
+    | `Lower ->
+      st.x.(v) <- st.lb.(v);
+      st.vstat.(v) <- At_lower
+    | `Upper ->
+      st.x.(v) <- st.ub.(v);
+      st.vstat.(v) <- At_upper);
+    st.in_row.(v) <- -1;
+    st.x.(j) <- st.x.(j) +. (dir *. t);
+    st.vstat.(j) <- Basic;
+    st.basic_var.(r) <- j;
+    st.in_row.(j) <- r;
+    (* binv := E * binv *)
+    let piv = st.alpha.(r) in
+    let pr = st.binv.(r) in
+    for k = 0 to m - 1 do
+      pr.(k) <- pr.(k) /. piv
+    done;
+    for i = 0 to m - 1 do
+      if i <> r then begin
+        let f = st.alpha.(i) in
+        if abs_float f > zero_tol then begin
+          let row = st.binv.(i) in
+          for k = 0 to m - 1 do
+            row.(k) <- row.(k) -. (f *. pr.(k))
+          done
+        end
+      end
+    done
+
+(* One simplex phase; [phase1] selects the infeasibility objective.
+   Returns [`Done] (phase-1 feasible / phase-2 optimal), [`Infeasible],
+   [`Unbounded] or [`Iteration_limit]. *)
+let run_phase st ~phase1 ~max_iterations =
+  let continue = ref true in
+  let result = ref `Done in
+  while !continue do
+    if st.iters >= max_iterations then begin
+      result := `Iteration_limit;
+      continue := false
+    end
+    else begin
+      if st.iters > 0 && st.iters mod st.refactor_every = 0 then refactorize st;
+      let inf = total_infeasibility st in
+      if phase1 && inf <= feas_tol then begin
+        result := `Done;
+        continue := false
+      end
+      else begin
+        (* multipliers for the current phase objective *)
+        if phase1 then begin
+          for r = 0 to st.p.m - 1 do
+            let v = st.basic_var.(r) in
+            let x = st.x.(v) in
+            st.c1.(r) <-
+              (if x < st.lb.(v) -. feas_tol then -1.0
+               else if x > st.ub.(v) +. feas_tol then 1.0
+               else 0.0)
+          done;
+          btran st st.c1
+        end
+        else begin
+          for r = 0 to st.p.m - 1 do
+            st.c1.(r) <- cost_of st st.basic_var.(r)
+          done;
+          btran st st.c1
+        end;
+        match choose_entering st ~phase1 with
+        | None ->
+          if phase1 && inf > feas_tol then result := `Infeasible
+          else result := `Done;
+          continue := false
+        | Some (j, dir) -> (
+          ftran st j;
+          match ratio_test st j dir ~phase1 with
+          | None ->
+            result := `Unbounded;
+            continue := false
+          | Some (t, leave) ->
+            apply_step st j dir t leave;
+            st.iters <- st.iters + 1;
+            if t <= 1e-10 then begin
+              st.degenerate_run <- st.degenerate_run + 1;
+              if st.degenerate_run > 80 then st.bland <- true
+            end
+            else begin
+              st.degenerate_run <- 0;
+              st.bland <- false
+            end)
+      end
+    end
+  done;
+  !result
+
+let default_iterations p = 20_000 + (60 * (p.n + p.m))
+
+let solve ?max_iterations ?lower ?upper p =
+  let max_iterations =
+    match max_iterations with Some k -> k | None -> default_iterations p
+  in
+  let n = p.n and m = p.m in
+  let nn = n + m in
+  let lb = Array.make nn 0.0 and ub = Array.make nn 0.0 in
+  for j = 0 to n - 1 do
+    lb.(j) <- (match lower with Some l -> l.(j) | None -> p.base_lb.(j));
+    ub.(j) <- (match upper with Some u -> u.(j) | None -> p.base_ub.(j))
+  done;
+  for r = 0 to m - 1 do
+    lb.(n + r) <- p.slack_lb.(r);
+    ub.(n + r) <- p.slack_ub.(r)
+  done;
+  let bounds_ok = ref true in
+  for j = 0 to nn - 1 do
+    if lb.(j) > ub.(j) +. 1e-12 then bounds_ok := false
+  done;
+  let empty_solution status =
+    {
+      status;
+      objective = nan;
+      primal = Array.make n 0.0;
+      duals = Array.make m 0.0;
+      reduced_costs = Array.make n 0.0;
+      iterations = 0;
+    }
+  in
+  if not !bounds_ok then empty_solution Infeasible
+  else begin
+    let st =
+      {
+        p;
+        nn;
+        lb;
+        ub;
+        c1 = Array.make (max m 1) 0.0;
+        x = Array.make nn 0.0;
+        vstat = Array.make nn At_lower;
+        basic_var = Array.init (max m 1) (fun r -> n + r);
+        in_row = Array.make nn (-1);
+        binv =
+          Array.init (max m 1) (fun r ->
+              Array.init (max m 1) (fun i -> if r = i then 1.0 else 0.0));
+        y = Array.make (max m 1) 0.0;
+        alpha = Array.make (max m 1) 0.0;
+        iters = 0;
+        degenerate_run = 0;
+        bland = false;
+        refactor_every = 256;
+      }
+    in
+    (* (re)start from the all-slack basis; used both for the initial
+       start and to recover from a numerically singular basis *)
+    let reset_to_slack_basis () =
+      for j = 0 to nn - 1 do
+        st.in_row.(j) <- -1
+      done;
+      for r = 0 to m - 1 do
+        st.basic_var.(r) <- n + r;
+        st.in_row.(n + r) <- r;
+        let row = st.binv.(r) in
+        Array.fill row 0 m 0.0;
+        row.(r) <- 1.0
+      done;
+      for j = 0 to n - 1 do
+        let l = lb.(j) and u = ub.(j) in
+        if l > neg_infinity && u < infinity then
+          if abs_float l <= abs_float u then begin
+            st.vstat.(j) <- At_lower;
+            st.x.(j) <- l
+          end
+          else begin
+            st.vstat.(j) <- At_upper;
+            st.x.(j) <- u
+          end
+        else if l > neg_infinity then begin
+          st.vstat.(j) <- At_lower;
+          st.x.(j) <- l
+        end
+        else if u < infinity then begin
+          st.vstat.(j) <- At_upper;
+          st.x.(j) <- u
+        end
+        else begin
+          st.vstat.(j) <- Free_nb;
+          st.x.(j) <- 0.0
+        end
+      done;
+      for r = 0 to m - 1 do
+        st.vstat.(n + r) <- Basic
+      done;
+      recompute_basics st
+    in
+    reset_to_slack_basis ();
+    let finish status =
+      (* multipliers for the true objective at the final basis *)
+      for r = 0 to m - 1 do
+        st.c1.(r) <- cost_of st st.basic_var.(r)
+      done;
+      btran st st.c1;
+      let primal = Array.sub st.x 0 n in
+      let obj_min =
+        let acc = ref 0.0 in
+        for j = 0 to n - 1 do
+          acc := !acc +. (p.cost.(j) *. primal.(j))
+        done;
+        !acc
+      in
+      let sign = if p.maximize then -1.0 else 1.0 in
+      let duals = Array.init m (fun r -> sign *. st.y.(r)) in
+      let reduced_costs =
+        Array.init n (fun j -> reduced_cost st j p.cost.(j))
+      in
+      {
+        status;
+        objective = sign *. obj_min;
+        primal;
+        duals;
+        reduced_costs;
+        iterations = st.iters;
+      }
+    in
+    let run () =
+      match
+        if total_infeasibility st > feas_tol then
+          run_phase st ~phase1:true ~max_iterations
+        else `Done
+      with
+      | `Infeasible -> finish Infeasible
+      | `Unbounded ->
+        (* phase 1 cannot be unbounded: its objective is bounded below
+           by zero, and every improving direction hits an infeasible
+           basic's violated bound. *)
+        assert false
+      | `Iteration_limit -> finish Iteration_limit
+      | `Done -> (
+        st.bland <- false;
+        st.degenerate_run <- 0;
+        match run_phase st ~phase1:false ~max_iterations with
+        | `Done -> finish Optimal
+        | `Unbounded -> finish Unbounded
+        | `Infeasible -> finish Infeasible
+        | `Iteration_limit -> finish Iteration_limit)
+    in
+    (* numerical recovery: a singular basis (accumulated inverse drift
+       or a degenerate pivot sequence) restarts from the slack basis
+       under Bland's rule with more frequent refactorization; a second
+       failure gives up with Iteration_limit *)
+    match run () with
+    | sol -> sol
+    | exception Singular_basis -> (
+      reset_to_slack_basis ();
+      st.bland <- true;
+      st.degenerate_run <- 0;
+      st.refactor_every <- 64;
+      match run () with
+      | sol -> sol
+      | exception Singular_basis -> finish Iteration_limit)
+  end
+
+let solve_model ?max_iterations m = solve ?max_iterations (of_model m)

@@ -1,0 +1,66 @@
+(** Two-phase bounded-variable revised primal simplex.
+
+    Solves [min/max c.x] subject to the linear constraints and variable
+    bounds of a {!Model.t}, ignoring integrality (the LP relaxation).
+    The implementation keeps the constraint matrix as sparse columns
+    and maintains an explicit dense basis inverse with periodic
+    refactorization; variables may sit non-basic at either finite bound
+    (or at zero when free), which keeps the paper's formulations small
+    — e.g. the [δ_t ∈ [0,1]] variables of Linear program 2 consume no
+    rows.
+
+    Anti-cycling: after a run of degenerate pivots the pivot rule
+    falls back to Bland's rule until progress resumes. *)
+
+type problem
+(** A model preprocessed for repeated solves: sparse columns, slack
+    layout and right-hand sides. Bound overrides let {!Mip} re-solve
+    branch-and-bound nodes without rebuilding the matrix. *)
+
+type status =
+  | Optimal  (** proven optimal within tolerances *)
+  | Infeasible  (** phase 1 ended with positive infeasibility *)
+  | Unbounded  (** an improving ray was found in phase 2 *)
+  | Iteration_limit  (** gave up after [max_iterations] pivots *)
+
+type solution = {
+  status : status;
+  objective : float;
+      (** Objective value in the model's own direction; meaningful only
+          when [status = Optimal]. *)
+  primal : float array;
+      (** Value per structural variable, indexed by
+          {!Model.var_index}. *)
+  duals : float array;
+      (** Simplex multiplier per constraint row. Signs follow the
+          minimization form; for a [Maximize] model they are negated so
+          that weak duality holds in the model's direction. *)
+  reduced_costs : float array;
+      (** Reduced cost per structural variable (minimization form). *)
+  iterations : int;  (** Total pivots across both phases. *)
+}
+
+val of_model : Model.t -> problem
+(** Preprocess a model. Later changes to the model's constraints are
+    not reflected; bound changes must be passed via [solve]'s
+    overrides. *)
+
+val solve :
+  ?max_iterations:int ->
+  ?lower:float array ->
+  ?upper:float array ->
+  problem ->
+  solution
+(** Solve the LP relaxation. [lower]/[upper] (length = number of
+    structural variables) override the bounds captured by
+    {!of_model}. Default iteration budget scales with the instance
+    size. *)
+
+val solve_model : ?max_iterations:int -> Model.t -> solution
+(** [solve_model m] is [solve (of_model m)]. *)
+
+val num_rows : problem -> int
+(** Number of constraint rows. *)
+
+val num_structural : problem -> int
+(** Number of structural (model) variables. *)

@@ -1,0 +1,1 @@
+lib/topology/pop.ml: Array Fun List Monpos_graph Monpos_util Printf

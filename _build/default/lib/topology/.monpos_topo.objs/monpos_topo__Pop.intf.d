@@ -1,0 +1,1 @@
+lib/topology/pop.mli: Monpos_graph

@@ -1,0 +1,1 @@
+lib/topology/synthetic.ml: Array Monpos_graph Monpos_util

@@ -1,0 +1,1 @@
+lib/topology/synthetic.mli: Monpos_graph

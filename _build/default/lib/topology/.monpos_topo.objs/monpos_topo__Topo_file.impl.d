@@ -1,0 +1,1 @@
+lib/topology/topo_file.ml: Array Buffer Hashtbl In_channel List Monpos_graph Pop Printf String

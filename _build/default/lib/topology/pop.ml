@@ -1,0 +1,130 @@
+module Graph = Monpos_graph.Graph
+module Prng = Monpos_util.Prng
+
+type role = Backbone | Access | Customer | Peer
+
+type t = { graph : Graph.t; roles : role array; name : string }
+
+type params = {
+  backbone : int;
+  access : int;
+  router_links : int;
+  endpoints : int;
+  peers : int;
+}
+
+let ring_links backbone =
+  if backbone <= 1 then 0 else if backbone = 2 then 1 else backbone
+
+let generate ?(name = "pop") params ~seed =
+  let { backbone; access; router_links; endpoints; peers } = params in
+  if backbone < 1 then invalid_arg "Pop.generate: backbone < 1";
+  if access < 0 || endpoints < 0 || peers < 0 || peers > endpoints then
+    invalid_arg "Pop.generate: bad counts";
+  let min_links = ring_links backbone + access in
+  if router_links < min_links then
+    invalid_arg "Pop.generate: router_links below connectivity minimum";
+  let nrouters = backbone + access in
+  let max_links = nrouters * (nrouters - 1) / 2 in
+  if router_links > max_links then
+    invalid_arg "Pop.generate: router_links above simple-graph maximum";
+  let rng = Prng.create seed in
+  let g = Graph.create () in
+  let roles = Array.make (nrouters + endpoints) Backbone in
+  for i = 0 to backbone - 1 do
+    let v = Graph.add_node ~label:(Printf.sprintf "bb%d" i) g in
+    roles.(v) <- Backbone
+  done;
+  for i = 0 to access - 1 do
+    let v = Graph.add_node ~label:(Printf.sprintf "ar%d" i) g in
+    roles.(v) <- Access
+  done;
+  (* backbone ring *)
+  if backbone = 2 then ignore (Graph.add_edge g 0 1)
+  else if backbone >= 3 then
+    for i = 0 to backbone - 1 do
+      ignore (Graph.add_edge g i ((i + 1) mod backbone))
+    done;
+  (* one uplink per access router *)
+  for i = 0 to access - 1 do
+    let ar = backbone + i in
+    ignore (Graph.add_edge g ar (Prng.int rng backbone))
+  done;
+  (* extra router links: dual-homing (70%) or backbone chords (30%) *)
+  let current = ref (ring_links backbone + access) in
+  let guard = ref 0 in
+  while !current < router_links && !guard < 100_000 do
+    incr guard;
+    let u, v =
+      if access > 0 && (backbone < 2 || Prng.float rng 1.0 < 0.7) then
+        (backbone + Prng.int rng access, Prng.int rng backbone)
+      else if backbone >= 2 then
+        (Prng.int rng backbone, Prng.int rng backbone)
+      else (Prng.int rng nrouters, Prng.int rng nrouters)
+    in
+    if u <> v && not (Graph.has_edge g u v) then begin
+      ignore (Graph.add_edge g u v);
+      incr current
+    end
+  done;
+  (* fall back to arbitrary router pairs if rejection sampling stalled *)
+  if !current < router_links then begin
+    for u = 0 to nrouters - 1 do
+      for v = u + 1 to nrouters - 1 do
+        if !current < router_links && not (Graph.has_edge g u v) then begin
+          ignore (Graph.add_edge g u v);
+          incr current
+        end
+      done
+    done
+  end;
+  (* endpoints: peers on backbone routers, customers on access (or
+     backbone when there is no access tier) *)
+  for i = 0 to endpoints - 1 do
+    let is_peer = i < peers in
+    let label = if is_peer then Printf.sprintf "peer%d" i else Printf.sprintf "cust%d" (i - peers) in
+    let v = Graph.add_node ~label g in
+    roles.(v) <- (if is_peer then Peer else Customer);
+    let attach =
+      if is_peer || access = 0 then Prng.int rng backbone
+      else backbone + Prng.int rng access
+    in
+    ignore (Graph.add_edge g v attach)
+  done;
+  { graph = g; roles; name }
+
+let preset = function
+  | `Pop10 ->
+    { backbone = 4; access = 6; router_links = 15; endpoints = 12; peers = 2 }
+  | `Pop15 ->
+    { backbone = 5; access = 10; router_links = 26; endpoints = 45; peers = 3 }
+  | `Pop29 ->
+    { backbone = 8; access = 21; router_links = 55; endpoints = 30; peers = 4 }
+  | `Pop80 ->
+    { backbone = 20; access = 60; router_links = 160; endpoints = 60; peers = 8 }
+
+let preset_name = function
+  | `Pop10 -> "pop10"
+  | `Pop15 -> "pop15"
+  | `Pop29 -> "pop29"
+  | `Pop80 -> "pop80"
+
+let make_preset p ~seed = generate ~name:(preset_name p) (preset p) ~seed
+
+let is_router t v =
+  match t.roles.(v) with Backbone | Access -> true | Customer | Peer -> false
+
+let routers t =
+  List.filter (is_router t) (List.init (Graph.num_nodes t.graph) Fun.id)
+
+let endpoints t =
+  List.filter
+    (fun v -> not (is_router t v))
+    (List.init (Graph.num_nodes t.graph) Fun.id)
+
+let num_routers t = List.length (routers t)
+
+let router_link_count t =
+  Graph.fold_edges
+    (fun _ u v acc -> if is_router t u && is_router t v then acc + 1 else acc)
+    t.graph 0

@@ -1,0 +1,63 @@
+module Graph = Monpos_graph.Graph
+module Prng = Monpos_util.Prng
+
+let ring n =
+  assert (n >= 3);
+  let g = Graph.create ~num_nodes:n () in
+  for i = 0 to n - 1 do
+    ignore (Graph.add_edge g i ((i + 1) mod n))
+  done;
+  g
+
+let grid rows cols =
+  assert (rows >= 1 && cols >= 1);
+  let g = Graph.create ~num_nodes:(rows * cols) () in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then ignore (Graph.add_edge g (id r c) (id r (c + 1)));
+      if r + 1 < rows then ignore (Graph.add_edge g (id r c) (id (r + 1) c))
+    done
+  done;
+  g
+
+let star n =
+  assert (n >= 1);
+  let g = Graph.create ~num_nodes:(n + 1) () in
+  for i = 1 to n do
+    ignore (Graph.add_edge g 0 i)
+  done;
+  g
+
+let complete n =
+  assert (n >= 1);
+  let g = Graph.create ~num_nodes:n () in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      ignore (Graph.add_edge g u v)
+    done
+  done;
+  g
+
+let waxman ~n ~alpha ~beta ~seed =
+  assert (n >= 2);
+  let rng = Prng.create seed in
+  let xs = Array.init n (fun _ -> Prng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Prng.float rng 1.0) in
+  let dist u v = sqrt (((xs.(u) -. xs.(v)) ** 2.0) +. ((ys.(u) -. ys.(v)) ** 2.0)) in
+  let g = Graph.create ~num_nodes:n () in
+  (* spanning tree for connectivity: attach each node to a random
+     earlier node *)
+  for v = 1 to n - 1 do
+    ignore (Graph.add_edge g (Prng.int rng v) v)
+  done;
+  let l = sqrt 2.0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Graph.has_edge g u v) then begin
+        let p = alpha *. exp (-.dist u v /. (beta *. l)) in
+        if Prng.float rng 1.0 < p then ignore (Graph.add_edge g u v)
+      end
+    done
+  done;
+  g

@@ -1,0 +1,24 @@
+(** Synthetic test topologies.
+
+    Simple parametric graphs used by the test suite and by ablation
+    benches; they are not POPs (no roles) but plain {!Monpos_graph.Graph.t}
+    values. *)
+
+val ring : int -> Monpos_graph.Graph.t
+(** Cycle on [n >= 3] nodes. *)
+
+val grid : int -> int -> Monpos_graph.Graph.t
+(** [grid rows cols] 4-neighbour mesh. *)
+
+val star : int -> Monpos_graph.Graph.t
+(** Hub node 0 with [n] leaves. *)
+
+val complete : int -> Monpos_graph.Graph.t
+(** Clique on [n] nodes. *)
+
+val waxman :
+  n:int -> alpha:float -> beta:float -> seed:int -> Monpos_graph.Graph.t
+(** Waxman random graph: nodes placed uniformly in the unit square,
+    edge (u,v) with probability [alpha * exp (-d(u,v) / (beta * L))].
+    A spanning tree is added first so the result is always
+    connected. *)

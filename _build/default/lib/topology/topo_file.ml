@@ -1,0 +1,186 @@
+module Graph = Monpos_graph.Graph
+
+let role_of_string = function
+  | "backbone" -> Some Pop.Backbone
+  | "access" -> Some Pop.Access
+  | "customer" -> Some Pop.Customer
+  | "peer" -> Some Pop.Peer
+  | _ -> None
+
+let string_of_role = function
+  | Pop.Backbone -> "backbone"
+  | Pop.Access -> "access"
+  | Pop.Customer -> "customer"
+  | Pop.Peer -> "peer"
+
+let parse text =
+  let g = Graph.create () in
+  let roles = ref [] in
+  let ids = Hashtbl.create 32 in
+  let name = ref "file" in
+  let error = ref None in
+  let fail lineno msg =
+    if !error = None then
+      error := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> ()
+      | [ "name"; n ] -> name := n
+      | [ "node"; n; role ] -> (
+        if Hashtbl.mem ids n then fail lineno (Printf.sprintf "duplicate node %S" n)
+        else
+          match role_of_string role with
+          | None -> fail lineno (Printf.sprintf "unknown role %S" role)
+          | Some r ->
+            let v = Graph.add_node ~label:n g in
+            Hashtbl.replace ids n v;
+            roles := r :: !roles)
+      | [ "link"; a; b ] -> (
+        match (Hashtbl.find_opt ids a, Hashtbl.find_opt ids b) with
+        | Some u, Some v ->
+          if u = v then fail lineno "self-loop link"
+          else ignore (Graph.add_edge g u v)
+        | None, _ -> fail lineno (Printf.sprintf "unknown node %S" a)
+        | _, None -> fail lineno (Printf.sprintf "unknown node %S" b))
+      | w :: _ -> fail lineno (Printf.sprintf "unknown directive %S" w))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    let roles = Array.of_list (List.rev !roles) in
+    (* endpoints must be degree-1 leaves for Pop invariants *)
+    let ok = ref (Ok ()) in
+    Array.iteri
+      (fun v r ->
+        match r with
+        | Pop.Customer | Pop.Peer ->
+          if Graph.degree g v <> 1 then
+            ok :=
+              Error
+                (Printf.sprintf "endpoint %S must have exactly one link"
+                   (Graph.label g v))
+        | Pop.Backbone | Pop.Access -> ())
+      roles;
+    (match !ok with
+    | Error e -> Error e
+    | Ok () -> Ok { Pop.graph = g; roles; name = !name })
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents -> parse contents
+
+let to_string (pop : Pop.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "name %s\n" pop.Pop.name);
+  for v = 0 to Graph.num_nodes pop.Pop.graph - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "node %s %s\n"
+         (Graph.label pop.Pop.graph v)
+         (string_of_role pop.Pop.roles.(v)))
+  done;
+  Graph.iter_edges
+    (fun _ u v ->
+      Buffer.add_string buf
+        (Printf.sprintf "link %s %s\n"
+           (Graph.label pop.Pop.graph u)
+           (Graph.label pop.Pop.graph v)))
+    pop.Pop.graph;
+  Buffer.contents buf
+
+let backbone_11 =
+  {|# A national-backbone shape: two parallel east-west spines bridged
+# at three cities, with access stubs and customers.
+name backbone-11
+node nyc backbone
+node chi backbone
+node den backbone
+node sfo backbone
+node dca backbone
+node atl backbone
+node hou backbone
+node lax backbone
+node bos access
+node sea access
+node mia access
+node cust-bos customer
+node cust-sea customer
+node cust-mia customer
+node peer-east peer
+node peer-west peer
+link nyc chi
+link chi den
+link den sfo
+link dca atl
+link atl hou
+link hou lax
+link nyc dca
+link chi atl
+link den hou
+link sfo lax
+link bos nyc
+link sea sfo
+link mia atl
+link cust-bos bos
+link cust-sea sea
+link cust-mia mia
+link peer-east nyc
+link peer-west lax
+|}
+
+let metro_7 =
+  {|# A metro POP: 3-router core triangle, 4 access routers, customers.
+name metro-7
+node core1 backbone
+node core2 backbone
+node core3 backbone
+node acc1 access
+node acc2 access
+node acc3 access
+node acc4 access
+node c1 customer
+node c2 customer
+node c3 customer
+node c4 customer
+node c5 customer
+node up peer
+link core1 core2
+link core2 core3
+link core3 core1
+link acc1 core1
+link acc1 core2
+link acc2 core2
+link acc3 core3
+link acc3 core1
+link acc4 core3
+link c1 acc1
+link c2 acc2
+link c3 acc3
+link c4 acc4
+link c5 acc2
+link up core1
+|}
+
+let samples = [ ("backbone-11", backbone_11); ("metro-7", metro_7) ]
+
+let load_sample name =
+  match List.assoc_opt name samples with
+  | None -> invalid_arg (Printf.sprintf "Topo_file.load_sample: unknown %S" name)
+  | Some text -> (
+    match parse text with
+    | Ok pop -> pop
+    | Error e ->
+      invalid_arg (Printf.sprintf "Topo_file.load_sample: %s: %s" name e))

@@ -1,0 +1,37 @@
+(** Textual POP/AS topology format.
+
+    The paper evaluates on topologies inferred by Rocketfuel, whose
+    data files are not redistributable; this module provides the
+    equivalent workflow — load a measured topology from disk — with a
+    small self-describing format, plus embedded sample topologies
+    shaped like published ISP maps (see {!samples}).
+
+    Format, one directive per line ([#] starts a comment):
+    {v
+    node <name> <role>        role: backbone | access | customer | peer
+    link <name> <name>
+    v}
+    Node order defines node ids; links refer to declared nodes. *)
+
+val parse : string -> (Pop.t, string) result
+(** Parse a topology from its textual representation. Errors carry a
+    line number and reason. The resulting {!Pop.t} has name "file"
+    unless a [name <string>] directive appears. *)
+
+val parse_file : string -> (Pop.t, string) result
+(** {!parse} on a file's contents; IO errors are reported in the
+    [Error] case. *)
+
+val to_string : Pop.t -> string
+(** Serialize a POP back to the format (round-trips with {!parse} up
+    to comments). *)
+
+val samples : (string * string) list
+(** Embedded example topologies [(name, contents)]: a small national
+    backbone ("backbone-11", 11 routers in a ladder with stubs) and a
+    metro POP ("metro-7"). Both parse, are connected, and are used in
+    tests and examples as stand-ins for Rocketfuel files. *)
+
+val load_sample : string -> Pop.t
+(** Parse one of {!samples} by name. Raises [Invalid_argument] on an
+    unknown name (programming error: sample names are static). *)

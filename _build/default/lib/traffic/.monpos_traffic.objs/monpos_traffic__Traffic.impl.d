@@ -1,0 +1,1 @@
+lib/traffic/traffic.ml: Array List Monpos_graph Monpos_util

@@ -1,0 +1,1 @@
+lib/traffic/traffic.mli: Monpos_graph

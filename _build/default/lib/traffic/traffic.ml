@@ -1,0 +1,167 @@
+module Graph = Monpos_graph.Graph
+module Paths = Monpos_graph.Paths
+module Prng = Monpos_util.Prng
+
+type route = { path : Paths.path; volume : float }
+
+type demand = {
+  src : Graph.node;
+  dst : Graph.node;
+  volume : float;
+  routes : route list;
+}
+
+type matrix = demand array
+
+type gen_params = {
+  hot_pairs : int;
+  hot_factor : float;
+  pareto_alpha : float;
+  base_volume : float;
+  max_ecmp_paths : int;
+}
+
+let default_gen =
+  {
+    hot_pairs = 4;
+    hot_factor = 20.0;
+    pareto_alpha = 1.3;
+    base_volume = 1.0;
+    max_ecmp_paths = 1;
+  }
+
+let unit_weight _ = 1.0
+
+let generate_pairs ?(params = default_gen) g ~pairs ~seed =
+  let rng = Prng.create seed in
+  let pairs = Array.of_list pairs in
+  let npairs = Array.length pairs in
+  (* preferred high-traffic pairs *)
+  let hot = Array.make npairs false in
+  if params.hot_pairs > 0 && npairs > 0 then
+    List.iter
+      (fun i -> hot.(i) <- true)
+      (Prng.sample_without_replacement rng (min params.hot_pairs npairs) npairs);
+  let demands = ref [] in
+  Array.iteri
+    (fun i (src, dst) ->
+      let volume =
+        let v = Prng.pareto rng ~alpha:params.pareto_alpha ~xmin:params.base_volume in
+        if hot.(i) then v *. params.hot_factor else v
+      in
+      let routes =
+        if params.max_ecmp_paths <= 1 then
+          match Paths.shortest_path g ~weight:unit_weight src dst with
+          | None -> []
+          | Some p -> [ { path = p; volume } ]
+        else begin
+          let ps =
+            Paths.all_shortest_paths g ~weight:unit_weight
+              ~max_paths:params.max_ecmp_paths src dst
+          in
+          let k = List.length ps in
+          if k = 0 then []
+          else begin
+            let share = volume /. float_of_int k in
+            List.map (fun p -> { path = p; volume = share }) ps
+          end
+        end
+      in
+      if routes <> [] then demands := { src; dst; volume; routes } :: !demands)
+    pairs;
+  Array.of_list (List.rev !demands)
+
+let generate ?params g ~endpoints ~seed =
+  let pairs =
+    List.concat_map
+      (fun s -> List.filter_map (fun t -> if s <> t then Some (s, t) else None) endpoints)
+      endpoints
+  in
+  generate_pairs ?params g ~pairs ~seed
+
+let generate_gravity ?(pareto_alpha = 1.2) ?(total_volume = 1000.0)
+    ?(max_ecmp_paths = 1) g ~endpoints ~seed =
+  let rng = Prng.create seed in
+  let eps = Array.of_list endpoints in
+  let masses =
+    Array.map (fun _ -> Prng.pareto rng ~alpha:pareto_alpha ~xmin:1.0) eps
+  in
+  let total_mass = Monpos_util.Stats.sum masses in
+  let demands = ref [] in
+  Array.iteri
+    (fun i src ->
+      Array.iteri
+        (fun j dst ->
+          if i <> j then begin
+            let volume =
+              total_volume *. masses.(i) *. masses.(j)
+              /. (total_mass *. total_mass)
+            in
+            let routes =
+              if max_ecmp_paths <= 1 then
+                match Paths.shortest_path g ~weight:unit_weight src dst with
+                | None -> []
+                | Some p -> [ { path = p; volume } ]
+              else begin
+                let ps =
+                  Paths.all_shortest_paths g ~weight:unit_weight
+                    ~max_paths:max_ecmp_paths src dst
+                in
+                let k = List.length ps in
+                if k = 0 then []
+                else begin
+                  let share = volume /. float_of_int k in
+                  List.map (fun p -> { path = p; volume = share }) ps
+                end
+              end
+            in
+            if routes <> [] && volume > 0.0 then
+              demands := { src; dst; volume; routes } :: !demands
+          end)
+        eps)
+    eps;
+  Array.of_list (List.rev !demands)
+
+let total_volume m = Monpos_util.Stats.sum (Array.map (fun d -> d.volume) m)
+
+let loads g m =
+  let loads = Array.make (Graph.num_edges g) 0.0 in
+  Array.iter
+    (fun d ->
+      List.iter
+        (fun (r : route) ->
+          List.iter
+            (fun e -> loads.(e) <- loads.(e) +. r.volume)
+            r.path.Paths.edges)
+        d.routes)
+    m;
+  loads
+
+let demand_edges d =
+  List.concat_map (fun r -> r.path.Paths.edges) d.routes
+  |> List.sort_uniq compare
+
+let scale_volumes m ~factor =
+  Array.mapi
+    (fun i d ->
+      let f = factor i in
+      {
+        d with
+        volume = d.volume *. f;
+        routes =
+          List.map (fun (r : route) -> { r with volume = r.volume *. f }) d.routes;
+      })
+    m
+
+let drift m ~seed ~sigma =
+  let rng = Prng.create seed in
+  let factors =
+    Array.init (Array.length m) (fun _ ->
+        (* Irwin-Hall(12) - 6 approximates a standard normal *)
+        let z = ref (-6.0) in
+        for _ = 1 to 12 do
+          z := !z +. Prng.float rng 1.0
+        done;
+        exp (sigma *. !z))
+  in
+  scale_volumes m ~factor:(fun i -> factors.(i))

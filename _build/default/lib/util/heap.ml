@@ -1,0 +1,72 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { keys = Array.make 16 0.0; data = [||]; len = 0 }
+
+let is_empty h = h.len = 0
+
+let size h = h.len
+
+let grow h v =
+  let cap = Array.length h.keys in
+  if h.len >= cap then begin
+    let keys = Array.make (2 * cap) 0.0 in
+    Array.blit h.keys 0 keys 0 h.len;
+    h.keys <- keys;
+    let data = Array.make (2 * cap) v in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end;
+  if Array.length h.data = 0 then h.data <- Array.make (Array.length h.keys) v
+
+let swap h i j =
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let d = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- d
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(parent) > h.keys.(i) then begin
+      swap h parent i;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.len && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h key v =
+  grow h v;
+  h.keys.(h.len) <- key;
+  h.data.(h.len) <- v;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let key = h.keys.(0) and v = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.keys.(0) <- h.keys.(h.len);
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some (key, v)
+  end
+
+let clear h = h.len <- 0

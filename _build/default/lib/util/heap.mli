@@ -1,0 +1,29 @@
+(** Binary min-heap keyed by floats.
+
+    Used as the priority queue of Dijkstra-style searches and of the
+    successive-shortest-path min-cost-flow solver. Elements are plain
+    payloads; the heap does not support decrease-key, callers insert
+    duplicates and skip stale pops (the standard lazy-deletion idiom,
+    which is faster in practice for sparse graphs). *)
+
+type 'a t
+(** Mutable heap of ['a] payloads with float keys. *)
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is true iff [h] has no element. *)
+
+val size : 'a t -> int
+(** Number of stored elements (including stale duplicates). *)
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Removes and returns the element with the smallest key, or [None]
+    if the heap is empty. Ties are broken arbitrarily. *)
+
+val clear : 'a t -> unit
+(** Removes every element. *)

@@ -1,0 +1,23 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. on the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0. on arrays shorter than 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation
+    between order statistics. Requires a non-empty array. *)
+
+val minimum : float array -> float
+(** Smallest value. Requires a non-empty array. *)
+
+val maximum : float array -> float
+(** Largest value. Requires a non-empty array. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)
+
+val mean_int : int array -> float
+(** Mean of integers; 0. on the empty array. *)

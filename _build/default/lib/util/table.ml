@@ -1,0 +1,30 @@
+let pad cell width = cell ^ String.make (width - String.length cell) ' '
+
+let render ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let line cells =
+    String.concat "  " (List.mapi (fun i c -> pad c widths.(i)) cells)
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((line header :: sep :: body) @ [ "" ])
+
+let print ~header rows = print_string (render ~header rows)
+
+let float_cell ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x

@@ -1,0 +1,17 @@
+(** Plain-text table rendering for bench and example output.
+
+    The bench harness prints every reproduced figure as an aligned
+    text table (one row per x-axis point, one column per series),
+    mirroring the rows/series of the paper's plots. *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with right-padded columns
+    and a separator line under the header. Rows shorter than the header
+    are padded with empty cells. *)
+
+val print : header:string list -> string list list -> unit
+(** [print ~header rows] writes {!render} to standard output. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point rendering used for volume/ratio columns (2 decimals by
+    default). *)

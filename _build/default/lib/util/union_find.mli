@@ -1,0 +1,23 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used by the topology generators to guarantee connectivity and by
+    graph algorithms (spanning-tree construction). *)
+
+type t
+(** Mutable partition of [\[0, n)]. *)
+
+val create : int -> t
+(** [create n] is the partition of [\[0, n)] into singletons. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's class. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the classes of [a] and [b]. Returns [false]
+    iff they were already in the same class. *)
+
+val same : t -> int -> int -> bool
+(** True iff the two elements share a class. *)
+
+val count : t -> int
+(** Current number of classes. *)

@@ -1,0 +1,1 @@
+test/test_active.ml: Alcotest Array Fun List Monpos Monpos_graph Monpos_topo Monpos_util Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_campaign.ml: Alcotest Array List Monpos Monpos_graph Monpos_lp Monpos_topo Monpos_traffic Monpos_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cover.ml: Alcotest Array Fun List Monpos_cover Monpos_graph Monpos_util QCheck2 QCheck_alcotest

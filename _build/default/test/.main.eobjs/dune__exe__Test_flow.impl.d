@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array List Monpos_flow Monpos_lp Monpos_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Astring Fun List Monpos_graph Monpos_util Option QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Array Fun List Monpos Monpos_cover Monpos_graph Monpos_topo Monpos_traffic Monpos_util QCheck2 QCheck_alcotest

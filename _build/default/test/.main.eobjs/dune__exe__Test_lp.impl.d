@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Astring Float List Monpos_lp Monpos_util QCheck2 QCheck_alcotest

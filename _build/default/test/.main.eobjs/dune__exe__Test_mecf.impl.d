@@ -1,0 +1,1 @@
+test/test_mecf.ml: Alcotest Fun List Monpos Monpos_graph Monpos_topo Monpos_traffic Monpos_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mip.ml: Alcotest Array List Monpos_lp Monpos_util Option QCheck2 QCheck_alcotest

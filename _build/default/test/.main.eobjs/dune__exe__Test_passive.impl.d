@@ -1,0 +1,1 @@
+test/test_passive.ml: Alcotest List Monpos Monpos_graph Monpos_topo Monpos_util QCheck2 QCheck_alcotest

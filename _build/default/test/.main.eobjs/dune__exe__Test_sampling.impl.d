@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Fun List Monpos Monpos_graph Monpos_lp Monpos_topo Monpos_util QCheck2 QCheck_alcotest

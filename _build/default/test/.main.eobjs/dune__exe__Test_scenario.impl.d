@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array List Monpos Monpos_topo Monpos_traffic

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Astring List Monpos_graph Monpos_topo Monpos_util Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array List Monpos_graph Monpos_topo Monpos_traffic Monpos_util Option QCheck2 QCheck_alcotest

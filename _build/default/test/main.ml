@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "monpos"
+    [
+      ("util", Test_util.suite);
+      ("lp.simplex", Test_lp.suite);
+      ("lp.mip", Test_mip.suite);
+      ("graph", Test_graph.suite);
+      ("flow", Test_flow.suite);
+      ("cover", Test_cover.suite);
+      ("topology", Test_topology.suite);
+      ("traffic", Test_traffic.suite);
+      ("instance", Test_instance.suite);
+      ("passive", Test_passive.suite);
+      ("campaign", Test_campaign.suite);
+      ("mecf", Test_mecf.suite);
+      ("sampling", Test_sampling.suite);
+      ("active", Test_active.suite);
+      ("scenario", Test_scenario.suite);
+    ]

@@ -1,0 +1,208 @@
+(* Active monitoring tests: probe computation covers all coverable
+   links, placements are valid covers, ILP <= greedy <= thiran, ILP
+   matches brute force on small candidate sets. *)
+
+module Active = Monpos.Active
+module Pop = Monpos_topo.Pop
+module Synthetic = Monpos_topo.Synthetic
+module Graph = Monpos_graph.Graph
+module Paths = Monpos_graph.Paths
+module Prng = Monpos_util.Prng
+
+let probes_cover_links g probes expected =
+  let covered = Array.make (Graph.num_edges g) false in
+  List.iter
+    (fun (p : Active.probe) ->
+      List.iter (fun e -> covered.(e) <- true) p.Active.path.Paths.edges)
+    probes;
+  List.for_all (fun e -> covered.(e)) expected
+
+let test_probes_cover_ring () =
+  let g = Synthetic.ring 6 in
+  let candidates = [ 0; 3 ] in
+  let probes = Active.compute_probes g ~candidates in
+  let coverable = Active.coverable_links g ~candidates in
+  Alcotest.(check int) "ring fully coverable" 6 (List.length coverable);
+  Alcotest.(check bool) "probes cover coverable" true
+    (probes_cover_links g probes coverable);
+  (* all probe a-endpoints are candidates *)
+  List.iter
+    (fun (p : Active.probe) ->
+      Alcotest.(check bool) "endpoint_a candidate" true
+        (List.mem p.Active.endpoint_a candidates))
+    probes
+
+let test_probe_paths_are_shortest () =
+  let pop = Pop.make_preset `Pop15 ~seed:2 in
+  let g = pop.Pop.graph in
+  let candidates =
+    match Pop.routers pop with a :: b :: c :: _ -> [ a; b; c ] | _ -> []
+  in
+  let probes = Active.compute_probes g ~candidates in
+  List.iter
+    (fun (p : Active.probe) ->
+      let sp =
+        Option.get
+          (Paths.shortest_path g ~weight:(fun _ -> 1.0) p.Active.endpoint_a
+             p.Active.endpoint_b)
+      in
+      Alcotest.(check (float 1e-9)) "probe is a shortest path" sp.Paths.cost
+        p.Active.path.Paths.cost)
+    probes
+
+let test_placements_valid_and_ordered () =
+  let pop = Pop.make_preset `Pop15 ~seed:3 in
+  let g = pop.Pop.graph in
+  let routers = Array.of_list (Pop.routers pop) in
+  let rng = Prng.create 5 in
+  Prng.shuffle rng routers;
+  let candidates = List.sort compare (Array.to_list (Array.sub routers 0 8)) in
+  let probes = Active.compute_probes g ~candidates in
+  let t = Active.place_thiran probes ~candidates in
+  let gr = Active.place_greedy probes ~candidates in
+  let ilp = Active.place_ilp probes ~candidates in
+  List.iter
+    (fun (p : Active.placement) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s valid" p.Active.method_name)
+        true
+        (Active.validate probes ~beacons:p.Active.beacons ~candidates))
+    [ t; gr; ilp ];
+  Alcotest.(check bool) "ilp <= greedy" true
+    (List.length ilp.Active.beacons <= List.length gr.Active.beacons);
+  Alcotest.(check bool) "ilp <= thiran" true
+    (List.length ilp.Active.beacons <= List.length t.Active.beacons);
+  Alcotest.(check bool) "ilp proved" true ilp.Active.optimal
+
+let test_single_candidate () =
+  let g = Synthetic.star 5 in
+  let probes = Active.compute_probes g ~candidates:[ 0 ] in
+  Alcotest.(check bool) "some probes" true (probes <> []);
+  let ilp = Active.place_ilp probes ~candidates:[ 0 ] in
+  Alcotest.(check (list int)) "hub beacon" [ 0 ] ilp.Active.beacons;
+  let gr = Active.place_greedy probes ~candidates:[ 0 ] in
+  Alcotest.(check (list int)) "greedy hub" [ 0 ] gr.Active.beacons
+
+let test_probe_set_is_minimal_enough () =
+  (* compute_probes designates at most [redundancy] probes per covered
+     link (deduplicated), so the set stays linear in the link count *)
+  let pop = Pop.make_preset `Pop29 ~seed:4 in
+  let g = pop.Pop.graph in
+  let routers = Pop.routers pop in
+  let probes = Active.compute_probes g ~candidates:routers in
+  let coverable = Active.coverable_links g ~candidates:routers in
+  Alcotest.(check bool) "covers everything coverable" true
+    (probes_cover_links g probes coverable);
+  Alcotest.(check bool) "not absurdly many probes" true
+    (List.length probes <= 3 * List.length coverable);
+  (* redundancy 1 keeps it below one probe per link *)
+  let single = Active.compute_probes ~redundancy:1 g ~candidates:routers in
+  Alcotest.(check bool) "redundancy 1 bound" true
+    (List.length single <= List.length coverable);
+  Alcotest.(check bool) "redundancy 1 still covers" true
+    (probes_cover_links g single coverable)
+
+let test_overhead_accounting () =
+  let pop = Pop.make_preset `Pop15 ~seed:6 in
+  let g = pop.Pop.graph in
+  let candidates = Pop.routers pop in
+  let probes = Active.compute_probes ~targets:candidates g ~candidates in
+  let ilp = Active.place_ilp probes ~candidates in
+  let cost = Active.overhead probes ~beacons:ilp.Active.beacons in
+  Alcotest.(check int) "every probe is sent" (List.length probes)
+    cost.Active.messages;
+  let expected_hops =
+    List.fold_left
+      (fun acc (p : Active.probe) -> acc + List.length p.Active.path.Paths.edges)
+      0 probes
+  in
+  Alcotest.(check int) "hops add up" expected_hops cost.Active.hops;
+  let per_beacon_sum =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 cost.Active.per_beacon
+  in
+  Alcotest.(check int) "per-beacon counts sum to messages"
+    cost.Active.messages per_beacon_sum;
+  (* senders are beacons *)
+  List.iter
+    (fun (b, _) ->
+      Alcotest.(check bool) "sender is beacon" true
+        (List.mem b ilp.Active.beacons))
+    cost.Active.per_beacon
+
+let brute_force_vertex_cover probes candidates =
+  let cands = Array.of_list candidates in
+  let n = Array.length cands in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl n) - 1 do
+    let chosen =
+      List.filter_map
+        (fun i -> if mask land (1 lsl i) <> 0 then Some cands.(i) else None)
+        (List.init n Fun.id)
+    in
+    if
+      List.length chosen < !best
+      && List.for_all
+           (fun (p : Active.probe) ->
+             List.mem p.Active.endpoint_a chosen
+             || List.mem p.Active.endpoint_b chosen)
+           probes
+    then best := List.length chosen
+  done;
+  !best
+
+let prop_ilp_matches_brute_force =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"beacon ILP matches brute-force vertex cover"
+    ~count:15 gen (fun seed ->
+      let pop = Pop.make_preset `Pop10 ~seed:(1 + (seed mod 29)) in
+      let g = pop.Pop.graph in
+      let routers = Array.of_list (Pop.routers pop) in
+      let rng = Prng.create seed in
+      Prng.shuffle rng routers;
+      let vb_size = 2 + Prng.int rng 7 in
+      let candidates =
+        List.sort compare (Array.to_list (Array.sub routers 0 vb_size))
+      in
+      let probes = Active.compute_probes g ~candidates in
+      probes = []
+      ||
+      let ilp = Active.place_ilp probes ~candidates in
+      ilp.Active.optimal
+      && List.length ilp.Active.beacons = brute_force_vertex_cover probes candidates)
+
+let prop_greedy_between_ilp_and_thiran =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"ilp <= greedy placements always valid" ~count:15
+    gen (fun seed ->
+      let pop = Pop.make_preset `Pop15 ~seed:(1 + (seed mod 17)) in
+      let g = pop.Pop.graph in
+      let routers = Array.of_list (Pop.routers pop) in
+      let rng = Prng.create seed in
+      Prng.shuffle rng routers;
+      let vb_size = 2 + Prng.int rng 10 in
+      let candidates =
+        List.sort compare (Array.to_list (Array.sub routers 0 vb_size))
+      in
+      let probes = Active.compute_probes g ~candidates in
+      probes = []
+      ||
+      let t = Active.place_thiran probes ~candidates in
+      let gr = Active.place_greedy probes ~candidates in
+      let ilp = Active.place_ilp probes ~candidates in
+      Active.validate probes ~beacons:t.Active.beacons ~candidates
+      && Active.validate probes ~beacons:gr.Active.beacons ~candidates
+      && Active.validate probes ~beacons:ilp.Active.beacons ~candidates
+      && List.length ilp.Active.beacons <= List.length gr.Active.beacons
+      && List.length ilp.Active.beacons <= List.length t.Active.beacons)
+
+let suite =
+  [
+    Alcotest.test_case "probes cover ring" `Quick test_probes_cover_ring;
+    Alcotest.test_case "probe paths shortest" `Quick test_probe_paths_are_shortest;
+    Alcotest.test_case "placements valid" `Quick test_placements_valid_and_ordered;
+    Alcotest.test_case "single candidate" `Quick test_single_candidate;
+    Alcotest.test_case "probe set small" `Quick test_probe_set_is_minimal_enough;
+    Alcotest.test_case "overhead accounting" `Quick test_overhead_accounting;
+    QCheck_alcotest.to_alcotest prop_ilp_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_greedy_between_ilp_and_thiran;
+  ]

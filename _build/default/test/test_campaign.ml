@@ -1,0 +1,185 @@
+(* Measurement-campaign tests (§7 extension): re-routing never hurts
+   coverage, monitored demands prefer tapped paths, the joint MIP
+   dominates fixed-routing placement, and the sampling-aware variant
+   respects rate semantics. *)
+
+module Instance = Monpos.Instance
+module Passive = Monpos.Passive
+module Sampling = Monpos.Sampling
+module Campaign = Monpos.Campaign
+module Pop = Monpos_topo.Pop
+module Graph = Monpos_graph.Graph
+module Paths = Monpos_graph.Paths
+module Traffic = Monpos_traffic.Traffic
+module Prng = Monpos_util.Prng
+
+let pop10_instance seed =
+  Instance.of_pop (Pop.make_preset `Pop10 ~seed) ~seed:(seed * 3)
+
+(* a pop10 with traffic between only a few endpoints, keeping the
+   joint MIP (hundreds of binaries at full scale) test-sized *)
+let small_instance seed =
+  let pop = Pop.make_preset `Pop10 ~seed in
+  let endpoints =
+    match Pop.endpoints pop with
+    | a :: b :: c :: d :: _ -> [ a; b; c; d ]
+    | l -> l
+  in
+  let m = Traffic.generate pop.Monpos_topo.Pop.graph ~endpoints ~seed:(seed * 7) in
+  Instance.make pop.Monpos_topo.Pop.graph m
+
+(* diamond where the default route misses the monitor *)
+let diamond_instance () =
+  let g = Graph.create ~num_nodes:4 () in
+  let e01 = Graph.add_edge g 0 1 in
+  let _e13 = Graph.add_edge g 1 3 in
+  let e02 = Graph.add_edge g 0 2 in
+  let _e23 = Graph.add_edge g 2 3 in
+  ignore e01;
+  ignore e02;
+  let params =
+    { Traffic.default_gen with Traffic.hot_pairs = 0; max_ecmp_paths = 1 }
+  in
+  let m = Traffic.generate_pairs ~params g ~pairs:[ (0, 3) ] ~seed:5 in
+  Instance.make g m
+
+let test_reroute_diamond () =
+  let inst = diamond_instance () in
+  let d = inst.Instance.demands.(0) in
+  let current = (List.hd d.Traffic.routes).Traffic.path.Paths.edges in
+  (* monitor the branch the demand does NOT use *)
+  let other =
+    List.filter (fun e -> not (List.mem e current)) [ 0; 1; 2; 3 ]
+  in
+  let monitor = List.hd other in
+  let r = Campaign.reroute_for_monitors inst ~monitors:[ monitor ] in
+  Alcotest.(check (float 1e-9)) "before: unmonitored" 0.0 r.Campaign.coverage_before;
+  Alcotest.(check (float 1e-9)) "after: fully monitored" 1.0 r.Campaign.coverage_after;
+  Alcotest.(check int) "one move" 1 (List.length r.Campaign.moves);
+  let m = List.hd r.Campaign.moves in
+  Alcotest.(check bool) "new route crosses the tap" true
+    (List.mem monitor m.Campaign.new_edges);
+  Alcotest.(check bool) "gain positive" true (m.Campaign.gain > 0.0)
+
+let test_reroute_never_hurts () =
+  List.iter
+    (fun seed ->
+      let inst = pop10_instance seed in
+      let placement = Passive.solve_exact ~k:0.8 inst in
+      let r =
+        Campaign.reroute_for_monitors inst ~monitors:placement.Passive.monitors
+      in
+      Alcotest.(check bool) "coverage does not decrease" true
+        (r.Campaign.coverage_after >= r.Campaign.coverage_before -. 1e-9);
+      (* the rebuilt instance carries the same total volume *)
+      Alcotest.(check (float 1e-6)) "volume preserved"
+        inst.Instance.total_volume r.Campaign.instance.Instance.total_volume)
+    [ 1; 2; 3 ]
+
+let test_reroute_noop_when_everything_covered () =
+  let inst = Instance.figure3 () in
+  (* links 1 and 2 already cover everything; no move should fire
+     (moves only happen on strict improvement or tie-breaking to a
+     cheaper path of the same coverage) *)
+  let r = Campaign.reroute_for_monitors inst ~monitors:[ 1; 2 ] in
+  Alcotest.(check (float 1e-9)) "before full" 1.0 r.Campaign.coverage_before;
+  Alcotest.(check (float 1e-9)) "after full" 1.0 r.Campaign.coverage_after
+
+let test_reroute_for_rates () =
+  let inst = diamond_instance () in
+  let pb = Sampling.make_problem ~k:0.5 inst in
+  let d = inst.Instance.demands.(0) in
+  let current = (List.hd d.Traffic.routes).Traffic.path.Paths.edges in
+  let other =
+    List.filter (fun e -> not (List.mem e current)) [ 0; 1; 2; 3 ]
+  in
+  let rates = Array.make 4 0.0 in
+  rates.(List.hd other) <- 0.7;
+  let r = Campaign.reroute_for_rates pb ~rates in
+  Alcotest.(check (float 1e-9)) "before" 0.0 r.Campaign.coverage_before;
+  Alcotest.(check (float 1e-9)) "after = sampling rate" 0.7
+    r.Campaign.coverage_after
+
+let test_joint_placement_dominates_fixed_routing () =
+  List.iter
+    (fun seed ->
+      let inst = small_instance seed in
+      let fixed = Passive.solve_exact ~k:0.9 inst in
+      let joint, campaign =
+        Campaign.joint_placement ~k_paths:2 ~coverage:0.9
+          ~options:Monpos_lp.Mip.default_options inst
+      in
+      Alcotest.(check bool) "joint proved" true joint.Passive.optimal;
+      Alcotest.(check bool) "joint needs <= devices" true
+        (joint.Passive.count <= fixed.Passive.count);
+      Alcotest.(check bool) "coverage reached on rerouted instance" true
+        (campaign.Campaign.coverage_after >= 0.9 -. 1e-6))
+    [ 1; 2 ]
+
+let test_joint_placement_figure3 () =
+  (* with freedom to reroute, figure 3 needs at most 2 devices *)
+  let inst = Instance.figure3 () in
+  let joint, _ = Campaign.joint_placement ~coverage:1.0 inst in
+  Alcotest.(check bool) "at most 2" true (joint.Passive.count <= 2);
+  Alcotest.(check bool) "proved" true joint.Passive.optimal
+
+let test_randomized_rounding_feasible () =
+  List.iter
+    (fun seed ->
+      let inst = pop10_instance seed in
+      let rr = Passive.randomized_rounding ~k:0.9 ~seed inst in
+      Alcotest.(check bool) "feasible" true
+        (Passive.validate ~k:0.9 inst rr.Passive.monitors);
+      let e = Passive.solve_exact ~k:0.9 inst in
+      Alcotest.(check bool) "not better than optimal" true
+        (rr.Passive.count >= e.Passive.count))
+    [ 1; 2; 3 ]
+
+let test_randomized_rounding_deterministic () =
+  let inst = pop10_instance 4 in
+  let a = Passive.randomized_rounding ~k:0.85 ~seed:9 inst in
+  let b = Passive.randomized_rounding ~k:0.85 ~seed:9 inst in
+  Alcotest.(check (list int)) "same seed, same placement" a.Passive.monitors
+    b.Passive.monitors
+
+let prop_rounding_close_to_optimal =
+  let gen = QCheck2.Gen.int_range 1 1_000_000 in
+  QCheck2.Test.make ~name:"randomized rounding within 2x of optimal"
+    ~count:10 gen (fun seed ->
+      let inst = pop10_instance (1 + (seed mod 19)) in
+      let rng = Prng.create seed in
+      let k = 0.7 +. Prng.float rng 0.25 in
+      let rr = Passive.randomized_rounding ~k ~seed inst in
+      let e = Passive.solve_exact ~k inst in
+      Passive.validate ~k inst rr.Passive.monitors
+      && rr.Passive.count <= 2 * e.Passive.count)
+
+let prop_campaign_coverage_monotone_in_k_paths =
+  let gen = QCheck2.Gen.int_range 1 1_000_000 in
+  QCheck2.Test.make ~name:"more alternative paths never reduce campaign coverage"
+    ~count:10 gen (fun seed ->
+      let inst = pop10_instance (1 + (seed mod 11)) in
+      let placement = Passive.solve_exact ~k:0.75 inst in
+      let c1 =
+        Campaign.reroute_for_monitors ~k_paths:1 inst
+          ~monitors:placement.Passive.monitors
+      in
+      let c4 =
+        Campaign.reroute_for_monitors ~k_paths:4 inst
+          ~monitors:placement.Passive.monitors
+      in
+      c4.Campaign.coverage_after >= c1.Campaign.coverage_after -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "reroute diamond" `Quick test_reroute_diamond;
+    Alcotest.test_case "reroute never hurts" `Quick test_reroute_never_hurts;
+    Alcotest.test_case "reroute noop" `Quick test_reroute_noop_when_everything_covered;
+    Alcotest.test_case "reroute for rates" `Quick test_reroute_for_rates;
+    Alcotest.test_case "joint dominates fixed" `Slow test_joint_placement_dominates_fixed_routing;
+    Alcotest.test_case "joint figure3" `Quick test_joint_placement_figure3;
+    Alcotest.test_case "rounding feasible" `Quick test_randomized_rounding_feasible;
+    Alcotest.test_case "rounding deterministic" `Quick test_randomized_rounding_deterministic;
+    QCheck_alcotest.to_alcotest prop_rounding_close_to_optimal;
+    QCheck_alcotest.to_alcotest prop_campaign_coverage_monotone_in_k_paths;
+  ]

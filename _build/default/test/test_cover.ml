@@ -1,0 +1,270 @@
+(* Set-cover tests: greedy vs exact vs brute force, partial covers,
+   the Figure 3 greedy counterexample pattern, and both Theorem 1
+   reductions. *)
+
+module Cover = Monpos_cover.Cover
+module Graph = Monpos_graph.Graph
+module Prng = Monpos_util.Prng
+
+let mk ?weights sets = Cover.make ~num_items:(
+    1 + List.fold_left (fun acc s -> List.fold_left max acc s) 0
+          (Array.to_list sets))
+    ?weights sets
+
+let test_basic_cover () =
+  let inst = mk [| [ 0; 1 ]; [ 2; 3 ]; [ 0; 2 ]; [ 1; 3 ] |] in
+  let g = Cover.greedy inst in
+  Alcotest.(check bool) "greedy covers" true (Cover.is_cover inst g);
+  let e = Cover.exact inst in
+  Alcotest.(check bool) "exact covers" true (Cover.is_cover inst e);
+  Alcotest.(check int) "optimum 2" 2 (List.length e)
+
+let test_greedy_suboptimal_classic () =
+  (* classic lnN counterexample: greedy picks the big set first and
+     needs 3 sets where 2 suffice *)
+  let inst =
+    mk [| [ 0; 1; 3; 4 ]; [ 0; 1; 2 ]; [ 3; 4; 5 ] |]
+  in
+  let g = Cover.greedy inst in
+  let e = Cover.exact inst in
+  Alcotest.(check int) "greedy 3" 3 (List.length g);
+  Alcotest.(check int) "exact 2" 2 (List.length e)
+
+let test_figure3_counterexample () =
+  (* The paper's Figure 3: four traffics, two of weight 2 and two of
+     weight 1. The greedy takes the load-4 link first and ends with 3
+     monitors; the optimum uses the two load-3 links.
+     Sets(=links): l0 covers {t0,t1} (the two weight-2 traffics),
+     l1 covers {t0,t2}, l2 covers {t1,t3}, l3 covers {t2}, l4 covers
+     {t3}. *)
+  let weights = [| 2.0; 2.0; 1.0; 1.0 |] in
+  let inst =
+    Cover.make ~num_items:4 ~weights
+      [| [ 0; 1 ]; [ 0; 2 ]; [ 1; 3 ]; [ 2 ]; [ 3 ] |]
+  in
+  let g = Cover.greedy inst in
+  let e = Cover.exact inst in
+  Alcotest.(check int) "greedy uses 3" 3 (List.length g);
+  Alcotest.(check int) "optimum is 2" 2 (List.length e);
+  Alcotest.(check bool) "greedy starts with the heaviest link" true
+    (List.hd g = 0)
+
+let test_partial_cover () =
+  let weights = [| 10.0; 5.0; 1.0 |] in
+  let inst = Cover.make ~num_items:3 ~weights [| [ 0 ]; [ 1 ]; [ 2 ] |] in
+  (* covering 14/16 of the weight needs the two big singletons *)
+  let g = Cover.greedy ~target:14.0 inst in
+  Alcotest.(check int) "greedy picks 2" 2 (List.length g);
+  let e = Cover.exact ~target:14.0 inst in
+  Alcotest.(check int) "exact picks 2" 2 (List.length e);
+  Alcotest.(check bool) "partial cover ok" true
+    (Cover.is_cover ~target:14.0 inst e);
+  Alcotest.(check bool) "not full cover" false (Cover.is_cover inst e)
+
+let test_unreachable_target () =
+  let inst = Cover.make ~num_items:2 [| [ 0 ] |] in
+  Alcotest.check_raises "greedy fails" (Failure "Cover.greedy: target unreachable")
+    (fun () -> ignore (Cover.greedy inst))
+
+let test_guarantee_value () =
+  let inst = mk [| [ 0; 1; 2 ]; [ 0 ] |] in
+  Alcotest.(check (float 1e-9)) "H_3" (1.0 +. 0.5 +. (1.0 /. 3.0))
+    (Cover.greedy_guarantee inst)
+
+let brute_force_cover ?target inst =
+  let nsets = Array.length inst.Cover.sets in
+  let best = ref None in
+  for mask = 0 to (1 lsl nsets) - 1 do
+    let chosen =
+      List.filter (fun j -> mask land (1 lsl j) <> 0) (List.init nsets Fun.id)
+    in
+    if Cover.is_cover ?target inst chosen then
+      match !best with
+      | Some b when List.length b <= List.length chosen -> ()
+      | _ -> best := Some chosen
+  done;
+  !best
+
+let prop_exact_matches_brute_force =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"exact cover matches brute force" ~count:100 gen
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 8 in
+      let nsets = 1 + Prng.int rng 9 in
+      let sets =
+        Array.init nsets (fun _ ->
+            List.filter (fun _ -> Prng.bool rng) (List.init n Fun.id))
+      in
+      let weights = Array.init n (fun _ -> 0.5 +. Prng.float rng 4.5) in
+      let inst = Cover.make ~num_items:n ~weights sets in
+      let target =
+        if Prng.bool rng then None
+        else Some (Prng.float rng (Cover.total_weight inst))
+      in
+      match brute_force_cover ?target inst with
+      | None -> (
+        try
+          ignore (Cover.exact ?target inst);
+          false
+        with Failure _ -> true)
+      | Some bf ->
+        let e = Cover.exact ?target inst in
+        List.length e = List.length bf && Cover.is_cover ?target inst e)
+
+let prop_greedy_feasible_and_bounded =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"greedy is feasible and within its guarantee"
+    ~count:100 gen (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 8 in
+      let nsets = 2 + Prng.int rng 8 in
+      let sets =
+        Array.init nsets (fun j ->
+            if j = 0 then List.init n Fun.id (* ensure coverable *)
+            else List.filter (fun _ -> Prng.bool rng) (List.init n Fun.id))
+      in
+      let inst = Cover.make ~num_items:n sets in
+      let g = Cover.greedy inst in
+      let e = Cover.exact inst in
+      Cover.is_cover inst g
+      && float_of_int (List.length g)
+         <= (Cover.greedy_guarantee inst *. float_of_int (List.length e)) +. 1e-9)
+
+let test_exact_detailed_node_limit () =
+  (* a tiny node budget must still return a feasible cover, flagged as
+     unproven *)
+  let g = Monpos_util.Prng.create 3 in
+  let n = 40 and nsets = 25 in
+  let sets =
+    Array.init nsets (fun j ->
+        if j = 0 then List.init n Fun.id
+        else List.filter (fun _ -> Monpos_util.Prng.bool g) (List.init n Fun.id))
+  in
+  let inst = Cover.make ~num_items:n sets in
+  (* a zero budget trips before the first node: the greedy/local-search
+     incumbent comes back feasible but unproven *)
+  let r = Cover.exact_detailed ~node_limit:0 inst in
+  Alcotest.(check bool) "feasible" true (Cover.is_cover inst r.Cover.chosen);
+  Alcotest.(check bool) "not proven" false r.Cover.proven_optimal;
+  (* with a generous budget the same instance proves *)
+  let r2 = Cover.exact_detailed inst in
+  Alcotest.(check bool) "proven" true r2.Cover.proven_optimal;
+  Alcotest.(check bool) "no worse" true
+    (List.length r2.Cover.chosen <= List.length r.Cover.chosen)
+
+let test_reduction_to_monitoring_structure () =
+  (* Figure 4 example shape: items covered by overlapping sets *)
+  let inst = mk [| [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] |] in
+  let red = Cover.Reduction.to_monitoring inst in
+  (* 2 nodes per set; edges: one per set + 2 per intersecting pair *)
+  Alcotest.(check int) "nodes" 6 (Graph.num_nodes red.Cover.Reduction.graph);
+  Alcotest.(check int) "edges" (3 + 4) (Graph.num_edges red.Cover.Reduction.graph);
+  (* every item's path visits exactly the edges of its containing sets *)
+  Array.iteri
+    (fun u (_, edges) ->
+      let expected =
+        List.filter
+          (fun j -> List.mem u inst.Cover.sets.(j))
+          (List.init 3 Fun.id)
+        |> List.map (fun j -> red.Cover.Reduction.edge_of_set.(j))
+      in
+      let set_edges =
+        List.filter
+          (fun e -> Array.exists (( = ) e) red.Cover.Reduction.edge_of_set)
+          edges
+      in
+      Alcotest.(check (list int)) "set edges on path" expected set_edges)
+    red.Cover.Reduction.paths
+
+let test_reduction_paths_are_walks () =
+  let inst = mk [| [ 0; 1; 2 ]; [ 0; 2 ]; [ 1; 2; 3 ]; [ 3 ] |] in
+  let red = Cover.Reduction.to_monitoring inst in
+  let g = red.Cover.Reduction.graph in
+  Array.iter
+    (fun (nodes, edges) ->
+      Alcotest.(check int) "lengths" (List.length nodes) (List.length edges + 1);
+      let rec walk ns es =
+        match (ns, es) with
+        | [ _ ], [] -> true
+        | u :: (v :: _ as rest), e :: etl ->
+          let a, b = Graph.endpoints g e in
+          ((a = u && b = v) || (a = v && b = u)) && walk rest etl
+        | _ -> false
+      in
+      Alcotest.(check bool) "valid walk" true (walk nodes edges))
+    red.Cover.Reduction.paths
+
+let prop_reduction_preserves_optimum =
+  (* Theorem 1: minimum monitored-link count on the reduced instance
+     equals the minimum set cover size. *)
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"theorem 1 reduction preserves the optimum"
+    ~count:60 gen (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 5 in
+      let nsets = 2 + Prng.int rng 5 in
+      let sets =
+        Array.init nsets (fun j ->
+            if j = 0 then List.init n Fun.id
+            else List.filter (fun _ -> Prng.bool rng) (List.init n Fun.id))
+      in
+      let inst = Cover.make ~num_items:n sets in
+      let msc_opt = List.length (Cover.exact inst) in
+      let red = Cover.Reduction.to_monitoring inst in
+      (* monitoring instance as cover: sets = all graph edges *)
+      let mon =
+        Cover.Reduction.of_monitoring
+          ~num_edges:(Graph.num_edges red.Cover.Reduction.graph)
+          ~weights:(Array.make n 1.0)
+          (Array.map snd red.Cover.Reduction.paths)
+      in
+      let mon_opt = List.length (Cover.exact mon) in
+      msc_opt = mon_opt)
+
+let prop_round_trip_of_monitoring =
+  (* of_monitoring builds the cover whose greedy equals monitoring
+     greedy by construction *)
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"of_monitoring sets mirror path membership"
+    ~count:100 gen (fun seed ->
+      let rng = Prng.create seed in
+      let ntraffics = 1 + Prng.int rng 6 in
+      let nedges = 2 + Prng.int rng 6 in
+      let paths =
+        Array.init ntraffics (fun _ ->
+            List.sort_uniq compare
+              (List.init (1 + Prng.int rng 4) (fun _ -> Prng.int rng nedges)))
+      in
+      let weights = Array.make ntraffics 1.0 in
+      let inst = Cover.Reduction.of_monitoring ~num_edges:nedges ~weights paths in
+      Array.length inst.Cover.sets = nedges
+      && Array.for_all
+           (fun s -> List.for_all (fun t -> t >= 0 && t < ntraffics) s)
+           inst.Cover.sets
+      &&
+      (* membership agrees *)
+      List.for_all
+        (fun e ->
+          List.for_all
+            (fun t ->
+              List.mem t inst.Cover.sets.(e) = List.mem e paths.(t))
+            (List.init ntraffics Fun.id))
+        (List.init nedges Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "basic cover" `Quick test_basic_cover;
+    Alcotest.test_case "greedy suboptimal classic" `Quick test_greedy_suboptimal_classic;
+    Alcotest.test_case "figure 3 counterexample" `Quick test_figure3_counterexample;
+    Alcotest.test_case "partial cover" `Quick test_partial_cover;
+    Alcotest.test_case "unreachable target" `Quick test_unreachable_target;
+    Alcotest.test_case "guarantee value" `Quick test_guarantee_value;
+    Alcotest.test_case "node limit behavior" `Quick test_exact_detailed_node_limit;
+    Alcotest.test_case "reduction structure" `Quick test_reduction_to_monitoring_structure;
+    Alcotest.test_case "reduction paths are walks" `Quick test_reduction_paths_are_walks;
+    QCheck_alcotest.to_alcotest prop_exact_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_greedy_feasible_and_bounded;
+    QCheck_alcotest.to_alcotest prop_reduction_preserves_optimum;
+    QCheck_alcotest.to_alcotest prop_round_trip_of_monitoring;
+  ]

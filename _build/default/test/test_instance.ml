@@ -1,0 +1,140 @@
+(* Instance tests: flattening, loads, coverage accounting, the
+   Figure 3 fixture, and the cover view. *)
+
+module Instance = Monpos.Instance
+module Pop = Monpos_topo.Pop
+module Traffic = Monpos_traffic.Traffic
+module Graph = Monpos_graph.Graph
+module Cover = Monpos_cover.Cover
+
+let pop10_instance seed =
+  Instance.of_pop (Pop.make_preset `Pop10 ~seed) ~seed:(seed * 3)
+
+let test_figure3_shape () =
+  let inst = Instance.figure3 () in
+  Alcotest.(check int) "nodes" 6 (Graph.num_nodes inst.Instance.graph);
+  Alcotest.(check int) "links" 5 (Graph.num_edges inst.Instance.graph);
+  Alcotest.(check int) "traffics" 4 (Instance.num_traffics inst);
+  Alcotest.(check (float 1e-9)) "volume" 6.0 inst.Instance.total_volume;
+  (* loads per the figure: 4 on the central link, 3, 3, 1, 1 *)
+  let sorted = Array.copy inst.Instance.loads in
+  Array.sort compare sorted;
+  Alcotest.(check (array (float 1e-9))) "loads" [| 1.0; 1.0; 3.0; 3.0; 4.0 |] sorted
+
+let test_figure3_coverage () =
+  let inst = Instance.figure3 () in
+  (* the two load-3 links cover everything *)
+  Alcotest.(check (float 1e-9)) "e1+e2 cover all" 6.0
+    (Instance.coverage inst [ 1; 2 ]);
+  (* the central link covers only the two heavy traffics *)
+  Alcotest.(check (float 1e-9)) "e0 covers 4" 4.0 (Instance.coverage inst [ 0 ]);
+  Alcotest.(check (float 1e-9)) "fraction" (4.0 /. 6.0)
+    (Instance.coverage_fraction inst [ 0 ]);
+  Alcotest.(check (float 1e-9)) "nothing" 0.0 (Instance.coverage inst [])
+
+let test_flattening_counts () =
+  let inst = pop10_instance 2 in
+  (* single-path routing: one traffic per demand *)
+  Alcotest.(check int) "flattened = demands"
+    (Array.length inst.Instance.demands)
+    (Instance.num_traffics inst)
+
+let test_loads_match_traffic_loads () =
+  let pop = Pop.make_preset `Pop10 ~seed:3 in
+  let m =
+    Traffic.generate pop.Pop.graph ~endpoints:(Pop.endpoints pop) ~seed:5
+  in
+  let inst = Instance.make pop.Pop.graph m in
+  let expected = Traffic.loads pop.Pop.graph m in
+  Alcotest.(check int) "same length" (Array.length expected)
+    (Array.length inst.Instance.loads);
+  Array.iteri
+    (fun e l ->
+      Alcotest.(check (float 1e-6)) "load" l inst.Instance.loads.(e))
+    expected
+
+let test_multipath_flattening () =
+  (* an ECMP demand flattens into one traffic per route *)
+  let g = Graph.create ~num_nodes:4 () in
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 3);
+  ignore (Graph.add_edge g 0 2);
+  ignore (Graph.add_edge g 2 3);
+  let params = { Traffic.default_gen with Traffic.max_ecmp_paths = 4 } in
+  let m = Traffic.generate_pairs ~params g ~pairs:[ (0, 3) ] ~seed:1 in
+  let inst = Instance.make g m in
+  Alcotest.(check int) "two traffics" 2 (Instance.num_traffics inst);
+  Alcotest.(check int) "same demand" 0 inst.Instance.traffics.(1).Instance.t_demand;
+  (* monitoring one branch covers only half the volume *)
+  let half = inst.Instance.total_volume /. 2.0 in
+  Alcotest.(check (float 1e-9)) "half coverage" half (Instance.coverage inst [ 0 ])
+
+let test_cover_view_consistency () =
+  let inst = pop10_instance 4 in
+  let cover = Instance.cover_view inst in
+  Alcotest.(check int) "sets = links"
+    (Graph.num_edges inst.Instance.graph)
+    (Array.length cover.Cover.sets);
+  Alcotest.(check int) "items = traffics" (Instance.num_traffics inst)
+    cover.Cover.num_items;
+  Alcotest.(check (float 1e-6)) "weights = volume" inst.Instance.total_volume
+    (Cover.total_weight cover);
+  (* covered weight of a set = Instance.coverage of the edge *)
+  for e = 0 to Graph.num_edges inst.Instance.graph - 1 do
+    Alcotest.(check (float 1e-6)) "per-edge coverage"
+      (Instance.coverage inst [ e ])
+      (Cover.covered_weight cover [ e ])
+  done
+
+let test_replace_demands () =
+  let inst = pop10_instance 5 in
+  let scaled =
+    Traffic.scale_volumes inst.Instance.demands ~factor:(fun _ -> 3.0)
+  in
+  let inst' = Instance.replace_demands inst scaled in
+  Alcotest.(check (float 1e-6)) "tripled volume"
+    (3.0 *. inst.Instance.total_volume)
+    inst'.Instance.total_volume;
+  Alcotest.(check int) "same traffics" (Instance.num_traffics inst)
+    (Instance.num_traffics inst')
+
+let prop_coverage_monotone =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"coverage is monotone in the monitor set"
+    ~count:50 gen (fun seed ->
+      let inst = pop10_instance (1 + (seed mod 17)) in
+      let rng = Monpos_util.Prng.create seed in
+      let ne = Graph.num_edges inst.Instance.graph in
+      let small =
+        List.filter (fun _ -> Monpos_util.Prng.bool rng) (List.init ne Fun.id)
+      in
+      let extra =
+        List.filter (fun _ -> Monpos_util.Prng.bool rng) (List.init ne Fun.id)
+      in
+      let big = List.sort_uniq compare (small @ extra) in
+      Instance.coverage inst big >= Instance.coverage inst small -. 1e-9)
+
+let prop_coverage_bounded =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"coverage within [0, V]" ~count:50 gen (fun seed ->
+      let inst = pop10_instance (1 + (seed mod 13)) in
+      let rng = Monpos_util.Prng.create seed in
+      let ne = Graph.num_edges inst.Instance.graph in
+      let monitors =
+        List.filter (fun _ -> Monpos_util.Prng.bool rng) (List.init ne Fun.id)
+      in
+      let c = Instance.coverage inst monitors in
+      c >= -1e-9 && c <= inst.Instance.total_volume +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "figure 3 shape" `Quick test_figure3_shape;
+    Alcotest.test_case "figure 3 coverage" `Quick test_figure3_coverage;
+    Alcotest.test_case "flattening counts" `Quick test_flattening_counts;
+    Alcotest.test_case "loads match" `Quick test_loads_match_traffic_loads;
+    Alcotest.test_case "multipath flattening" `Quick test_multipath_flattening;
+    Alcotest.test_case "cover view" `Quick test_cover_view_consistency;
+    Alcotest.test_case "replace demands" `Quick test_replace_demands;
+    QCheck_alcotest.to_alcotest prop_coverage_monotone;
+    QCheck_alcotest.to_alcotest prop_coverage_bounded;
+  ]

@@ -1,0 +1,499 @@
+(* Simplex solver tests: textbook LPs with known optima, boundary
+   statuses, duals, and randomized feasibility/optimality properties. *)
+
+module Model = Monpos_lp.Model
+module Simplex = Monpos_lp.Simplex
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let status_name = function
+  | Simplex.Optimal -> "optimal"
+  | Simplex.Infeasible -> "infeasible"
+  | Simplex.Unbounded -> "unbounded"
+  | Simplex.Iteration_limit -> "iteration_limit"
+
+let check_status expected got =
+  Alcotest.(check string) "status" (status_name expected) (status_name got)
+
+(* max 3x + 5y st x <= 4; 2y <= 12; 3x + 2y <= 18 -> 36 at (2, 6) *)
+let test_textbook_max () =
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~obj:3.0 Model.Continuous in
+  let y = Model.add_var m ~obj:5.0 Model.Continuous in
+  Model.add_constr m [ (1.0, x) ] Model.Le 4.0;
+  Model.add_constr m [ (2.0, y) ] Model.Le 12.0;
+  Model.add_constr m [ (3.0, x); (2.0, y) ] Model.Le 18.0;
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Optimal sol.status;
+  check_float "obj" 36.0 sol.objective;
+  check_float "x" 2.0 sol.primal.(Model.var_index x);
+  check_float "y" 6.0 sol.primal.(Model.var_index y)
+
+(* min 2x + 3y st x + y >= 10 -> 20 at (10, 0) *)
+let test_textbook_min () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:2.0 Model.Continuous in
+  let y = Model.add_var m ~obj:3.0 Model.Continuous in
+  Model.add_constr m [ (1.0, x); (1.0, y) ] Model.Ge 10.0;
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Optimal sol.status;
+  check_float "obj" 20.0 sol.objective;
+  check_float "x" 10.0 sol.primal.(Model.var_index x)
+
+let test_equality () =
+  (* min x + y st x + 2y = 6; x - y = 0 -> x = y = 2, obj 4 *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1.0 Model.Continuous in
+  let y = Model.add_var m ~obj:1.0 Model.Continuous in
+  Model.add_constr m [ (1.0, x); (2.0, y) ] Model.Eq 6.0;
+  Model.add_constr m [ (1.0, x); (-1.0, y) ] Model.Eq 0.0;
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Optimal sol.status;
+  check_float "obj" 4.0 sol.objective;
+  check_float "x" 2.0 sol.primal.(0);
+  check_float "y" 2.0 sol.primal.(1)
+
+let test_infeasible () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1.0 Model.Continuous in
+  Model.add_constr m [ (1.0, x) ] Model.Ge 5.0;
+  Model.add_constr m [ (1.0, x) ] Model.Le 3.0;
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Infeasible sol.status
+
+let test_unbounded () =
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~obj:1.0 Model.Continuous in
+  Model.add_constr m [ (-1.0, x) ] Model.Le 0.0;
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Unbounded sol.status
+
+let test_bounded_vars () =
+  (* max x + y, x in [0,2], y in [0,3], x + y <= 4 -> 4 *)
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~ub:2.0 ~obj:1.0 Model.Continuous in
+  let y = Model.add_var m ~ub:3.0 ~obj:1.0 Model.Continuous in
+  Model.add_constr m [ (1.0, x); (1.0, y) ] Model.Le 4.0;
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Optimal sol.status;
+  check_float "obj" 4.0 sol.objective
+
+let test_negative_lower_bounds () =
+  (* min x with x in [-5, 5] and x + y >= -2, y in [0, 1] -> x = -3 *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~lb:(-5.0) ~ub:5.0 ~obj:1.0 Model.Continuous in
+  let y = Model.add_var m ~ub:1.0 Model.Continuous in
+  Model.add_constr m [ (1.0, x); (1.0, y) ] Model.Ge (-2.0);
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Optimal sol.status;
+  check_float "obj" (-3.0) sol.objective
+
+let test_free_variable () =
+  (* min y st y >= x - 4, y >= -x + 2, x free -> y = -1 at x = 3 *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~lb:neg_infinity ~ub:infinity Model.Continuous in
+  let y = Model.add_var m ~lb:neg_infinity ~ub:infinity ~obj:1.0 Model.Continuous in
+  Model.add_constr m [ (1.0, y); (-1.0, x) ] Model.Ge (-4.0);
+  Model.add_constr m [ (1.0, y); (1.0, x) ] Model.Ge 2.0;
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Optimal sol.status;
+  check_float "obj" (-1.0) sol.objective
+
+let test_fixed_variable () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1.0 Model.Continuous in
+  let y = Model.add_var m ~obj:1.0 Model.Continuous in
+  Model.fix m x 3.0;
+  Model.add_constr m [ (1.0, x); (1.0, y) ] Model.Ge 5.0;
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Optimal sol.status;
+  check_float "obj" 5.0 sol.objective;
+  check_float "x" 3.0 sol.primal.(0);
+  check_float "y" 2.0 sol.primal.(1)
+
+let test_degenerate () =
+  (* Klee-Minty-flavoured degenerate corner; checks anti-cycling. *)
+  let m = Model.create Model.Maximize in
+  let x1 = Model.add_var m ~obj:100.0 Model.Continuous in
+  let x2 = Model.add_var m ~obj:10.0 Model.Continuous in
+  let x3 = Model.add_var m ~obj:1.0 Model.Continuous in
+  Model.add_constr m [ (1.0, x1) ] Model.Le 1.0;
+  Model.add_constr m [ (20.0, x1); (1.0, x2) ] Model.Le 100.0;
+  Model.add_constr m [ (200.0, x1); (20.0, x2); (1.0, x3) ] Model.Le 10000.0;
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Optimal sol.status;
+  check_float "obj" 10000.0 sol.objective
+
+let test_duals_weak_duality () =
+  (* min c.x st Ax >= b, x >= 0: any dual y >= 0 gives y.b <= c.x. At
+     the optimum, strong duality holds. *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:12.0 Model.Continuous in
+  let y = Model.add_var m ~obj:16.0 Model.Continuous in
+  Model.add_constr m [ (1.0, x); (2.0, y) ] Model.Ge 40.0;
+  Model.add_constr m [ (1.0, x); (1.0, y) ] Model.Ge 30.0;
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Optimal sol.status;
+  let dual_obj = (sol.duals.(0) *. 40.0) +. (sol.duals.(1) *. 30.0) in
+  check_float "strong duality" sol.objective dual_obj;
+  Alcotest.(check bool) "dual signs" true (sol.duals.(0) >= -1e-9 && sol.duals.(1) >= -1e-9)
+
+let test_zero_constraints () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~lb:2.0 ~ub:7.0 ~obj:3.0 Model.Continuous in
+  ignore x;
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Optimal sol.status;
+  check_float "obj" 6.0 sol.objective
+
+let test_redundant_rows () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1.0 Model.Continuous in
+  for _ = 1 to 5 do
+    Model.add_constr m [ (1.0, x) ] Model.Ge 2.0
+  done;
+  Model.add_constr m [ (2.0, x) ] Model.Ge 4.0;
+  let sol = Simplex.solve_model m in
+  check_status Simplex.Optimal sol.status;
+  check_float "obj" 2.0 sol.objective
+
+(* Randomized: continuous knapsack-style LPs where a greedy solution is
+   provably optimal; the simplex must match it. *)
+let prop_fractional_knapsack =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 1 12 in
+      let* values = list_repeat n (int_range 1 50) in
+      let* weights = list_repeat n (int_range 1 20) in
+      let* cap = int_range 5 80 in
+      return (values, weights, cap))
+  in
+  QCheck2.Test.make ~name:"simplex matches greedy on fractional knapsack"
+    ~count:200 gen (fun (values, weights, cap) ->
+      let n = List.length values in
+      let values = Array.of_list (List.map float_of_int values) in
+      let weights = Array.of_list (List.map float_of_int weights) in
+      let cap = float_of_int cap in
+      (* greedy by density *)
+      let order = Array.init n (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          compare (values.(b) /. weights.(b)) (values.(a) /. weights.(a)))
+        order;
+      let remaining = ref cap and greedy = ref 0.0 in
+      Array.iter
+        (fun i ->
+          let take = min 1.0 (!remaining /. weights.(i)) in
+          if take > 0.0 then begin
+            greedy := !greedy +. (take *. values.(i));
+            remaining := !remaining -. (take *. weights.(i))
+          end)
+        order;
+      let m = Model.create Model.Maximize in
+      let xs =
+        Array.init n (fun i ->
+            Model.add_var m ~ub:1.0 ~obj:values.(i) Model.Continuous)
+      in
+      Model.add_constr m
+        (List.init n (fun i -> (weights.(i), xs.(i))))
+        Model.Le cap;
+      let sol = Simplex.solve_model m in
+      sol.status = Simplex.Optimal && abs_float (sol.objective -. !greedy) < 1e-6)
+
+(* Randomized: optimal solutions are feasible and no sampled feasible
+   point beats them. *)
+let prop_optimal_dominates_samples =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"simplex optimum dominates random feasible points"
+    ~count:120 gen (fun seed ->
+      let rng = Monpos_util.Prng.create seed in
+      let n = 2 + Monpos_util.Prng.int rng 4 in
+      let rows = 1 + Monpos_util.Prng.int rng 5 in
+      let m = Model.create Model.Maximize in
+      let xs =
+        Array.init n (fun _ ->
+            Model.add_var m
+              ~ub:(1.0 +. Monpos_util.Prng.float rng 9.0)
+              ~obj:(Monpos_util.Prng.float rng 10.0)
+              Model.Continuous)
+      in
+      let coef = Array.make_matrix rows n 0.0 in
+      for r = 0 to rows - 1 do
+        let terms = ref [] in
+        for i = 0 to n - 1 do
+          let c = Monpos_util.Prng.float rng 5.0 in
+          coef.(r).(i) <- c;
+          terms := (c, xs.(i)) :: !terms
+        done;
+        Model.add_constr m !terms Model.Le (5.0 +. Monpos_util.Prng.float rng 20.0)
+      done;
+      let sol = Simplex.solve_model m in
+      if sol.status <> Simplex.Optimal then false
+      else begin
+        if not (Model.value_feasible m sol.primal) then false
+        else begin
+          (* rejection-sample feasible points; none may beat optimum *)
+          let ok = ref true in
+          for _ = 1 to 200 do
+            let pt =
+              Array.init n (fun i ->
+                  Monpos_util.Prng.float rng
+                    (max 1e-9 (Model.var_ub m (Model.var_of_index m i))))
+            in
+            let feasible = Model.value_feasible m pt in
+            if feasible then begin
+              let v = Model.objective_value m pt in
+              if v > sol.objective +. 1e-6 then ok := false
+            end
+          done;
+          !ok
+        end
+      end)
+
+let test_model_rejects_bad_data () =
+  let m = Model.create Model.Minimize in
+  Alcotest.check_raises "nan objective"
+    (Invalid_argument "Model: NaN objective coefficient") (fun () ->
+      ignore (Model.add_var m ~obj:Float.nan Model.Continuous));
+  Alcotest.check_raises "infinite objective"
+    (Invalid_argument "Model: infinite objective coefficient") (fun () ->
+      ignore (Model.add_var m ~obj:infinity Model.Continuous));
+  let x = Model.add_var m ~obj:1.0 Model.Continuous in
+  Alcotest.check_raises "nan rhs" (Invalid_argument "Model: NaN right-hand side")
+    (fun () -> Model.add_constr m [ (1.0, x) ] Model.Le Float.nan);
+  Alcotest.check_raises "nan coefficient"
+    (Invalid_argument "Model: NaN constraint coefficient") (fun () ->
+      Model.add_constr m [ (Float.nan, x) ] Model.Le 1.0);
+  Alcotest.check_raises "infinite coefficient"
+    (Invalid_argument "Model: infinite constraint coefficient") (fun () ->
+      Model.add_constr m [ (infinity, x) ] Model.Le 1.0);
+  (* infinite bounds remain legal *)
+  ignore (Model.add_var m ~lb:neg_infinity ~ub:infinity Model.Continuous)
+
+let test_duplicate_terms_merged () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1.0 Model.Continuous in
+  Model.add_constr m [ (1.0, x); (2.0, x); (-3.0, x); (1.0, x) ] Model.Ge 2.0;
+  Alcotest.(check (list (pair (float 1e-12) int))) "merged to 1x"
+    [ (1.0, Model.var_index x) ]
+    (Model.constr_terms m 0)
+
+(* Internal consistency of the simplex certificates: with reduced
+   costs d = c - y A (minimization form), the identity
+   c.x = y.b - y.s + d.x holds (s = row slacks), and complementary
+   slackness links nonzero multipliers to tight rows and nonzero
+   reduced costs to variables at their bounds. *)
+let prop_duality_certificates =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"simplex certificates: duality identity + slackness"
+    ~count:80 gen (fun seed ->
+      let rng = Monpos_util.Prng.create seed in
+      let n = 2 + Monpos_util.Prng.int rng 4 in
+      let rows = 1 + Monpos_util.Prng.int rng 4 in
+      let m = Model.create Model.Minimize in
+      let xs =
+        Array.init n (fun _ ->
+            Model.add_var m
+              ~ub:(1.0 +. Monpos_util.Prng.float rng 9.0)
+              ~obj:(Monpos_util.Prng.float rng 10.0 -. 3.0)
+              Model.Continuous)
+      in
+      let coefs = Array.make_matrix rows n 0.0 in
+      let rhs = Array.make rows 0.0 in
+      let senses = Array.make rows Model.Le in
+      for r = 0 to rows - 1 do
+        let terms = ref [] in
+        for i = 0 to n - 1 do
+          let c = Monpos_util.Prng.float rng 4.0 in
+          coefs.(r).(i) <- c;
+          terms := (c, xs.(i)) :: !terms
+        done;
+        rhs.(r) <- 2.0 +. Monpos_util.Prng.float rng 15.0;
+        senses.(r) <- (if Monpos_util.Prng.bool rng then Model.Le else Model.Ge);
+        (* keep Ge rows satisfiable: x=ub gives max lhs *)
+        if senses.(r) = Model.Ge then begin
+          let max_lhs = ref 0.0 in
+          for i = 0 to n - 1 do
+            max_lhs := !max_lhs +. (coefs.(r).(i) *. Model.var_ub m xs.(i))
+          done;
+          rhs.(r) <- min rhs.(r) (0.8 *. !max_lhs)
+        end;
+        Model.add_constr m !terms senses.(r) rhs.(r)
+      done;
+      let sol = Simplex.solve_model m in
+      match sol.Simplex.status with
+      | Simplex.Infeasible -> true (* nothing to certify *)
+      | Simplex.Unbounded | Simplex.Iteration_limit -> false
+      | Simplex.Optimal ->
+        let x = sol.Simplex.primal in
+        let y = sol.Simplex.duals in
+        let d = sol.Simplex.reduced_costs in
+        (* row activities and slacks *)
+        let ok = ref true in
+        let ys_dot_slack = ref 0.0 in
+        for r = 0 to rows - 1 do
+          let lhs = ref 0.0 in
+          for i = 0 to n - 1 do
+            lhs := !lhs +. (coefs.(r).(i) *. x.(i))
+          done;
+          let slack = rhs.(r) -. !lhs in
+          ys_dot_slack := !ys_dot_slack +. (y.(r) *. slack);
+          (* complementary slackness: nonzero dual => tight row *)
+          if abs_float y.(r) > 1e-6 && abs_float slack > 1e-5 then ok := false
+        done;
+        (* nonzero reduced cost => variable at a bound *)
+        for i = 0 to n - 1 do
+          if abs_float d.(i) > 1e-6 then begin
+            let lb = Model.var_lb m xs.(i) and ub = Model.var_ub m xs.(i) in
+            if abs_float (x.(i) -. lb) > 1e-5 && abs_float (x.(i) -. ub) > 1e-5
+            then ok := false
+          end
+        done;
+        (* duality identity: c.x = y.b - y.s + d.x *)
+        let cx = Model.objective_value m x in
+        let yb = ref 0.0 in
+        for r = 0 to rows - 1 do
+          yb := !yb +. (y.(r) *. rhs.(r))
+        done;
+        let dx = ref 0.0 in
+        for i = 0 to n - 1 do
+          dx := !dx +. (d.(i) *. x.(i))
+        done;
+        !ok
+        && abs_float (cx -. (!yb -. !ys_dot_slack +. !dx))
+           < 1e-5 *. (1.0 +. abs_float cx))
+
+let test_lp_format_export () =
+  let m = Model.create ~name:"demo" Model.Minimize in
+  let x = Model.add_var m ~name:"x" ~obj:2.0 Model.Binary in
+  let y = Model.add_var m ~name:"y!" ~lb:1.0 ~obj:(-1.5) Model.Integer in
+  let z = Model.add_var m ~name:"3z" ~lb:neg_infinity ~ub:infinity Model.Continuous in
+  Model.add_constr m ~name:"c one" [ (1.0, x); (2.0, y); (-1.0, z) ] Model.Le 4.0;
+  Model.add_constr m [ (1.0, y) ] Model.Ge 1.0;
+  let text = Monpos_lp.Lp_io.to_string m in
+  let has affix = Astring.String.is_infix ~affix text in
+  Alcotest.(check bool) "minimize" true (has "Minimize");
+  Alcotest.(check bool) "subject to" true (has "Subject To");
+  Alcotest.(check bool) "binaries" true (has "Binaries");
+  Alcotest.(check bool) "generals" true (has "Generals");
+  Alcotest.(check bool) "end" true (has "End");
+  Alcotest.(check bool) "sanitized y" true (has "y_");
+  Alcotest.(check bool) "digit prefixed" true (has "v_3z");
+  Alcotest.(check bool) "free variable" true (has "free");
+  Alcotest.(check bool) "le row" true (has "<= 4");
+  Alcotest.(check bool) "constraint name sanitized" true (has "c_one:")
+
+module Presolve = Monpos_lp.Presolve
+
+let test_presolve_singleton_rows () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1.0 Model.Continuous in
+  let y = Model.add_var m ~obj:1.0 Model.Continuous in
+  Model.add_constr m [ (2.0, x) ] Model.Ge 6.0;
+  Model.add_constr m [ (1.0, y) ] Model.Le 4.0;
+  Model.add_constr m [ (1.0, x); (1.0, y) ] Model.Ge 5.0;
+  let reduced, info = Presolve.reduce m in
+  Alcotest.(check bool) "feasible" false info.Presolve.infeasible;
+  Alcotest.(check int) "two singleton rows dropped" 2 info.Presolve.rows_dropped;
+  Alcotest.(check (float 1e-9)) "x lb tightened" 3.0
+    (Model.var_lb reduced (Model.var_of_index reduced 0));
+  Alcotest.(check (float 1e-9)) "y ub tightened" 4.0
+    (Model.var_ub reduced (Model.var_of_index reduced 1));
+  (* same optimum *)
+  let a = Simplex.solve_model m and b = Simplex.solve_model reduced in
+  Alcotest.(check (float 1e-6)) "same optimum" a.Simplex.objective
+    b.Simplex.objective
+
+let test_presolve_detects_infeasible () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~ub:2.0 ~obj:1.0 Model.Continuous in
+  Model.add_constr m [ (1.0, x) ] Model.Ge 5.0;
+  let _, info = Presolve.reduce m in
+  Alcotest.(check bool) "infeasible" true info.Presolve.infeasible
+
+let test_presolve_drops_redundant_rows () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~ub:1.0 ~obj:1.0 Model.Continuous in
+  let y = Model.add_var m ~ub:1.0 ~obj:1.0 Model.Continuous in
+  (* x + y <= 5 can never bind with ub 1 each *)
+  Model.add_constr m [ (1.0, x); (1.0, y) ] Model.Le 5.0;
+  Model.add_constr m [ (1.0, x); (1.0, y) ] Model.Ge 1.0;
+  let reduced, info = Presolve.reduce m in
+  Alcotest.(check bool) "dropped the slack row" true (info.Presolve.rows_dropped >= 1);
+  Alcotest.(check int) "kept the binding row" 1 (Model.num_constrs reduced)
+
+let test_presolve_integer_rounding () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1.0 ~ub:10.0 Model.Integer in
+  Model.add_constr m [ (2.0, x) ] Model.Ge 5.0;
+  let reduced, _ = Presolve.reduce m in
+  (* 2x >= 5 -> x >= 2.5 -> x >= 3 for integers *)
+  Alcotest.(check (float 1e-9)) "integer lb rounds up" 3.0
+    (Model.var_lb reduced (Model.var_of_index reduced 0))
+
+let prop_presolve_preserves_optimum =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"presolve preserves the LP optimum" ~count:120 gen
+    (fun seed ->
+      let rng = Monpos_util.Prng.create seed in
+      let n = 2 + Monpos_util.Prng.int rng 5 in
+      let rows = 1 + Monpos_util.Prng.int rng 6 in
+      let m = Model.create Model.Minimize in
+      let xs =
+        Array.init n (fun _ ->
+            Model.add_var m
+              ~ub:(1.0 +. Monpos_util.Prng.float rng 9.0)
+              ~obj:(Monpos_util.Prng.float rng 10.0 -. 2.0)
+              Model.Continuous)
+      in
+      for _ = 1 to rows do
+        let nterms = 1 + Monpos_util.Prng.int rng n in
+        let terms =
+          List.init nterms (fun _ ->
+              ( Monpos_util.Prng.float rng 6.0 -. 1.0,
+                xs.(Monpos_util.Prng.int rng n) ))
+        in
+        let sense = if Monpos_util.Prng.bool rng then Model.Le else Model.Ge in
+        Model.add_constr m terms sense (Monpos_util.Prng.float rng 12.0 -. 2.0)
+      done;
+      let reduced, info = Presolve.reduce m in
+      let a = Simplex.solve_model m in
+      if info.Presolve.infeasible then a.Simplex.status = Simplex.Infeasible
+      else begin
+        let b = Simplex.solve_model reduced in
+        match (a.Simplex.status, b.Simplex.status) with
+        | Simplex.Infeasible, Simplex.Infeasible -> true
+        | Simplex.Unbounded, Simplex.Unbounded -> true
+        | Simplex.Optimal, Simplex.Optimal ->
+          abs_float (a.Simplex.objective -. b.Simplex.objective)
+          < 1e-6 *. (1.0 +. abs_float a.Simplex.objective)
+        | _ -> false
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "textbook max" `Quick test_textbook_max;
+    Alcotest.test_case "textbook min" `Quick test_textbook_min;
+    Alcotest.test_case "equality rows" `Quick test_equality;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "bounded vars" `Quick test_bounded_vars;
+    Alcotest.test_case "negative lower bounds" `Quick test_negative_lower_bounds;
+    Alcotest.test_case "free variable" `Quick test_free_variable;
+    Alcotest.test_case "fixed variable" `Quick test_fixed_variable;
+    Alcotest.test_case "degenerate corner" `Quick test_degenerate;
+    Alcotest.test_case "strong duality" `Quick test_duals_weak_duality;
+    Alcotest.test_case "no constraints" `Quick test_zero_constraints;
+    Alcotest.test_case "redundant rows" `Quick test_redundant_rows;
+    Alcotest.test_case "model validation" `Quick test_model_rejects_bad_data;
+    Alcotest.test_case "duplicate terms merged" `Quick test_duplicate_terms_merged;
+    Alcotest.test_case "lp format export" `Quick test_lp_format_export;
+    Alcotest.test_case "presolve singleton rows" `Quick test_presolve_singleton_rows;
+    Alcotest.test_case "presolve infeasible" `Quick test_presolve_detects_infeasible;
+    Alcotest.test_case "presolve redundant rows" `Quick test_presolve_drops_redundant_rows;
+    Alcotest.test_case "presolve integer rounding" `Quick test_presolve_integer_rounding;
+    QCheck_alcotest.to_alcotest prop_presolve_preserves_optimum;
+    QCheck_alcotest.to_alcotest prop_fractional_knapsack;
+    QCheck_alcotest.to_alcotest prop_duality_certificates;
+    QCheck_alcotest.to_alcotest prop_optimal_dominates_samples;
+  ]

@@ -1,0 +1,98 @@
+(* MECF tests: Theorem 2 made executable — the flow view agrees with
+   the combinatorial view on coverage and on optima. *)
+
+module Instance = Monpos.Instance
+module Passive = Monpos.Passive
+module Mecf = Monpos.Mecf
+module Pop = Monpos_topo.Pop
+module Graph = Monpos_graph.Graph
+module Prng = Monpos_util.Prng
+
+let pop10_instance seed =
+  Instance.of_pop (Pop.make_preset `Pop10 ~seed) ~seed:(seed * 3)
+
+(* the MECF MIP carries one flow variable per (traffic, edge) pair, so
+   the cross-validation properties run on a trimmed matrix *)
+let small_instance seed =
+  let pop = Pop.make_preset `Pop10 ~seed in
+  let endpoints =
+    List.filteri (fun i _ -> i < 6) (Pop.endpoints pop)
+  in
+  let m =
+    Monpos_traffic.Traffic.generate pop.Monpos_topo.Pop.graph ~endpoints
+      ~seed:(seed * 7)
+  in
+  Instance.make pop.Monpos_topo.Pop.graph m
+
+let test_figure3_mecf_optimum () =
+  let inst = Instance.figure3 () in
+  let sol = Mecf.solve_mip inst in
+  Alcotest.(check int) "optimum 2" 2 sol.Passive.count;
+  Alcotest.(check bool) "proved" true sol.Passive.optimal;
+  Alcotest.(check (float 1e-9)) "full" 1.0 sol.Passive.fraction
+
+let test_figure3_flow_heuristic_feasible () =
+  let inst = Instance.figure3 () in
+  let sol = Mecf.flow_heuristic inst in
+  Alcotest.(check bool) "feasible" true
+    (Passive.validate ~k:1.0 inst sol.Passive.monitors)
+
+let test_coverage_via_flow_figure3 () =
+  let inst = Instance.figure3 () in
+  Alcotest.(check (float 1e-6)) "central link" 4.0
+    (Mecf.coverage_via_flow inst ~monitors:[ 0 ]);
+  Alcotest.(check (float 1e-6)) "optimal pair" 6.0
+    (Mecf.coverage_via_flow inst ~monitors:[ 1; 2 ]);
+  Alcotest.(check (float 1e-6)) "nothing" 0.0
+    (Mecf.coverage_via_flow inst ~monitors:[])
+
+let prop_flow_coverage_equals_combinatorial =
+  (* Theorem 2's accounting: max flow through selected w_e nodes =
+     monitored volume *)
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"max-flow coverage equals combinatorial coverage"
+    ~count:30 gen (fun seed ->
+      let inst = pop10_instance (1 + (seed mod 19)) in
+      let rng = Prng.create seed in
+      let ne = Graph.num_edges inst.Instance.graph in
+      let monitors =
+        List.filter (fun _ -> Prng.bool rng) (List.init ne Fun.id)
+      in
+      let flow = Mecf.coverage_via_flow inst ~monitors in
+      let comb = Instance.coverage inst monitors in
+      abs_float (flow -. comb) < 1e-6 *. (1.0 +. comb))
+
+let prop_mecf_mip_matches_exact =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"mecf mip optimum equals combinatorial optimum"
+    ~count:6 gen (fun seed ->
+      let inst = small_instance (1 + (seed mod 11)) in
+      let rng = Prng.create seed in
+      let k = 0.7 +. Prng.float rng 0.3 in
+      let m = Mecf.solve_mip ~k inst in
+      let e = Passive.solve_exact ~k inst in
+      m.Passive.optimal && e.Passive.optimal
+      && m.Passive.count = e.Passive.count
+      && Passive.validate ~k inst m.Passive.monitors)
+
+let prop_flow_heuristic_feasible =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"flow heuristic always feasible, never better than exact"
+    ~count:12 gen (fun seed ->
+      let inst = small_instance (1 + (seed mod 13)) in
+      let rng = Prng.create seed in
+      let k = 0.7 +. Prng.float rng 0.3 in
+      let f = Mecf.flow_heuristic ~k inst in
+      let e = Passive.solve_exact ~k inst in
+      Passive.validate ~k inst f.Passive.monitors
+      && f.Passive.count >= e.Passive.count)
+
+let suite =
+  [
+    Alcotest.test_case "figure 3 mecf optimum" `Quick test_figure3_mecf_optimum;
+    Alcotest.test_case "figure 3 flow heuristic" `Quick test_figure3_flow_heuristic_feasible;
+    Alcotest.test_case "coverage via flow" `Quick test_coverage_via_flow_figure3;
+    QCheck_alcotest.to_alcotest prop_flow_coverage_equals_combinatorial;
+    QCheck_alcotest.to_alcotest prop_mecf_mip_matches_exact;
+    QCheck_alcotest.to_alcotest prop_flow_heuristic_feasible;
+  ]

@@ -1,0 +1,243 @@
+(* Branch-and-bound tests: exact agreement with brute force on random
+   0-1 programs, statuses, and integer (non-binary) variables. *)
+
+module Model = Monpos_lp.Model
+module Mip = Monpos_lp.Mip
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let status_name = function
+  | Mip.Optimal -> "optimal"
+  | Mip.Feasible -> "feasible"
+  | Mip.Infeasible -> "infeasible"
+  | Mip.Unbounded -> "unbounded"
+  | Mip.No_solution -> "no_solution"
+
+let check_status expected got =
+  Alcotest.(check string) "status" (status_name expected) (status_name got)
+
+let test_knapsack () =
+  (* classic: values 60,100,120 weights 10,20,30 cap 50 -> 220 *)
+  let m = Model.create Model.Maximize in
+  let x1 = Model.add_var m ~obj:60.0 Model.Binary in
+  let x2 = Model.add_var m ~obj:100.0 Model.Binary in
+  let x3 = Model.add_var m ~obj:120.0 Model.Binary in
+  Model.add_constr m [ (10.0, x1); (20.0, x2); (30.0, x3) ] Model.Le 50.0;
+  let r = Mip.solve m in
+  check_status Mip.Optimal r.status;
+  check_float "obj" 220.0 r.objective;
+  let sol = Option.get r.solution in
+  check_float "x1" 0.0 sol.(0);
+  check_float "x2" 1.0 sol.(1);
+  check_float "x3" 1.0 sol.(2)
+
+let test_integer_rounding_is_not_enough () =
+  (* LP relaxation optimum rounds to an infeasible point; B&B must
+     still find the true optimum. max x + y st -2x + 2y >= 1,
+     2x + 2y <= 7, ints -> LP opt (1.5, 2) ; MIP opt (1, 2) -> 3 *)
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~obj:1.0 ~ub:10.0 Model.Integer in
+  let y = Model.add_var m ~obj:1.0 ~ub:10.0 Model.Integer in
+  Model.add_constr m [ (-2.0, x); (2.0, y) ] Model.Ge 1.0;
+  Model.add_constr m [ (2.0, x); (2.0, y) ] Model.Le 7.0;
+  let r = Mip.solve m in
+  check_status Mip.Optimal r.status;
+  check_float "obj" 3.0 r.objective
+
+let test_infeasible_integer () =
+  (* 2x = 1 has no integer solution *)
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1.0 ~ub:10.0 Model.Integer in
+  Model.add_constr m [ (2.0, x) ] Model.Eq 1.0;
+  let r = Mip.solve m in
+  check_status Mip.Infeasible r.status
+
+let test_unbounded_integer () =
+  let m = Model.create Model.Maximize in
+  let x = Model.add_var m ~obj:1.0 Model.Integer in
+  ignore x;
+  let r = Mip.solve m in
+  check_status Mip.Unbounded r.status
+
+let test_mixed_integer_continuous () =
+  (* min 3b + y st y >= 2.5 - 10 b, y >= 0, b binary.
+     b=0 -> y=2.5 cost 2.5 ; b=1 -> y=0 cost 3. Optimum 2.5. *)
+  let m = Model.create Model.Minimize in
+  let b = Model.add_var m ~obj:3.0 Model.Binary in
+  let y = Model.add_var m ~obj:1.0 Model.Continuous in
+  Model.add_constr m [ (1.0, y); (10.0, b) ] Model.Ge 2.5;
+  let r = Mip.solve m in
+  check_status Mip.Optimal r.status;
+  check_float "obj" 2.5 r.objective
+
+let test_equality_binary () =
+  (* exactly 2 of 4 picked, minimize weighted sum *)
+  let m = Model.create Model.Minimize in
+  let costs = [| 5.0; 1.0; 3.0; 2.0 |] in
+  let xs = Array.map (fun c -> Model.add_var m ~obj:c Model.Binary) costs in
+  Model.add_constr m (Array.to_list (Array.map (fun x -> (1.0, x)) xs)) Model.Eq 2.0;
+  let r = Mip.solve m in
+  check_status Mip.Optimal r.status;
+  check_float "obj" 3.0 r.objective
+
+let test_vertex_cover_c5 () =
+  (* minimum vertex cover of a 5-cycle is 3 *)
+  let m = Model.create Model.Minimize in
+  let xs = Array.init 5 (fun _ -> Model.add_var m ~obj:1.0 Model.Binary) in
+  for i = 0 to 4 do
+    Model.add_constr m [ (1.0, xs.(i)); (1.0, xs.((i + 1) mod 5)) ] Model.Ge 1.0
+  done;
+  let r = Mip.solve m in
+  check_status Mip.Optimal r.status;
+  check_float "obj" 3.0 r.objective
+
+let test_solve_or_fail () =
+  let m = Model.create Model.Minimize in
+  let x = Model.add_var m ~obj:1.0 ~lb:2.0 ~ub:9.0 Model.Integer in
+  ignore x;
+  let sol, obj = Mip.solve_or_fail m in
+  check_float "obj" 2.0 obj;
+  check_float "x" 2.0 sol.(0)
+
+(* Brute force a random 0-1 program and compare. *)
+let brute_force_binary model n =
+  let best = ref None in
+  let x = Array.make n 0.0 in
+  let rec go i =
+    if i = n then begin
+      if Model.value_feasible model x then begin
+        let v = Model.objective_value model x in
+        let better =
+          match (!best, Model.direction model) with
+          | None, _ -> true
+          | Some b, Model.Minimize -> v < b -. 1e-12
+          | Some b, Model.Maximize -> v > b +. 1e-12
+        in
+        if better then best := Some v
+      end
+    end
+    else begin
+      x.(i) <- 0.0;
+      go (i + 1);
+      x.(i) <- 1.0;
+      go (i + 1);
+      x.(i) <- 0.0
+    end
+  in
+  go 0;
+  !best
+
+let prop_matches_brute_force =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"mip matches brute force on random 0-1 programs"
+    ~count:80 gen (fun seed ->
+      let rng = Monpos_util.Prng.create seed in
+      let n = 3 + Monpos_util.Prng.int rng 6 in
+      let rows = 1 + Monpos_util.Prng.int rng 5 in
+      let dir =
+        if Monpos_util.Prng.bool rng then Model.Minimize else Model.Maximize
+      in
+      let m = Model.create dir in
+      let xs =
+        Array.init n (fun _ ->
+            Model.add_var m
+              ~obj:(float_of_int (Monpos_util.Prng.range rng (-10) 10))
+              Model.Binary)
+      in
+      for _ = 1 to rows do
+        let terms =
+          Array.to_list
+            (Array.map
+               (fun x -> (float_of_int (Monpos_util.Prng.range rng (-5) 5), x))
+               xs)
+        in
+        let sense =
+          match Monpos_util.Prng.int rng 3 with
+          | 0 -> Model.Le
+          | 1 -> Model.Ge
+          | _ -> Model.Le
+        in
+        let rhs = float_of_int (Monpos_util.Prng.range rng (-6) 12) in
+        Model.add_constr m terms sense rhs
+      done;
+      let r = Mip.solve m in
+      match brute_force_binary m n with
+      | None -> r.status = Mip.Infeasible
+      | Some best ->
+        r.status = Mip.Optimal && abs_float (r.objective -. best) < 1e-6)
+
+let prop_solution_is_feasible =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"mip incumbents are feasible and integral" ~count:80
+    gen (fun seed ->
+      let rng = Monpos_util.Prng.create seed in
+      let n = 2 + Monpos_util.Prng.int rng 8 in
+      let m = Model.create Model.Maximize in
+      let xs =
+        Array.init n (fun _ ->
+            Model.add_var m
+              ~obj:(1.0 +. Monpos_util.Prng.float rng 9.0)
+              Model.Binary)
+      in
+      let weights = Array.map (fun _ -> 1.0 +. Monpos_util.Prng.float rng 9.0) xs in
+      let cap = 1.0 +. Monpos_util.Prng.float rng (float_of_int n *. 4.0) in
+      Model.add_constr m
+        (List.init n (fun i -> (weights.(i), xs.(i))))
+        Model.Le cap;
+      let r = Mip.solve m in
+      match (r.status, r.solution) with
+      | Mip.Optimal, Some x -> Model.value_feasible m x
+      | _ -> false)
+
+let prop_branching_rules_agree =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"pseudocost and most-fractional find the same optimum"
+    ~count:40 gen (fun seed ->
+      let rng = Monpos_util.Prng.create seed in
+      let n = 3 + Monpos_util.Prng.int rng 6 in
+      let m = Model.create Model.Minimize in
+      let xs =
+        Array.init n (fun _ ->
+            Model.add_var m
+              ~obj:(1.0 +. Monpos_util.Prng.float rng 9.0)
+              Model.Binary)
+      in
+      (* covering constraints *)
+      for _ = 1 to 2 + Monpos_util.Prng.int rng 4 do
+        let terms =
+          Array.to_list
+            (Array.map
+               (fun x ->
+                 ((if Monpos_util.Prng.bool rng then 1.0 else 0.0), x))
+               xs)
+        in
+        if List.exists (fun (c, _) -> c > 0.0) terms then
+          Model.add_constr m terms Model.Ge 1.0
+      done;
+      let a =
+        Mip.solve ~options:{ Mip.default_options with Mip.branching = Mip.Pseudocost } m
+      in
+      let b =
+        Mip.solve
+          ~options:{ Mip.default_options with Mip.branching = Mip.Most_fractional }
+          m
+      in
+      match (a.Mip.status, b.Mip.status) with
+      | Mip.Infeasible, Mip.Infeasible -> true
+      | Mip.Optimal, Mip.Optimal -> abs_float (a.Mip.objective -. b.Mip.objective) < 1e-6
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "knapsack" `Quick test_knapsack;
+    Alcotest.test_case "rounding not enough" `Quick test_integer_rounding_is_not_enough;
+    Alcotest.test_case "infeasible integer" `Quick test_infeasible_integer;
+    Alcotest.test_case "unbounded integer" `Quick test_unbounded_integer;
+    Alcotest.test_case "mixed integer continuous" `Quick test_mixed_integer_continuous;
+    Alcotest.test_case "equality on binaries" `Quick test_equality_binary;
+    Alcotest.test_case "vertex cover C5" `Quick test_vertex_cover_c5;
+    Alcotest.test_case "solve_or_fail" `Quick test_solve_or_fail;
+    QCheck_alcotest.to_alcotest prop_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_branching_rules_agree;
+    QCheck_alcotest.to_alcotest prop_solution_is_feasible;
+  ]

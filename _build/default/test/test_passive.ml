@@ -1,0 +1,171 @@
+(* Passive placement tests: Figure 3 behaviour, exact-vs-MIP-vs-greedy
+   agreement, partial coverage, incremental and budgeted variants. *)
+
+module Instance = Monpos.Instance
+module Passive = Monpos.Passive
+module Pop = Monpos_topo.Pop
+module Graph = Monpos_graph.Graph
+module Prng = Monpos_util.Prng
+
+let pop10_instance seed =
+  Instance.of_pop (Pop.make_preset `Pop10 ~seed) ~seed:(seed * 3)
+
+let test_figure3_greedy_vs_exact () =
+  (* the paper's §4.3 example: greedy needs 3 devices, the optimum 2 *)
+  let inst = Instance.figure3 () in
+  let g = Passive.greedy inst in
+  let e = Passive.solve_exact inst in
+  Alcotest.(check int) "greedy 3" 3 g.Passive.count;
+  Alcotest.(check int) "exact 2" 2 e.Passive.count;
+  Alcotest.(check bool) "exact optimal" true e.Passive.optimal;
+  Alcotest.(check (list int)) "optimal links are the load-3 pair" [ 1; 2 ]
+    e.Passive.monitors;
+  Alcotest.(check bool) "greedy picks heaviest first" true
+    (List.mem 0 g.Passive.monitors)
+
+let test_figure3_mip_formulations () =
+  let inst = Instance.figure3 () in
+  let lp2 = Passive.solve_mip ~formulation:`Lp2 inst in
+  let lp1 = Passive.solve_mip ~formulation:`Lp1 inst in
+  Alcotest.(check int) "lp2 optimum" 2 lp2.Passive.count;
+  Alcotest.(check int) "lp1 optimum" 2 lp1.Passive.count;
+  Alcotest.(check bool) "lp2 proved" true lp2.Passive.optimal;
+  Alcotest.(check bool) "lp1 proved" true lp1.Passive.optimal
+
+let test_full_coverage_pop10 () =
+  let inst = pop10_instance 1 in
+  let e = Passive.solve_exact inst in
+  Alcotest.(check bool) "covers all" true
+    (Passive.validate ~k:1.0 inst e.Passive.monitors);
+  Alcotest.(check (float 1e-9)) "fraction 1" 1.0 e.Passive.fraction
+
+let test_partial_needs_fewer () =
+  let inst = pop10_instance 2 in
+  let full = Passive.solve_exact ~k:1.0 inst in
+  let partial = Passive.solve_exact ~k:0.75 inst in
+  Alcotest.(check bool) "0.75 needs <= devices" true
+    (partial.Passive.count <= full.Passive.count);
+  Alcotest.(check bool) "0.75 reached" true
+    (partial.Passive.fraction >= 0.75 -. 1e-9)
+
+let test_greedy_validates () =
+  List.iter
+    (fun k ->
+      let inst = pop10_instance 3 in
+      let g = Passive.greedy ~k inst in
+      Alcotest.(check bool) "feasible" true
+        (Passive.validate ~k inst g.Passive.monitors))
+    [ 0.5; 0.75; 0.9; 1.0 ]
+
+let test_lp_bound_sandwich () =
+  let inst = pop10_instance 4 in
+  let bound = Passive.lp_bound ~k:0.9 inst in
+  let e = Passive.solve_exact ~k:0.9 inst in
+  Alcotest.(check bool) "lp <= opt" true
+    (bound <= float_of_int e.Passive.count +. 1e-6);
+  Alcotest.(check bool) "lp positive" true (bound > 0.0)
+
+let test_incremental () =
+  let inst = Instance.figure3 () in
+  (* with the central link already installed, one more device cannot
+     complete coverage; two can (links 1 and 2 overlap link 0) *)
+  let sol = Passive.incremental ~k:1.0 ~installed:[ 0 ] inst in
+  Alcotest.(check int) "needs 2 new" 2 sol.Passive.count;
+  Alcotest.(check bool) "not counting installed" true
+    (not (List.mem 0 sol.Passive.monitors));
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0 sol.Passive.fraction
+
+let test_incremental_zero_new () =
+  let inst = Instance.figure3 () in
+  let sol = Passive.incremental ~k:1.0 ~installed:[ 1; 2 ] inst in
+  Alcotest.(check int) "no new devices" 0 sol.Passive.count;
+  Alcotest.(check (float 1e-9)) "covered" 1.0 sol.Passive.fraction
+
+let test_budgeted () =
+  let inst = Instance.figure3 () in
+  (* best single device is the load-4 link: fraction 4/6 *)
+  let sol1 = Passive.budgeted ~budget:1 inst in
+  Alcotest.(check (float 1e-6)) "budget 1" (4.0 /. 6.0) sol1.Passive.fraction;
+  Alcotest.(check int) "one device" 1 sol1.Passive.count;
+  let sol2 = Passive.budgeted ~budget:2 inst in
+  Alcotest.(check (float 1e-6)) "budget 2 covers all" 1.0 sol2.Passive.fraction
+
+let test_budgeted_zero () =
+  let inst = Instance.figure3 () in
+  let sol = Passive.budgeted ~budget:0 inst in
+  Alcotest.(check int) "no devices" 0 sol.Passive.count;
+  Alcotest.(check (float 1e-6)) "no coverage" 0.0 sol.Passive.fraction
+
+let test_marginal_gains_monotone () =
+  let inst = Instance.figure3 () in
+  let gains = Passive.marginal_gains ~max_budget:4 inst in
+  Alcotest.(check int) "four budgets" 4 (List.length gains);
+  let rec nondecreasing = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-9 && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (nondecreasing gains);
+  (* figure 3: budget 1 buys 4/6, budget 2 buys everything *)
+  Alcotest.(check (float 1e-6)) "budget 1" (4.0 /. 6.0) (List.assoc 1 gains);
+  Alcotest.(check (float 1e-6)) "budget 2" 1.0 (List.assoc 2 gains)
+
+let prop_exact_leq_greedy =
+  let gen = QCheck2.Gen.int_range 1 1_000_000 in
+  QCheck2.Test.make ~name:"exact count <= greedy count on random pops"
+    ~count:20 gen (fun seed ->
+      let inst = pop10_instance (1 + (seed mod 50)) in
+      let rng = Prng.create seed in
+      let k = 0.6 +. Prng.float rng 0.4 in
+      let g = Passive.greedy ~k inst in
+      let e = Passive.solve_exact ~k inst in
+      e.Passive.optimal
+      && e.Passive.count <= g.Passive.count
+      && Passive.validate ~k inst e.Passive.monitors
+      && Passive.validate ~k inst g.Passive.monitors)
+
+let prop_mip_matches_exact =
+  let gen = QCheck2.Gen.int_range 1 1_000_000 in
+  QCheck2.Test.make ~name:"mip lp2 optimum equals combinatorial optimum"
+    ~count:8 gen (fun seed ->
+      let inst = pop10_instance (1 + (seed mod 23)) in
+      let rng = Prng.create seed in
+      let k = 0.7 +. Prng.float rng 0.3 in
+      let e = Passive.solve_exact ~k inst in
+      let m = Passive.solve_mip ~k ~formulation:`Lp2 inst in
+      e.Passive.optimal && m.Passive.optimal
+      && e.Passive.count = m.Passive.count
+      && Passive.validate ~k inst m.Passive.monitors)
+
+let prop_more_coverage_needs_more_devices =
+  let gen = QCheck2.Gen.int_range 1 1_000_000 in
+  QCheck2.Test.make ~name:"device count is monotone in k" ~count:10 gen
+    (fun seed ->
+      let inst = pop10_instance (1 + (seed mod 31)) in
+      let counts =
+        List.map
+          (fun k -> (Passive.solve_exact ~k inst).Passive.count)
+          [ 0.75; 0.85; 0.95; 1.0 ]
+      in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      nondecreasing counts)
+
+let suite =
+  [
+    Alcotest.test_case "figure 3 greedy vs exact" `Quick test_figure3_greedy_vs_exact;
+    Alcotest.test_case "figure 3 mip formulations" `Quick test_figure3_mip_formulations;
+    Alcotest.test_case "full coverage pop10" `Quick test_full_coverage_pop10;
+    Alcotest.test_case "partial needs fewer" `Quick test_partial_needs_fewer;
+    Alcotest.test_case "greedy validates" `Quick test_greedy_validates;
+    Alcotest.test_case "lp bound sandwich" `Quick test_lp_bound_sandwich;
+    Alcotest.test_case "incremental" `Quick test_incremental;
+    Alcotest.test_case "incremental zero new" `Quick test_incremental_zero_new;
+    Alcotest.test_case "budgeted" `Quick test_budgeted;
+    Alcotest.test_case "budgeted zero" `Quick test_budgeted_zero;
+    Alcotest.test_case "marginal gains" `Quick test_marginal_gains_monotone;
+    QCheck_alcotest.to_alcotest prop_exact_leq_greedy;
+    QCheck_alcotest.to_alcotest prop_mip_matches_exact;
+    QCheck_alcotest.to_alcotest prop_more_coverage_needs_more_devices;
+  ]

@@ -1,0 +1,274 @@
+(* Sampling (PPME) tests: LP3 solutions respect every constraint
+   family, PPME* re-optimization, cost ordering, dynamic loop. *)
+
+module Instance = Monpos.Instance
+module Sampling = Monpos.Sampling
+module Passive = Monpos.Passive
+module Pop = Monpos_topo.Pop
+module Graph = Monpos_graph.Graph
+module Prng = Monpos_util.Prng
+
+let pop10_instance seed =
+  Instance.of_pop (Pop.make_preset `Pop10 ~seed) ~seed:(seed * 3)
+
+(* test-time MILP budget: a 2-second anytime solve is plenty to check
+   feasibility invariants *)
+let fast_options =
+  {
+    Monpos_lp.Mip.default_options with
+    Monpos_lp.Mip.time_limit = 2.0;
+    gap_tolerance = 0.02;
+  }
+
+let check_solution_feasible pb (s : Sampling.solution) =
+  let inst = pb.Sampling.instance in
+  (* rates only where installed, all within [0,1] *)
+  Array.iteri
+    (fun e r ->
+      Alcotest.(check bool) "rate in [0,1]" true (r >= -1e-9 && r <= 1.0 +. 1e-9);
+      if r > 1e-9 then
+        Alcotest.(check bool) "rate implies installed" true
+          (List.mem e s.Sampling.installed))
+    s.Sampling.rates;
+  (* delta_p <= sum of rates along p *)
+  Array.iteri
+    (fun p tr ->
+      let sum =
+        List.fold_left
+          (fun acc e -> acc +. s.Sampling.rates.(e))
+          0.0 tr.Instance.t_edges
+      in
+      Alcotest.(check bool) "delta within cascade" true
+        (s.Sampling.path_fractions.(p) <= sum +. 1e-6))
+    inst.Instance.traffics;
+  (* global coverage *)
+  Alcotest.(check bool) "global k reached" true
+    (s.Sampling.fraction >= pb.Sampling.k -. 1e-6);
+  (* per-demand floors *)
+  let ndemands = Array.length inst.Instance.demands in
+  let monitored = Array.make ndemands 0.0 in
+  let volume = Array.make ndemands 0.0 in
+  Array.iteri
+    (fun p tr ->
+      let d = tr.Instance.t_demand in
+      monitored.(d) <-
+        monitored.(d) +. (s.Sampling.path_fractions.(p) *. tr.Instance.t_volume);
+      volume.(d) <- volume.(d) +. tr.Instance.t_volume)
+    inst.Instance.traffics;
+  Array.iteri
+    (fun d h ->
+      if volume.(d) > 0.0 then
+        Alcotest.(check bool) "per-demand floor" true
+          (monitored.(d) >= (h *. volume.(d)) -. 1e-6))
+    pb.Sampling.h
+
+let test_milp_figure3 () =
+  let inst = Instance.figure3 () in
+  let pb = Sampling.make_problem ~k:0.9 inst in
+  let s = Sampling.solve_milp pb in
+  Alcotest.(check bool) "optimal" true s.Sampling.optimal;
+  check_solution_feasible pb s;
+  (* uniform costs: install dominates, so the device count matches the
+     budget-free passive optimum for k = 0.9 *)
+  let e = Passive.solve_exact ~k:0.9 inst in
+  Alcotest.(check int) "device count matches passive optimum"
+    e.Passive.count
+    (List.length s.Sampling.installed)
+
+let test_milp_pop10 () =
+  let inst = pop10_instance 1 in
+  let pb = Sampling.make_problem ~k:0.85 inst in
+  let s = Sampling.solve_milp ~options:fast_options pb in
+  check_solution_feasible pb s
+
+let test_milp_with_demand_floors () =
+  let inst = Instance.figure3 () in
+  let h = Array.make (Array.length inst.Instance.demands) 0.5 in
+  let pb = Sampling.make_problem ~k:0.6 ~h inst in
+  let s = Sampling.solve_milp pb in
+  check_solution_feasible pb s
+
+let test_sampling_cheaper_than_full_monitoring () =
+  (* with expensive exploitation, sampling at k=0.8 must cost no more
+     than full-rate monitoring of the same links *)
+  let inst = pop10_instance 2 in
+  let costs = Sampling.uniform_costs ~install:5.0 ~exploit:10.0 () in
+  let pb = Sampling.make_problem ~k:0.8 ~costs inst in
+  let s = Sampling.solve_milp ~options:fast_options pb in
+  let full_rate_cost =
+    List.fold_left
+      (fun acc e -> acc +. 5.0 +. (10.0 *. 1.0) +. (0.0 *. float_of_int e))
+      0.0 s.Sampling.installed
+  in
+  Alcotest.(check bool) "cheaper than running flat out" true
+    (s.Sampling.total_cost <= full_rate_cost +. 1e-6)
+
+let test_reoptimize_fixed_placement () =
+  let inst = Instance.figure3 () in
+  let pb = Sampling.make_problem ~k:0.9 inst in
+  (* fix devices on the two load-3 links: they can reach k = 0.9 *)
+  let s = Sampling.reoptimize pb ~installed:[ 1; 2 ] in
+  Alcotest.(check bool) "optimal LP" true s.Sampling.optimal;
+  check_solution_feasible pb s;
+  Alcotest.(check bool) "no new devices" true
+    (List.for_all (fun e -> List.mem e [ 1; 2 ]) s.Sampling.installed)
+
+let test_reoptimize_infeasible () =
+  let inst = Instance.figure3 () in
+  let pb = Sampling.make_problem ~k:0.9 inst in
+  (* one light link cannot reach 90% even at rate 1 *)
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sampling.reoptimize pb ~installed:[ 3 ]);
+       false
+     with Failure _ -> true)
+
+let test_reoptimize_cost_not_above_milp () =
+  (* PPME* on the MILP's own placement can only reduce or match the
+     exploitation cost (the MILP already optimized rates) *)
+  let inst = pop10_instance 3 in
+  let pb = Sampling.make_problem ~k:0.85 inst in
+  let milp = Sampling.solve_milp ~options:fast_options pb in
+  let re = Sampling.reoptimize pb ~installed:milp.Sampling.installed in
+  Alcotest.(check bool) "exploit cost no worse" true
+    (re.Sampling.exploit_cost <= milp.Sampling.exploit_cost +. 1e-6)
+
+let test_reoptimize_flow_figure3 () =
+  let inst = Instance.figure3 () in
+  let pb = Sampling.make_problem ~k:0.9 inst in
+  let s = Sampling.reoptimize_flow pb ~installed:[ 1; 2 ] in
+  Alcotest.(check bool) "meets k" true (s.Sampling.fraction >= 0.9 -. 1e-6);
+  Alcotest.(check bool) "rates within bounds" true
+    (Array.for_all (fun r -> r >= -1e-9 && r <= 1.0 +. 1e-9) s.Sampling.rates);
+  Alcotest.(check bool) "only installed links" true
+    (List.for_all (fun e -> List.mem e [ 1; 2 ]) s.Sampling.installed)
+
+let test_reoptimize_flow_cost_bounds_lp () =
+  (* the per-path-ratio flow relaxation can only be cheaper than the
+     uniform-rate LP, and both meet the target *)
+  List.iter
+    (fun seed ->
+      let inst = pop10_instance seed in
+      let pb =
+        Sampling.make_problem ~k:0.85
+          ~costs:(Sampling.load_scaled_costs inst ())
+          inst
+      in
+      let installed = (Passive.greedy ~k:0.95 inst).Passive.monitors in
+      let lp = Sampling.reoptimize pb ~installed in
+      let fl = Sampling.reoptimize_flow pb ~installed in
+      Alcotest.(check bool) "flow <= lp cost" true
+        (fl.Sampling.exploit_cost <= lp.Sampling.exploit_cost +. 1e-6);
+      Alcotest.(check bool) "flow cost positive" true
+        (fl.Sampling.exploit_cost > 0.0))
+    [ 1; 2; 3 ]
+
+let test_reoptimize_flow_demand_floors () =
+  let inst = pop10_instance 6 in
+  let ndemands = Array.length inst.Instance.demands in
+  let h = Array.make ndemands 0.3 in
+  let pb = Sampling.make_problem ~k:0.8 ~h inst in
+  let all_edges =
+    List.filter
+      (fun e -> inst.Instance.loads.(e) > 0.0)
+      (List.init (Graph.num_edges inst.Instance.graph) Fun.id)
+  in
+  let s = Sampling.reoptimize_flow pb ~installed:all_edges in
+  Alcotest.(check bool) "meets global" true (s.Sampling.fraction >= 0.8 -. 1e-6)
+
+let test_reoptimize_flow_infeasible () =
+  let inst = Instance.figure3 () in
+  let pb = Sampling.make_problem ~k:0.9 inst in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sampling.reoptimize_flow pb ~installed:[ 3 ]);
+       false
+     with Failure _ -> true)
+
+let test_coverage_with_rates () =
+  let inst = Instance.figure3 () in
+  let pb = Sampling.make_problem ~k:0.5 inst in
+  let rates = Array.make (Graph.num_edges inst.Instance.graph) 0.0 in
+  rates.(0) <- 0.5 (* central link at 50% -> covers 2 of 6 units *);
+  Alcotest.(check (float 1e-9)) "half of heavy traffics" (2.0 /. 6.0)
+    (Sampling.coverage_with_rates pb ~rates);
+  rates.(0) <- 1.0;
+  Alcotest.(check (float 1e-9)) "full central" (4.0 /. 6.0)
+    (Sampling.coverage_with_rates pb ~rates);
+  (* cascade: two links on one path cap at 1 *)
+  rates.(0) <- 0.8;
+  rates.(1) <- 0.8;
+  let c = Sampling.coverage_with_rates pb ~rates in
+  Alcotest.(check bool) "capped at path volume" true (c <= 1.0 +. 1e-9)
+
+let test_dynamic_loop_maintains_threshold () =
+  let inst = pop10_instance 4 in
+  let pb =
+    Sampling.make_problem ~k:0.85
+      ~costs:(Sampling.load_scaled_costs inst ())
+      inst
+  in
+  let placement = Sampling.solve_milp ~options:fast_options pb in
+  let ticks =
+    Sampling.run_dynamic pb ~installed:placement.Sampling.installed
+      ~threshold:0.8 ~steps:20 ~sigma:0.2 ~seed:9
+  in
+  Alcotest.(check int) "20 ticks" 20 (List.length ticks);
+  List.iter
+    (fun (t : Sampling.tick) ->
+      (* after a re-optimization, coverage is back above k or rates
+         saturated; without one, coverage stayed above the threshold *)
+      if t.Sampling.reoptimized then
+        Alcotest.(check bool) "reopt improves or saturates" true
+          (t.Sampling.fraction_after >= t.Sampling.fraction_before -. 1e-9)
+      else
+        Alcotest.(check bool) "no reopt above threshold" true
+          (t.Sampling.fraction_before >= 0.8 -. 1e-9))
+    ticks
+
+let test_dynamic_loop_reoptimizes_sometimes () =
+  let inst = pop10_instance 5 in
+  let pb = Sampling.make_problem ~k:0.9 inst in
+  let placement = Sampling.solve_milp ~options:fast_options pb in
+  let ticks =
+    Sampling.run_dynamic pb ~installed:placement.Sampling.installed
+      ~threshold:0.9 ~steps:60 ~sigma:0.5 ~seed:77
+  in
+  Alcotest.(check bool) "at least one reoptimization" true
+    (List.exists (fun (t : Sampling.tick) -> t.Sampling.reoptimized) ticks)
+
+let prop_milp_feasible_random =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"LP3 solutions satisfy all constraint families"
+    ~count:6 gen (fun seed ->
+      let inst = pop10_instance (1 + (seed mod 7)) in
+      let rng = Prng.create seed in
+      let k = 0.6 +. Prng.float rng 0.35 in
+      let h =
+        Array.map
+          (fun _ -> Prng.float rng (k /. 2.0))
+          (Array.make (Array.length inst.Instance.demands) 0)
+      in
+      let pb = Sampling.make_problem ~k ~h inst in
+      let s = Sampling.solve_milp ~options:fast_options pb in
+      s.Sampling.fraction >= k -. 1e-6
+      && Array.for_all (fun r -> r >= -1e-9 && r <= 1.0 +. 1e-9) s.Sampling.rates)
+
+let suite =
+  [
+    Alcotest.test_case "milp figure3" `Quick test_milp_figure3;
+    Alcotest.test_case "milp pop10" `Quick test_milp_pop10;
+    Alcotest.test_case "milp demand floors" `Quick test_milp_with_demand_floors;
+    Alcotest.test_case "sampling cheaper" `Quick test_sampling_cheaper_than_full_monitoring;
+    Alcotest.test_case "reoptimize fixed" `Quick test_reoptimize_fixed_placement;
+    Alcotest.test_case "reoptimize infeasible" `Quick test_reoptimize_infeasible;
+    Alcotest.test_case "reoptimize cost" `Quick test_reoptimize_cost_not_above_milp;
+    Alcotest.test_case "flow reopt figure3" `Quick test_reoptimize_flow_figure3;
+    Alcotest.test_case "flow reopt cost bound" `Quick test_reoptimize_flow_cost_bounds_lp;
+    Alcotest.test_case "flow reopt demand floors" `Quick test_reoptimize_flow_demand_floors;
+    Alcotest.test_case "flow reopt infeasible" `Quick test_reoptimize_flow_infeasible;
+    Alcotest.test_case "coverage with rates" `Quick test_coverage_with_rates;
+    Alcotest.test_case "dynamic maintains threshold" `Quick test_dynamic_loop_maintains_threshold;
+    Alcotest.test_case "dynamic reoptimizes" `Quick test_dynamic_loop_reoptimizes_sometimes;
+    QCheck_alcotest.to_alcotest prop_milp_feasible_random;
+  ]

@@ -1,0 +1,249 @@
+(* Topology generator tests: paper-sized presets, structural
+   invariants (two-level hierarchy, connectivity), synthetic graphs. *)
+
+module Pop = Monpos_topo.Pop
+module Synthetic = Monpos_topo.Synthetic
+module Graph = Monpos_graph.Graph
+module Paths = Monpos_graph.Paths
+module Prng = Monpos_util.Prng
+
+let test_pop10_counts () =
+  let pop = Pop.make_preset `Pop10 ~seed:1 in
+  Alcotest.(check int) "routers" 10 (Pop.num_routers pop);
+  Alcotest.(check int) "links" 27 (Graph.num_edges pop.Pop.graph);
+  Alcotest.(check int) "router links" 15 (Pop.router_link_count pop);
+  Alcotest.(check int) "endpoints" 12 (List.length (Pop.endpoints pop))
+
+let test_pop15_counts () =
+  let pop = Pop.make_preset `Pop15 ~seed:1 in
+  Alcotest.(check int) "routers" 15 (Pop.num_routers pop);
+  Alcotest.(check int) "links" 71 (Graph.num_edges pop.Pop.graph);
+  Alcotest.(check int) "endpoints" 45 (List.length (Pop.endpoints pop))
+
+let test_pop29_pop80_router_counts () =
+  let p29 = Pop.make_preset `Pop29 ~seed:1 in
+  let p80 = Pop.make_preset `Pop80 ~seed:1 in
+  Alcotest.(check int) "29 routers" 29 (Pop.num_routers p29);
+  Alcotest.(check int) "80 routers" 80 (Pop.num_routers p80)
+
+let test_connectivity_across_seeds () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun p ->
+          let pop = Pop.make_preset p ~seed in
+          Alcotest.(check bool) "connected" true
+            (Paths.is_connected pop.Pop.graph))
+        [ `Pop10; `Pop15; `Pop29; `Pop80 ])
+    [ 1; 2; 3; 42; 1000 ]
+
+let test_two_level_structure () =
+  let pop = Pop.make_preset `Pop15 ~seed:7 in
+  let g = pop.Pop.graph in
+  (* endpoints have degree exactly 1 *)
+  List.iter
+    (fun v -> Alcotest.(check int) "endpoint degree" 1 (Graph.degree g v))
+    (Pop.endpoints pop);
+  (* customers attach to access routers, peers to backbone routers *)
+  Graph.iter_edges
+    (fun _ u v ->
+      let check a b =
+        match (pop.Pop.roles.(a), pop.Pop.roles.(b)) with
+        | Pop.Customer, r ->
+          Alcotest.(check bool) "customer on access" true (r = Pop.Access)
+        | Pop.Peer, r ->
+          Alcotest.(check bool) "peer on backbone" true (r = Pop.Backbone)
+        | _ -> ()
+      in
+      check u v;
+      check v u)
+    g;
+  (* no access-access links: extra links are chords or dual homings *)
+  Graph.iter_edges
+    (fun _ u v ->
+      match (pop.Pop.roles.(u), pop.Pop.roles.(v)) with
+      | Pop.Access, Pop.Access ->
+        Alcotest.fail "access-access link generated"
+      | _ -> ())
+    g
+
+let test_deterministic_generation () =
+  let a = Pop.make_preset `Pop10 ~seed:5 in
+  let b = Pop.make_preset `Pop10 ~seed:5 in
+  Alcotest.(check int) "same edges" (Graph.num_edges a.Pop.graph)
+    (Graph.num_edges b.Pop.graph);
+  Graph.iter_edges
+    (fun e u v ->
+      let u', v' = Graph.endpoints b.Pop.graph e in
+      Alcotest.(check (pair int int)) "edge match" (u, v) (u', v'))
+    a.Pop.graph
+
+let test_invalid_params () =
+  Alcotest.check_raises "too few links"
+    (Invalid_argument "Pop.generate: router_links below connectivity minimum")
+    (fun () ->
+      ignore
+        (Pop.generate
+           { Pop.backbone = 4; access = 6; router_links = 5; endpoints = 0; peers = 0 }
+           ~seed:1))
+
+let test_synthetic_ring () =
+  let g = Synthetic.ring 5 in
+  Alcotest.(check int) "nodes" 5 (Graph.num_nodes g);
+  Alcotest.(check int) "edges" 5 (Graph.num_edges g);
+  for v = 0 to 4 do
+    Alcotest.(check int) "degree 2" 2 (Graph.degree g v)
+  done
+
+let test_synthetic_grid () =
+  let g = Synthetic.grid 3 4 in
+  Alcotest.(check int) "nodes" 12 (Graph.num_nodes g);
+  Alcotest.(check int) "edges" ((3 * 3) + (2 * 4)) (Graph.num_edges g);
+  Alcotest.(check bool) "connected" true (Paths.is_connected g)
+
+let test_synthetic_star_complete () =
+  let s = Synthetic.star 6 in
+  Alcotest.(check int) "star edges" 6 (Graph.num_edges s);
+  Alcotest.(check int) "hub degree" 6 (Graph.degree s 0);
+  let k = Synthetic.complete 5 in
+  Alcotest.(check int) "K5 edges" 10 (Graph.num_edges k)
+
+let prop_waxman_connected =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"waxman graphs are connected and simple" ~count:50
+    gen (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 30 in
+      let g = Synthetic.waxman ~n ~alpha:0.4 ~beta:0.3 ~seed in
+      Paths.is_connected g
+      &&
+      (* no self loops *)
+      Graph.fold_edges (fun _ u v acc -> acc && u <> v) g true)
+
+let prop_pop_generation_valid =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"random pops are connected with correct counts"
+    ~count:50 gen (fun seed ->
+      let rng = Prng.create seed in
+      let backbone = 2 + Prng.int rng 6 in
+      let access = Prng.int rng 10 in
+      let nrouters = backbone + access in
+      let min_links = (if backbone = 2 then 1 else backbone) + access in
+      let max_links = nrouters * (nrouters - 1) / 2 in
+      let router_links = min max_links (min_links + Prng.int rng 10) in
+      let endpoints = Prng.int rng 10 in
+      let peers = if endpoints = 0 then 0 else Prng.int rng (endpoints + 1) in
+      let pop =
+        Pop.generate
+          { Pop.backbone; access; router_links; endpoints; peers }
+          ~seed
+      in
+      Paths.is_connected pop.Pop.graph
+      && Pop.num_routers pop = nrouters
+      && List.length (Pop.endpoints pop) = endpoints
+      && Pop.router_link_count pop = router_links
+      && Graph.num_edges pop.Pop.graph = router_links + endpoints)
+
+module Topo_file = Monpos_topo.Topo_file
+
+let test_parse_samples () =
+  List.iter
+    (fun (name, text) ->
+      match Topo_file.parse text with
+      | Error e -> Alcotest.fail (name ^ ": " ^ e)
+      | Ok pop ->
+        Alcotest.(check bool) (name ^ " connected") true
+          (Paths.is_connected pop.Pop.graph);
+        Alcotest.(check bool) (name ^ " has routers") true
+          (Pop.num_routers pop > 0))
+    Topo_file.samples
+
+let test_load_sample_counts () =
+  let pop = Topo_file.load_sample "metro-7" in
+  Alcotest.(check int) "routers" 7 (Pop.num_routers pop);
+  Alcotest.(check int) "endpoints" 6 (List.length (Pop.endpoints pop));
+  Alcotest.(check string) "name" "metro-7" pop.Pop.name;
+  let b11 = Topo_file.load_sample "backbone-11" in
+  Alcotest.(check int) "backbone-11 routers" 11 (Pop.num_routers b11)
+
+let test_round_trip () =
+  let pop = Pop.make_preset `Pop10 ~seed:4 in
+  match Topo_file.parse (Topo_file.to_string pop) with
+  | Error e -> Alcotest.fail e
+  | Ok pop' ->
+    Alcotest.(check int) "nodes" (Graph.num_nodes pop.Pop.graph)
+      (Graph.num_nodes pop'.Pop.graph);
+    Alcotest.(check int) "edges" (Graph.num_edges pop.Pop.graph)
+      (Graph.num_edges pop'.Pop.graph);
+    Graph.iter_edges
+      (fun e u v ->
+        let u', v' = Graph.endpoints pop'.Pop.graph e in
+        Alcotest.(check (pair int int)) "edge" (u, v) (u', v'))
+      pop.Pop.graph;
+    Array.iteri
+      (fun v r -> Alcotest.(check bool) "role" true (pop'.Pop.roles.(v) = r))
+      pop.Pop.roles
+
+let test_parse_errors () =
+  let check_err text fragment =
+    match Topo_file.parse text with
+    | Ok _ -> Alcotest.fail ("expected error for: " ^ text)
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" e fragment)
+        true
+        (Astring.String.is_infix ~affix:fragment e)
+  in
+  check_err "node a wizard
+" "unknown role";
+  check_err "node a backbone
+node a backbone
+" "duplicate";
+  check_err "link a b
+" "unknown node";
+  check_err "node a backbone
+link a a
+" "self-loop";
+  check_err "frobnicate
+" "unknown directive";
+  check_err "node a backbone
+node c customer
+link a c
+node d customer
+"
+    "exactly one link"
+
+let test_parse_comments_and_blanks () =
+  let text = "# header
+
+name t
+node a backbone # trailing
+node b backbone
+link a b
+" in
+  match Topo_file.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok pop ->
+    Alcotest.(check string) "name" "t" pop.Pop.name;
+    Alcotest.(check int) "edges" 1 (Graph.num_edges pop.Pop.graph)
+
+let suite =
+  [
+    Alcotest.test_case "pop10 counts" `Quick test_pop10_counts;
+    Alcotest.test_case "pop15 counts" `Quick test_pop15_counts;
+    Alcotest.test_case "pop29/pop80 routers" `Quick test_pop29_pop80_router_counts;
+    Alcotest.test_case "connectivity" `Quick test_connectivity_across_seeds;
+    Alcotest.test_case "two-level structure" `Quick test_two_level_structure;
+    Alcotest.test_case "deterministic" `Quick test_deterministic_generation;
+    Alcotest.test_case "invalid params" `Quick test_invalid_params;
+    Alcotest.test_case "ring" `Quick test_synthetic_ring;
+    Alcotest.test_case "grid" `Quick test_synthetic_grid;
+    Alcotest.test_case "star/complete" `Quick test_synthetic_star_complete;
+    Alcotest.test_case "parse samples" `Quick test_parse_samples;
+    Alcotest.test_case "sample counts" `Quick test_load_sample_counts;
+    Alcotest.test_case "file round trip" `Quick test_round_trip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
+    QCheck_alcotest.to_alcotest prop_waxman_connected;
+    QCheck_alcotest.to_alcotest prop_pop_generation_valid;
+  ]

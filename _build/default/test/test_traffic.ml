@@ -1,0 +1,216 @@
+(* Traffic matrix tests: demand counts, routing validity, load
+   accounting, non-uniformity, ECMP splitting, drift model. *)
+
+module Pop = Monpos_topo.Pop
+module Traffic = Monpos_traffic.Traffic
+module Graph = Monpos_graph.Graph
+module Paths = Monpos_graph.Paths
+module Prng = Monpos_util.Prng
+
+let pop10 seed = Pop.make_preset `Pop10 ~seed
+
+let test_demand_count_pop10 () =
+  let pop = pop10 3 in
+  let m =
+    Traffic.generate pop.Pop.graph ~endpoints:(Pop.endpoints pop) ~seed:11
+  in
+  (* paper: 132 traffics on the 10-router POP = 12 * 11 ordered pairs *)
+  Alcotest.(check int) "132 traffics" 132 (Array.length m)
+
+let test_routes_are_shortest_paths () =
+  let pop = pop10 4 in
+  let g = pop.Pop.graph in
+  let m = Traffic.generate g ~endpoints:(Pop.endpoints pop) ~seed:12 in
+  Array.iter
+    (fun d ->
+      let sp =
+        Option.get (Paths.shortest_path g ~weight:(fun _ -> 1.0) d.Traffic.src d.Traffic.dst)
+      in
+      List.iter
+        (fun (r : Traffic.route) ->
+          Alcotest.(check (float 1e-9)) "route cost is min"
+            sp.Paths.cost r.Traffic.path.Paths.cost;
+          Alcotest.(check int) "starts at src" d.Traffic.src
+            (List.hd r.Traffic.path.Paths.nodes);
+          Alcotest.(check int) "ends at dst" d.Traffic.dst
+            (List.nth r.Traffic.path.Paths.nodes
+               (List.length r.Traffic.path.Paths.nodes - 1)))
+        d.Traffic.routes)
+    m
+
+let test_loads_consistency () =
+  let pop = pop10 5 in
+  let g = pop.Pop.graph in
+  let m = Traffic.generate g ~endpoints:(Pop.endpoints pop) ~seed:13 in
+  let loads = Traffic.loads g m in
+  (* sum of loads = sum over demands of volume * path length *)
+  let expected =
+    Array.fold_left
+      (fun acc d ->
+        List.fold_left
+          (fun acc (r : Traffic.route) ->
+            acc
+            +. (r.Traffic.volume *. float_of_int (List.length r.Traffic.path.Paths.edges)))
+          acc d.Traffic.routes)
+      0.0 m
+  in
+  Alcotest.(check (float 1e-6)) "load mass" expected
+    (Array.fold_left ( +. ) 0.0 loads)
+
+let test_hot_pairs_nonuniform () =
+  let pop = pop10 6 in
+  let g = pop.Pop.graph in
+  let params = { Traffic.default_gen with Traffic.hot_pairs = 6 } in
+  let m = Traffic.generate ~params g ~endpoints:(Pop.endpoints pop) ~seed:14 in
+  let volumes = Array.map (fun d -> d.Traffic.volume) m in
+  Array.sort compare volumes;
+  let n = Array.length volumes in
+  let top = volumes.(n - 1) and median = volumes.(n / 2) in
+  (* hot pairs make the max volume stand far above the median *)
+  Alcotest.(check bool) "heavy tail" true (top > 5.0 *. median)
+
+let test_ecmp_split () =
+  (* diamond graph: two equal shortest paths; ECMP must split volume *)
+  let g = Graph.create ~num_nodes:4 () in
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 3);
+  ignore (Graph.add_edge g 0 2);
+  ignore (Graph.add_edge g 2 3);
+  let params =
+    { Traffic.default_gen with Traffic.max_ecmp_paths = 4; hot_pairs = 0 }
+  in
+  let m = Traffic.generate_pairs ~params g ~pairs:[ (0, 3) ] ~seed:9 in
+  Alcotest.(check int) "one demand" 1 (Array.length m);
+  let d = m.(0) in
+  Alcotest.(check int) "two routes" 2 (List.length d.Traffic.routes);
+  let route_sum =
+    List.fold_left
+      (fun acc (r : Traffic.route) -> acc +. r.Traffic.volume)
+      0.0 d.Traffic.routes
+  in
+  Alcotest.(check (float 1e-9)) "volumes sum" d.Traffic.volume route_sum;
+  List.iter
+    (fun (r : Traffic.route) ->
+      Alcotest.(check (float 1e-9)) "even split" (d.Traffic.volume /. 2.0)
+        r.Traffic.volume)
+    d.Traffic.routes
+
+let test_demand_edges_dedup () =
+  let g = Graph.create ~num_nodes:4 () in
+  ignore (Graph.add_edge g 0 1);
+  ignore (Graph.add_edge g 1 3);
+  ignore (Graph.add_edge g 0 2);
+  ignore (Graph.add_edge g 2 3);
+  let params = { Traffic.default_gen with Traffic.max_ecmp_paths = 4 } in
+  let m = Traffic.generate_pairs ~params g ~pairs:[ (0, 3) ] ~seed:9 in
+  let edges = Traffic.demand_edges m.(0) in
+  Alcotest.(check (list int)) "all four edges" [ 0; 1; 2; 3 ] edges
+
+let test_drift_changes_volumes_not_paths () =
+  let pop = pop10 7 in
+  let g = pop.Pop.graph in
+  let m = Traffic.generate g ~endpoints:(Pop.endpoints pop) ~seed:15 in
+  let m' = Traffic.drift m ~seed:99 ~sigma:0.4 in
+  Alcotest.(check int) "same count" (Array.length m) (Array.length m');
+  let changed = ref false in
+  Array.iteri
+    (fun i d ->
+      let d' = m'.(i) in
+      if abs_float (d.Traffic.volume -. d'.Traffic.volume) > 1e-9 then
+        changed := true;
+      Alcotest.(check int) "same route count"
+        (List.length d.Traffic.routes)
+        (List.length d'.Traffic.routes);
+      List.iter2
+        (fun (r : Traffic.route) (r' : Traffic.route) ->
+          Alcotest.(check (list int)) "same edges" r.Traffic.path.Paths.edges
+            r'.Traffic.path.Paths.edges)
+        d.Traffic.routes d'.Traffic.routes)
+    m;
+  Alcotest.(check bool) "some volume changed" true !changed
+
+let test_scale_volumes () =
+  let pop = pop10 8 in
+  let g = pop.Pop.graph in
+  let m = Traffic.generate g ~endpoints:(Pop.endpoints pop) ~seed:16 in
+  let m' = Traffic.scale_volumes m ~factor:(fun _ -> 2.0) in
+  Alcotest.(check (float 1e-6)) "doubled"
+    (2.0 *. Traffic.total_volume m)
+    (Traffic.total_volume m')
+
+let prop_routes_are_valid_walks =
+  let gen = QCheck2.Gen.int_range 0 1_000_000 in
+  QCheck2.Test.make ~name:"generated routes are valid walks" ~count:40 gen
+    (fun seed ->
+      let pop = Pop.make_preset `Pop10 ~seed in
+      let g = pop.Pop.graph in
+      let m = Traffic.generate g ~endpoints:(Pop.endpoints pop) ~seed in
+      Array.for_all
+        (fun d ->
+          List.for_all
+            (fun (r : Traffic.route) ->
+              let rec walk ns es =
+                match (ns, es) with
+                | [ last ], [] -> last = d.Traffic.dst
+                | u :: (v :: _ as rest), e :: etl ->
+                  let a, b = Graph.endpoints g e in
+                  ((a = u && b = v) || (a = v && b = u)) && walk rest etl
+                | _ -> false
+              in
+              List.hd r.Traffic.path.Paths.nodes = d.Traffic.src
+              && walk r.Traffic.path.Paths.nodes r.Traffic.path.Paths.edges
+              && r.Traffic.volume > 0.0)
+            d.Traffic.routes)
+        m)
+
+let test_gravity_volume_and_structure () =
+  let pop = pop10 9 in
+  let g = pop.Pop.graph in
+  let endpoints = Pop.endpoints pop in
+  let m = Traffic.generate_gravity ~total_volume:500.0 g ~endpoints ~seed:21 in
+  Alcotest.(check int) "all ordered pairs" 132 (Array.length m);
+  (* total volume close to the requested mass (diagonal excluded) *)
+  let v = Traffic.total_volume m in
+  Alcotest.(check bool) "volume below target" true (v < 500.0 +. 1e-6);
+  Alcotest.(check bool) "volume substantial" true (v > 100.0);
+  (* gravity symmetry of volumes: v(i,j) = v(j,i) *)
+  Array.iter
+    (fun (d : Traffic.demand) ->
+      match
+        Array.find_opt
+          (fun (d' : Traffic.demand) ->
+            d'.Traffic.src = d.Traffic.dst && d'.Traffic.dst = d.Traffic.src)
+          m
+      with
+      | None -> Alcotest.fail "missing reverse demand"
+      | Some d' ->
+        Alcotest.(check (float 1e-9)) "symmetric volumes" d.Traffic.volume
+          d'.Traffic.volume)
+    m
+
+let test_gravity_heavy_endpoint_dominates () =
+  let pop = pop10 10 in
+  let m =
+    Traffic.generate_gravity pop.Pop.graph ~endpoints:(Pop.endpoints pop)
+      ~seed:33
+  in
+  let volumes = Array.map (fun d -> d.Traffic.volume) m in
+  Array.sort compare volumes;
+  let n = Array.length volumes in
+  Alcotest.(check bool) "tail is heavy" true
+    (volumes.(n - 1) > 10.0 *. volumes.(n / 2))
+
+let suite =
+  [
+    Alcotest.test_case "demand count pop10" `Quick test_demand_count_pop10;
+    Alcotest.test_case "routes are shortest" `Quick test_routes_are_shortest_paths;
+    Alcotest.test_case "loads consistency" `Quick test_loads_consistency;
+    Alcotest.test_case "hot pairs nonuniform" `Quick test_hot_pairs_nonuniform;
+    Alcotest.test_case "ecmp split" `Quick test_ecmp_split;
+    Alcotest.test_case "demand edges dedup" `Quick test_demand_edges_dedup;
+    Alcotest.test_case "drift keeps paths" `Quick test_drift_changes_volumes_not_paths;
+    Alcotest.test_case "scale volumes" `Quick test_scale_volumes;
+    Alcotest.test_case "gravity structure" `Quick test_gravity_volume_and_structure;
+    Alcotest.test_case "gravity heavy tail" `Quick test_gravity_heavy_endpoint_dominates;
+    QCheck_alcotest.to_alcotest prop_routes_are_valid_walks;
+  ]
