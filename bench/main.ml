@@ -21,6 +21,9 @@ module Graph = Monpos_graph.Graph
 module Paths = Monpos_graph.Paths
 module Table = Monpos_util.Table
 module Prng = Monpos_util.Prng
+module Clock = Monpos_obs.Clock
+module Metrics = Monpos_obs.Metrics
+module Json = Monpos_obs.Json
 
 let full_mode =
   match Sys.getenv_opt "MONPOS_BENCH_FULL" with
@@ -34,12 +37,19 @@ let section title =
 
 let note fmt = Printf.printf (fmt ^^ "\n")
 
-(* CPU seconds; the harness is single-threaded compute so this tracks
-   wall clock closely and avoids a unix dependency *)
+(* Monotonic wall-clock seconds (Sys.time measures CPU time and
+   under-reports whenever the process is descheduled). *)
 let wall f =
-  let t0 = Sys.time () in
+  let t0 = Clock.now () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, Clock.elapsed t0)
+
+(* Experiments publish headline numbers (coverage achieved, device
+   counts, ...) into the JSON report through [kv]; the per-phase runner
+   collects and clears them. *)
+let extras : (string * Json.t) list ref = ref []
+let kv key value = extras := (key, value) :: !extras
+let kv_float key value = kv key (Json.Float value)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3: the greedy counterexample (exhibit, also a sanity check) *)
@@ -58,6 +68,10 @@ let fig3 () =
         Table.float_cell ~decimals:1 (100.0 *. e.Passive.fraction) ];
     ];
   note "paper: greedy places 3 measurement points, the optimum 2.";
+  kv "greedy_devices" (Json.Int g.Passive.count);
+  kv "ilp_devices" (Json.Int e.Passive.count);
+  kv_float "greedy_coverage" g.Passive.fraction;
+  kv_float "ilp_coverage" e.Passive.fraction;
   if g.Passive.count <> 3 || e.Passive.count <> 2 then
     note "!! MISMATCH with the paper's example"
 
@@ -92,7 +106,13 @@ let passive_figure ~name ~preset ~seeds:sds ~node_limit ~paper_note () =
   if List.exists (fun p -> not p.Scenario.ilp_optimal) points then
     note "* incumbent under a branch-and-bound node budget (not proven optimal)";
   note "%s" paper_note;
-  note "(%d seeds, %.1fs)" (List.length sds) elapsed
+  note "(%d seeds, %.1fs)" (List.length sds) elapsed;
+  List.iter
+    (fun (p : Scenario.passive_point) ->
+      let pct = string_of_int p.Scenario.k_percent in
+      kv_float ("greedy_devices_k" ^ pct) p.Scenario.greedy_devices;
+      kv_float ("ilp_devices_k" ^ pct) p.Scenario.ilp_devices)
+    points
 
 let fig7 () =
   passive_figure ~name:"Figure 7 — passive placement, 10-router POP (27 links)"
@@ -203,6 +223,8 @@ let dynamic () =
     ~header:[ "step"; "cov before"; "cov after"; "reopts so far" ]
     rows;
   let last = List.nth points (List.length points - 1) in
+  kv_float "final_coverage" last.Scenario.coverage_after;
+  kv "reoptimizations" (Json.Int last.Scenario.reoptimizations);
   note
     "devices never move; only sampling rates are recomputed (a polynomial\n\
      LP / min-cost-flow computation, §5.4). %d re-optimizations, %.1fs."
@@ -369,6 +391,9 @@ let sampling_sweep () =
         let k = float_of_int kp /. 100.0 in
         let pb = Sampling.make_problem ~k ~costs inst in
         let s = Sampling.solve_milp pb in
+        kv_float
+          (Printf.sprintf "achieved_coverage_k%d" kp)
+          s.Sampling.fraction;
         [
           string_of_int kp;
           string_of_int (List.length s.Sampling.installed);
@@ -431,6 +456,43 @@ let experiments =
     ("micro", micro);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* machine-readable report                                             *)
+
+let report_path = "BENCH_monpos.json"
+
+(* Run one experiment against a freshly reset metrics registry so the
+   solver counters (B&B nodes, simplex pivots, flow augmentations, span
+   histograms) in the report are attributable to that phase alone. *)
+let run_phase name f =
+  Metrics.reset Metrics.default;
+  extras := [];
+  let (), seconds = wall f in
+  let metrics = Metrics.to_json (Metrics.snapshot Metrics.default) in
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("seconds", Json.Float seconds);
+      ("metrics", metrics);
+      ("extras", Json.Obj (List.rev !extras));
+    ]
+
+let write_report ~total_seconds phases =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "monpos-bench/1");
+        ("mode", Json.String (if full_mode then "full" else "default"));
+        ("generated_at_unix", Json.Float (Clock.now ()));
+        ("total_seconds", Json.Float total_seconds);
+        ("phases", Json.List phases);
+      ]
+  in
+  Out_channel.with_open_text report_path (fun oc ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n');
+  Printf.printf "report written to %s\n" report_path
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
@@ -441,12 +503,18 @@ let () =
     "monpos bench harness — reproduction of CoNEXT'05 monitoring placement\n";
   Printf.printf "mode: %s\n"
     (if full_mode then "FULL (paper-scale)" else "default (set MONPOS_BENCH_FULL=1 for paper-scale)");
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f -> f ()
-      | None ->
-        Printf.printf "unknown experiment %S (available: %s)\n" name
-          (String.concat " " (List.map fst experiments)))
-    requested;
-  Printf.printf "\ndone.\n"
+  let t0 = Clock.now () in
+  let phases =
+    List.filter_map
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> Some (run_phase name f)
+        | None ->
+          Printf.printf "unknown experiment %S (available: %s)\n" name
+            (String.concat " " (List.map fst experiments));
+          None)
+      requested
+  in
+  Printf.printf "\n";
+  write_report ~total_seconds:(Clock.elapsed t0) phases;
+  Printf.printf "done.\n"

@@ -24,7 +24,61 @@ module Pop = Monpos_topo.Pop
 module Graph = Monpos_graph.Graph
 module Table = Monpos_util.Table
 module Prng = Monpos_util.Prng
+module Obs_trace = Monpos_obs.Trace
+module Obs_metrics = Monpos_obs.Metrics
 open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* observability flags, shared by every subcommand                     *)
+
+type obs = { trace : string option; metrics : bool }
+
+let obs_term =
+  let trace_arg =
+    let doc =
+      "Write structured solver trace events (JSONL, one object per \
+       line: branch-and-bound nodes, incumbents, simplex phases, flow \
+       augmentations, spans) to $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_arg =
+    let doc = "Print the solver metrics registry after the command." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let make trace metrics = { trace; metrics } in
+  Term.(const make $ trace_arg $ metrics_arg)
+
+(* Install the trace sink around the command body, close it afterwards
+   and render the metrics table when requested. *)
+let with_obs obs f =
+  match
+    match obs.trace with
+    | None -> Ok Obs_trace.null
+    | Some path -> ( try Ok (Obs_trace.open_file path) with Sys_error msg -> Error msg)
+  with
+  | Error msg ->
+    Format.eprintf "monitorctl: cannot open trace file: %s@." msg;
+    2
+  | Ok sink ->
+  Fun.protect
+    ~finally:(fun () ->
+      Obs_trace.set_current Obs_trace.null;
+      Obs_trace.close sink)
+    (fun () ->
+      Obs_trace.set_current sink;
+      let r = f () in
+      (match obs.trace with
+      | Some path ->
+        Format.printf "trace: %d event(s) written to %s@."
+          (Obs_trace.events_written sink)
+          path
+      | None -> ());
+      if obs.metrics then
+        print_string
+          (Obs_metrics.render_table (Obs_metrics.snapshot Obs_metrics.default));
+      r)
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments                                                    *)
@@ -75,7 +129,8 @@ let topology_cmd =
     let doc = "Write a Graphviz rendering (loads as edge thickness)." in
     Arg.(value & opt (some string) None & info [ "dot" ] ~doc)
   in
-  let run preset seed sample dot =
+  let run obs preset seed sample dot =
+    with_obs obs @@ fun () ->
     let pop, inst = load_instance ?sample preset seed in
     Format.printf "%s (seed %d): %a@." pop.Pop.name seed Instance.pp_summary inst;
     Format.printf "routers: %d (backbone+access), endpoints: %d@."
@@ -94,7 +149,7 @@ let topology_cmd =
   let doc = "Generate a POP topology + traffic matrix and summarize it." in
   Cmd.v
     (Cmd.info "topology" ~doc)
-    Term.(const run $ preset_arg $ seed_arg $ sample_arg $ dot_arg)
+    Term.(const run $ obs_term $ preset_arg $ seed_arg $ sample_arg $ dot_arg)
 
 (* ------------------------------------------------------------------ *)
 (* passive                                                             *)
@@ -119,7 +174,8 @@ let passive_cmd =
     let doc = "Write a Graphviz rendering with monitored links highlighted." in
     Arg.(value & opt (some string) None & info [ "dot" ] ~doc)
   in
-  let run preset seed sample k method_ budget installed dot =
+  let run obs preset seed sample k method_ budget installed dot =
+    with_obs obs @@ fun () ->
     let _, inst = load_instance ?sample preset seed in
     let parse_edges s =
       List.map int_of_string (String.split_on_char ',' s)
@@ -153,8 +209,8 @@ let passive_cmd =
   Cmd.v
     (Cmd.info "passive" ~doc)
     Term.(
-      const run $ preset_arg $ seed_arg $ sample_arg $ coverage_arg
-      $ method_arg $ budget_arg $ installed_arg $ dot_arg)
+      const run $ obs_term $ preset_arg $ seed_arg $ sample_arg
+      $ coverage_arg $ method_arg $ budget_arg $ installed_arg $ dot_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sampling                                                            *)
@@ -168,7 +224,8 @@ let sampling_cmd =
     let doc = "Scale exploitation cost with link load (default uniform)." in
     Arg.(value & flag & info [ "load-scaled" ] ~doc)
   in
-  let run preset seed k install_cost scaled =
+  let run obs preset seed k install_cost scaled =
+    with_obs obs @@ fun () ->
     let _, inst = load_instance preset seed in
     let costs =
       if scaled then Sampling.load_scaled_costs inst ~install:install_cost ()
@@ -189,8 +246,8 @@ let sampling_cmd =
   Cmd.v
     (Cmd.info "sampling" ~doc)
     Term.(
-      const run $ preset_arg $ seed_arg $ coverage_arg $ install_cost_arg
-      $ scaled_arg)
+      const run $ obs_term $ preset_arg $ seed_arg $ coverage_arg
+      $ install_cost_arg $ scaled_arg)
 
 (* ------------------------------------------------------------------ *)
 (* active                                                              *)
@@ -204,7 +261,8 @@ let active_cmd =
     let doc = "Placement: thiran, greedy or ilp." in
     Arg.(value & opt string "ilp" & info [ "method"; "m" ] ~doc)
   in
-  let run preset seed vb method_ =
+  let run obs preset seed vb method_ =
+    with_obs obs @@ fun () ->
     let pop = Pop.make_preset preset ~seed in
     let routers = Array.of_list (Pop.routers pop) in
     let rng = Prng.create ((seed * 104729) + vb) in
@@ -244,7 +302,7 @@ let active_cmd =
   let doc = "Compute probes and place active beacons (§6)." in
   Cmd.v
     (Cmd.info "active" ~doc)
-    Term.(const run $ preset_arg $ seed_arg $ vb_arg $ method_arg)
+    Term.(const run $ obs_term $ preset_arg $ seed_arg $ vb_arg $ method_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dynamic                                                             *)
@@ -261,7 +319,8 @@ let dynamic_cmd =
       value & opt float 0.85
       & info [ "threshold" ] ~doc:"Coverage tolerance T triggering PPME*.")
   in
-  let run preset seed k steps sigma threshold =
+  let run obs preset seed k steps sigma threshold =
+    with_obs obs @@ fun () ->
     let points =
       Scenario.dynamic_run ~preset ~seed ~k ~threshold ~steps ~sigma ()
     in
@@ -282,8 +341,8 @@ let dynamic_cmd =
   Cmd.v
     (Cmd.info "dynamic" ~doc)
     Term.(
-      const run $ preset_arg $ seed_arg $ coverage_arg $ steps_arg $ sigma_arg
-      $ threshold_arg)
+      const run $ obs_term $ preset_arg $ seed_arg $ coverage_arg $ steps_arg
+      $ sigma_arg $ threshold_arg)
 
 (* ------------------------------------------------------------------ *)
 (* campaign                                                            *)
@@ -295,7 +354,8 @@ let campaign_cmd =
   let kpaths_arg =
     Arg.(value & opt int 4 & info [ "k-paths" ] ~doc:"Alternative routes per demand.")
   in
-  let run preset seed budget k_paths =
+  let run obs preset seed budget k_paths =
+    with_obs obs @@ fun () ->
     let _, inst = load_instance preset seed in
     let placed = Passive.budgeted ~budget inst in
     Format.printf "placement: %a@." Passive.pp placed;
@@ -313,7 +373,7 @@ let campaign_cmd =
   let doc = "Re-route traffic to maximize monitorability (§7 extension)." in
   Cmd.v
     (Cmd.info "campaign" ~doc)
-    Term.(const run $ preset_arg $ seed_arg $ budget_arg $ kpaths_arg)
+    Term.(const run $ obs_term $ preset_arg $ seed_arg $ budget_arg $ kpaths_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -326,7 +386,8 @@ let sweep_cmd =
   let seeds_arg =
     Arg.(value & opt int 10 & info [ "seeds" ] ~doc:"Number of seeds to average.")
   in
-  let run figure nseeds =
+  let run obs figure nseeds =
+    with_obs obs @@ fun () ->
     let seeds = List.init nseeds (fun i -> i + 1) in
     (match figure with
     | "fig7" | "fig8" ->
@@ -369,7 +430,8 @@ let sweep_cmd =
     0
   in
   let doc = "Regenerate a paper figure's data series." in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ figure_arg $ seeds_arg)
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ obs_term $ figure_arg $ seeds_arg)
 
 (* ------------------------------------------------------------------ *)
 

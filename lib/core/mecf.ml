@@ -3,6 +3,7 @@ module Model = Monpos_lp.Model
 module Mip = Monpos_lp.Mip
 module Mincost = Monpos_flow.Mincost
 module Maxflow = Monpos_flow.Maxflow
+module Span = Monpos_obs.Span
 
 (* Auxiliary-graph node numbering: 0 = S, 1 = T, then one node per
    used edge, then one node per traffic. *)
@@ -39,6 +40,7 @@ let layout inst =
   { source = 0; sink = 1; edge_node; traffic_node; used; total_nodes = !next }
 
 let solve_mip ?(k = 1.0) ?options inst =
+  Span.run "mecf.mip" @@ fun () ->
   let l = layout inst in
   let m = Model.create Model.Minimize ~name:"mecf" in
   (* y_e: the (S, w_e) arc is payed for *)
@@ -130,6 +132,7 @@ let solve_mip ?(k = 1.0) ?options inst =
   | _ -> failwith "Mecf.solve_mip: no solution found"
 
 let flow_heuristic ?(k = 1.0) inst =
+  Span.run "mecf.flow_heuristic" @@ fun () ->
   let l = layout inst in
   let net = Mincost.create l.total_nodes in
   let s_arc = Hashtbl.create 64 in

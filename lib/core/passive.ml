@@ -3,6 +3,7 @@ module Cover = Monpos_cover.Cover
 module Model = Monpos_lp.Model
 module Mip = Monpos_lp.Mip
 module Simplex = Monpos_lp.Simplex
+module Span = Monpos_obs.Span
 
 type solution = {
   monitors : Graph.edge list;
@@ -31,11 +32,13 @@ let validate ?(k = 1.0) inst monitors =
 let target_of inst k = k *. inst.Instance.total_volume
 
 let greedy ?(k = 1.0) inst =
+  Span.run "passive.greedy" @@ fun () ->
   let cover = Instance.cover_view inst in
   let chosen = Cover.greedy ~target:(target_of inst k) cover in
   mk_solution inst ~optimal:false ~method_name:"greedy" chosen
 
 let greedy_static ?(k = 1.0) inst =
+  Span.run "passive.greedy_static" @@ fun () ->
   let ne = Graph.num_edges inst.Instance.graph in
   let order =
     List.sort
@@ -70,6 +73,7 @@ let greedy_static ?(k = 1.0) inst =
   mk_solution inst ~optimal:false ~method_name:"greedy-static" chosen
 
 let solve_exact ?(k = 1.0) ?node_limit inst =
+  Span.run "passive.exact" @@ fun () ->
   let cover = Instance.cover_view inst in
   let r = Cover.exact_detailed ~target:(target_of inst k) ?node_limit cover in
   mk_solution inst ~optimal:r.Cover.proven_optimal ~method_name:"exact"
@@ -195,6 +199,7 @@ let extract_monitors xvar solution =
     xvar []
 
 let solve_mip ?(k = 1.0) ?(formulation = `Lp2) ?options inst =
+  Span.run "passive.mip" @@ fun () ->
   let m, xvar =
     match formulation with
     | `Lp2 -> build_lp2 ~k ~maximize_coverage:false inst
@@ -212,6 +217,7 @@ let solve_mip ?(k = 1.0) ?(formulation = `Lp2) ?options inst =
   | _ -> failwith "Passive.solve_mip: no solution found"
 
 let lp_bound ?(k = 1.0) inst =
+  Span.run "passive.lp_bound" @@ fun () ->
   let m, _ = build_lp2 ~k ~maximize_coverage:false inst in
   let sol = Simplex.solve_model m in
   match sol.Simplex.status with
@@ -219,6 +225,7 @@ let lp_bound ?(k = 1.0) inst =
   | _ -> failwith "Passive.lp_bound: relaxation not solved"
 
 let randomized_rounding ?(k = 1.0) ?(trials = 32) ?(seed = 1) inst =
+  Span.run "passive.randomized_rounding" @@ fun () ->
   let m, xvar = build_lp2 ~k ~maximize_coverage:false inst in
   let sol = Simplex.solve_model m in
   if sol.Simplex.status <> Simplex.Optimal then
@@ -269,6 +276,7 @@ let randomized_rounding ?(k = 1.0) ?(trials = 32) ?(seed = 1) inst =
     (Option.get !best)
 
 let incremental ?(k = 1.0) ?options ~installed inst =
+  Span.run "passive.incremental" @@ fun () ->
   let m, xvar = build_lp2 ~k ~installed ~maximize_coverage:false inst in
   let r = Mip.solve ?options m in
   match (r.Mip.status, r.Mip.solution) with
@@ -291,6 +299,7 @@ let incremental ?(k = 1.0) ?options ~installed inst =
   | _ -> failwith "Passive.incremental: no solution found"
 
 let budgeted ~budget ?options inst =
+  Span.run "passive.budgeted" @@ fun () ->
   let m, xvar =
     build_lp2 ~budget ~maximize_coverage:true inst
   in

@@ -3,6 +3,7 @@ module Model = Monpos_lp.Model
 module Mip = Monpos_lp.Mip
 module Simplex = Monpos_lp.Simplex
 module Mincost = Monpos_flow.Mincost
+module Span = Monpos_obs.Span
 
 type costs = {
   install : Graph.edge -> float;
@@ -184,6 +185,7 @@ let default_milp_options =
   }
 
 let solve_milp ?(options = default_milp_options) pb =
+  Span.run "sampling.milp" @@ fun () ->
   let options = Some options in
   let candidates = used_edges pb.instance in
   let m, rvar, _xvar, delta = build pb ~candidates ~with_binaries:true in
@@ -194,6 +196,7 @@ let solve_milp ?(options = default_milp_options) pb =
   | _ -> failwith "Sampling.solve_milp: no solution found"
 
 let reoptimize pb ~installed =
+  Span.run "sampling.reoptimize" @@ fun () ->
   let usable =
     List.filter (fun e -> pb.instance.Instance.loads.(e) > 0.0) installed
   in
@@ -216,6 +219,7 @@ let reoptimize pb ~installed =
    A super-path collects the remaining freedom so exactly k V units
    are routed. *)
 let reoptimize_flow pb ~installed =
+  Span.run "sampling.reoptimize_flow" @@ fun () ->
   let inst = pb.instance in
   let usable =
     List.filter (fun e -> inst.Instance.loads.(e) > 0.0) installed

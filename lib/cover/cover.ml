@@ -1,5 +1,13 @@
 module Bitset = Monpos_util.Bitset
 module Graph = Monpos_graph.Graph
+module Trace = Monpos_obs.Trace
+module Metrics = Monpos_obs.Metrics
+
+let m_nodes = lazy (Metrics.counter Metrics.default "cover.nodes")
+
+let m_incumbents = lazy (Metrics.counter Metrics.default "cover.incumbents")
+
+let m_greedy_picks = lazy (Metrics.counter Metrics.default "greedy.picks")
 
 type instance = {
   num_items : int;
@@ -39,6 +47,7 @@ let slack = 1e-9
 
 let greedy ?target inst =
   let target = match target with Some t -> t | None -> total_weight inst in
+  let sink = Trace.current () in
   let nsets = Array.length inst.sets in
   let covered = Bitset.create inst.num_items in
   let covered_w = ref 0.0 in
@@ -63,6 +72,9 @@ let greedy ?target inst =
       chosen := !best :: !chosen;
       List.iter (fun u -> Bitset.add covered u) inst.sets.(!best);
       covered_w := !covered_w +. !best_gain;
+      Metrics.incr (Lazy.force m_greedy_picks);
+      if Trace.enabled sink then
+        Trace.greedy_pick sink ~pick:!best ~gain:!best_gain ~covered:!covered_w;
       if !covered_w >= target -. slack then continue := false
     end
   done;
@@ -148,6 +160,7 @@ let polish_full_cover inst set_bits solution =
    covers, a disjoint-items bound — items whose candidate sets are
    pairwise disjoint each require their own set. *)
 let exact_core ?(node_limit = 20_000_000) inst target ~full_cover =
+  let sink = Trace.current () in
   let nsets = Array.length inst.sets in
   let set_bits =
     Array.map (fun s -> Bitset.of_list inst.num_items s) inst.sets
@@ -176,12 +189,33 @@ let exact_core ?(node_limit = 20_000_000) inst target ~full_cover =
   let best_card =
     ref (match !best_sol with Some s -> List.length s | None -> max_int)
   in
+  (* the polished greedy solution is the root incumbent *)
+  if !best_sol <> None then begin
+    Metrics.incr (Lazy.force m_incumbents);
+    if Trace.enabled sink then
+      Trace.incumbent sink ~solver:"cover" ~node:0
+        ~objective:(float_of_int !best_card)
+  end;
   let covered = Bitset.create inst.num_items in
   let excluded = Array.make nsets false in
   let excluded_bits = Bitset.create nsets in
   let gains = Array.make nsets 0.0 in
   let node_count = ref 0 in
   let truncated = ref false in
+  let enter_node depth =
+    incr node_count;
+    Metrics.incr (Lazy.force m_nodes);
+    if Trace.enabled sink then
+      Trace.bb_node sink ~solver:"cover" ~node:!node_count ~depth ()
+  in
+  let record_incumbent depth chosen =
+    best_card := depth;
+    best_sol := Some (List.rev chosen);
+    Metrics.incr (Lazy.force m_incumbents);
+    if Trace.enabled sink then
+      Trace.incumbent sink ~solver:"cover" ~node:!node_count
+        ~objective:(float_of_int depth)
+  in
   let gain j =
     List.fold_left
       (fun acc u -> if Bitset.mem covered u then acc else acc +. inst.item_weight.(u))
@@ -210,13 +244,10 @@ let exact_core ?(node_limit = 20_000_000) inst target ~full_cover =
   (* Partial covers: binary include/exclude branching on the
      max-gain set. *)
   let rec go chosen depth covered_w =
-    incr node_count;
+    enter_node depth;
     if !node_count > node_limit then truncated := true
     else if covered_w >= target -. slack then begin
-      if depth < !best_card then begin
-        best_card := depth;
-        best_sol := Some (List.rev chosen)
-      end
+      if depth < !best_card then record_incumbent depth chosen
     end
     else if depth + 1 < !best_card then begin
       (* gains of available sets *)
@@ -271,7 +302,7 @@ let exact_core ?(node_limit = 20_000_000) inst target ~full_cover =
   in
   let uncovered_count () = inst.num_items - Bitset.cardinal covered in
   let rec go_full chosen depth =
-    incr node_count;
+    enter_node depth;
     if !node_count > node_limit then truncated := true
     else begin
       (* pick the uncovered item with fewest available sets *)
@@ -290,10 +321,7 @@ let exact_core ?(node_limit = 20_000_000) inst target ~full_cover =
         item_order;
       if !best_item = -1 then begin
         (* everything covered *)
-        if depth < !best_card then begin
-          best_card := depth;
-          best_sol := Some (List.rev chosen)
-        end
+        if depth < !best_card then record_incumbent depth chosen
       end
       else if !best_avail = 0 then () (* dead branch *)
       else if depth + 1 < !best_card then begin

@@ -2,6 +2,14 @@
    has two extra nodes: a super-source (n) and super-sink (n+1) that
    absorb both user supplies and the lower-bound transformation. *)
 
+module Trace = Monpos_obs.Trace
+module Metrics = Monpos_obs.Metrics
+
+let m_solves = lazy (Metrics.counter Metrics.default "mincost.solves")
+
+let m_augmentations =
+  lazy (Metrics.counter Metrics.default "mincost.augmentations")
+
 type raw_arc = {
   a_src : int;
   a_dst : int;
@@ -86,6 +94,8 @@ let res_add r u v cap cost =
   a
 
 let solve t =
+  let sink = Trace.current () in
+  Metrics.incr (Lazy.force m_solves);
   let n = t.n + 2 in
   let super_s = t.n and super_t = t.n + 1 in
   let user_arcs = Array.of_list (List.rev t.arcs) in
@@ -170,6 +180,10 @@ let solve t =
         v := r.r_head.(a lxor 1)
       done;
       routed := !routed +. !bott;
+      Metrics.incr (Lazy.force m_augmentations);
+      if Trace.enabled sink then
+        Trace.flow_augmentation sink ~amount:!bott ~path_cost:dist.(super_t)
+          ~routed:!routed;
       if !routed >= !required -. 1e-9 then continue := false
     end
   done;

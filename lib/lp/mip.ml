@@ -1,3 +1,17 @@
+module Trace = Monpos_obs.Trace
+module Metrics = Monpos_obs.Metrics
+module Clock = Monpos_obs.Clock
+
+(* module-scope instrument handles: registration is idempotent and
+   handles survive Metrics.reset, so hot paths pay no lookup *)
+let m_nodes = lazy (Metrics.counter Metrics.default "mip.nodes")
+
+let m_incumbents = lazy (Metrics.counter Metrics.default "mip.incumbents")
+
+let m_prunes = lazy (Metrics.counter Metrics.default "mip.prunes")
+
+let m_solves = lazy (Metrics.counter Metrics.default "mip.solves")
+
 type branching = Most_fractional | Pseudocost
 
 type options = {
@@ -46,6 +60,9 @@ type node = {
    -obj for Maximize, so "smaller is better" throughout. *)
 
 let solve ?(options = default_options) model =
+  Monpos_obs.Span.run "mip.solve" @@ fun () ->
+  let sink = Trace.current () in
+  Metrics.incr (Lazy.force m_solves);
   let n = Model.num_vars model in
   let problem = Simplex.of_model model in
   let minimize = Model.direction model = Model.Minimize in
@@ -146,6 +163,7 @@ let solve ?(options = default_options) model =
         int_vars;
       if !best = -1 then None else Some !best
   in
+  let nodes = ref 0 in
   let incumbent = ref None (* (score, solution) *) in
   let incumbent_score () =
     match !incumbent with Some (s, _) -> s | None -> infinity
@@ -157,6 +175,10 @@ let solve ?(options = default_options) model =
       List.iter (fun v -> snapped.(v) <- Float.round snapped.(v)) int_vars;
       if Model.value_feasible ~tol:1e-6 model snapped then begin
         incumbent := Some (score, snapped);
+        Metrics.incr (Lazy.force m_incumbents);
+        if Trace.enabled sink then
+          Trace.incumbent sink ~solver:"mip" ~node:!nodes
+            ~objective:(of_score score);
         if options.log then
           Printf.eprintf "[mip] incumbent %.6f\n%!" (of_score score)
       end
@@ -214,8 +236,7 @@ let solve ?(options = default_options) model =
       branched = None;
     }
   in
-  let start = Sys.time () in
-  let nodes = ref 0 in
+  let start = Clock.now () in
   let best_open_bound = ref neg_infinity in
   let root_unbounded = ref false in
   let infeasible_root = ref true in
@@ -229,7 +250,9 @@ let solve ?(options = default_options) model =
     match Monpos_util.Heap.pop_min queue with
     | None -> continue := false
     | Some (parent_bound, node) ->
-      if !nodes >= options.max_nodes || Sys.time () -. start > options.time_limit
+      if
+        !nodes >= options.max_nodes
+        || Clock.now () -. start > options.time_limit
       then begin
         stopped_at_limit := true;
         best_open_bound := parent_bound;
@@ -241,11 +264,19 @@ let solve ?(options = default_options) model =
         && !incumbent <> None
       then begin
         (* best-first: every remaining node is at least as bad *)
+        if Trace.enabled sink then
+          Trace.bound_pruned sink ~solver:"mip" ~node:!nodes
+            ~bound:(of_score parent_bound)
+            ~incumbent:(of_score (incumbent_score ()));
         best_open_bound := parent_bound;
         continue := false
       end
       else begin
         incr nodes;
+        Metrics.incr (Lazy.force m_nodes);
+        if Trace.enabled sink then
+          Trace.bb_node sink ~solver:"mip" ~node:!nodes ~depth:node.depth
+            ~bound:(of_score parent_bound) ();
         let sol = Simplex.solve ~lower:node.lower ~upper:node.upper problem in
         match sol.Simplex.status with
         | Simplex.Infeasible -> ()
@@ -270,7 +301,13 @@ let solve ?(options = default_options) model =
             score
             >= incumbent_score ()
                -. (options.gap_tolerance *. (1.0 +. abs_float (incumbent_score ())))
-          then ()
+          then begin
+            Metrics.incr (Lazy.force m_prunes);
+            if Trace.enabled sink then
+              Trace.bound_pruned sink ~solver:"mip" ~node:!nodes
+                ~bound:(of_score score)
+                ~incumbent:(of_score (incumbent_score ()))
+          end
           else
             match branch_var sol.Simplex.primal with
             | None -> record_candidate sol.Simplex.primal score

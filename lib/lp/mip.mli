@@ -24,7 +24,9 @@ type branching =
 type options = {
   branching : branching;  (** default [Pseudocost] *)
   max_nodes : int;  (** branch-and-bound node budget (default 200000) *)
-  time_limit : float;  (** CPU-seconds budget (default 120.) *)
+  time_limit : float;
+      (** wall-clock seconds budget, measured against the monotonic
+          {!Monpos_obs.Clock} (default 120.) *)
   gap_tolerance : float;
       (** stop when the relative incumbent/bound gap is below this
           (default 1e-9, i.e. prove optimality) *)

@@ -1,3 +1,13 @@
+module Trace = Monpos_obs.Trace
+module Metrics = Monpos_obs.Metrics
+
+let m_runs = lazy (Metrics.counter Metrics.default "presolve.runs")
+
+let m_rows = lazy (Metrics.counter Metrics.default "presolve.rows_dropped")
+
+let m_bounds =
+  lazy (Metrics.counter Metrics.default "presolve.bounds_tightened")
+
 type info = {
   rows_dropped : int;
   bounds_tightened : int;
@@ -166,6 +176,13 @@ let reduce model =
           (List.map (fun (c, v) -> (c, Model.var_of_index reduced v)) terms)
           sense rhs)
     rows;
+  Metrics.incr (Lazy.force m_runs);
+  Metrics.add (Lazy.force m_rows) !rows_dropped;
+  Metrics.add (Lazy.force m_bounds) !bounds_tightened;
+  let sink = Trace.current () in
+  if Trace.enabled sink then
+    Trace.presolve_reduction sink ~rows_dropped:!rows_dropped
+      ~bounds_tightened:!bounds_tightened ~fixed_vars:!fixed_vars;
   ( reduced,
     {
       rows_dropped = !rows_dropped;

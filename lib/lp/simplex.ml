@@ -6,6 +6,13 @@
    [a.x + s = b] with slack bounds [0,inf) / (-inf,0] / [0,0], so the
    initial slack basis is the identity. *)
 
+module Trace = Monpos_obs.Trace
+module Metrics = Monpos_obs.Metrics
+
+let m_solves = lazy (Metrics.counter Metrics.default "simplex.solves")
+
+let m_iterations = lazy (Metrics.counter Metrics.default "simplex.iterations")
+
 type col = { rows : int array; coefs : float array }
 
 type problem = {
@@ -577,12 +584,28 @@ let solve ?max_iterations ?lower ?upper p =
         iterations = st.iters;
       }
     in
+    let sink = Trace.current () in
+    let phase_done phase iterations result =
+      if Trace.enabled sink then
+        Trace.simplex_phase sink ~phase ~iterations
+          ~outcome:
+            (match result with
+            | `Done -> if phase = 1 then "feasible" else "optimal"
+            | `Infeasible -> "infeasible"
+            | `Unbounded -> "unbounded"
+            | `Iteration_limit -> "iteration_limit")
+    in
     let run () =
-      match
-        if total_infeasibility st > feas_tol then
-          run_phase st ~phase1:true ~max_iterations
+      let r1 =
+        if total_infeasibility st > feas_tol then begin
+          let r = run_phase st ~phase1:true ~max_iterations in
+          phase_done 1 st.iters r;
+          r
+        end
         else `Done
-      with
+      in
+      let phase1_iters = st.iters in
+      match r1 with
       | `Infeasible -> finish Infeasible
       | `Unbounded ->
         (* phase 1 cannot be unbounded: its objective is bounded below
@@ -593,7 +616,9 @@ let solve ?max_iterations ?lower ?upper p =
       | `Done -> (
         st.bland <- false;
         st.degenerate_run <- 0;
-        match run_phase st ~phase1:false ~max_iterations with
+        let r2 = run_phase st ~phase1:false ~max_iterations in
+        phase_done 2 (st.iters - phase1_iters) r2;
+        match r2 with
         | `Done -> finish Optimal
         | `Unbounded -> finish Unbounded
         | `Infeasible -> finish Infeasible
@@ -603,16 +628,21 @@ let solve ?max_iterations ?lower ?upper p =
        or a degenerate pivot sequence) restarts from the slack basis
        under Bland's rule with more frequent refactorization; a second
        failure gives up with Iteration_limit *)
-    match run () with
-    | sol -> sol
-    | exception Singular_basis -> (
-      reset_to_slack_basis ();
-      st.bland <- true;
-      st.degenerate_run <- 0;
-      st.refactor_every <- 64;
+    let sol =
       match run () with
       | sol -> sol
-      | exception Singular_basis -> finish Iteration_limit)
+      | exception Singular_basis -> (
+        reset_to_slack_basis ();
+        st.bland <- true;
+        st.degenerate_run <- 0;
+        st.refactor_every <- 64;
+        match run () with
+        | sol -> sol
+        | exception Singular_basis -> finish Iteration_limit)
+    in
+    Metrics.incr (Lazy.force m_solves);
+    Metrics.add (Lazy.force m_iterations) sol.iterations;
+    sol
   end
 
 let solve_model ?max_iterations m = solve ?max_iterations (of_model m)

@@ -1,0 +1,8 @@
+let last = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let elapsed t0 = max 0.0 (now () -. t0)

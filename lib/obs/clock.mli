@@ -1,0 +1,14 @@
+(** Monotonic wall clock.
+
+    [Sys.time] measures CPU seconds, which silently under-counts
+    whenever the process blocks and makes "time limit" options lie.
+    This clock reads the system wall clock and clamps it to be
+    non-decreasing, so elapsed-time arithmetic is safe against the
+    occasional NTP step backwards. *)
+
+val now : unit -> float
+(** Wall-clock seconds since the Unix epoch, non-decreasing across
+    calls within a process. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0], never negative. *)

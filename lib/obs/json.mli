@@ -1,0 +1,28 @@
+(** Minimal JSON construction for trace events, metric snapshots and
+    the bench output file. Writing only — no parser; the repo has no
+    JSON dependency and does not need one to emit valid documents. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+and t_float = float
+(** Non-finite floats (nan, infinities) render as [null]: JSON has no
+    spelling for them and every downstream parser agrees on [null]. *)
+
+val escape_to : Buffer.t -> string -> unit
+(** Append the JSON-escaped content of the string (without the
+    surrounding quotes): quotes, backslashes and control characters
+    become their backslash or [u00XX] escapes. *)
+
+val float_to : Buffer.t -> float -> unit
+(** Append a float as a JSON number, or [null] when non-finite. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string

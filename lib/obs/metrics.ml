@@ -1,0 +1,192 @@
+type counter = { mutable c : int }
+
+type gauge = { mutable g : float }
+
+type histogram = {
+  upper : float array;
+  counts : int array; (* length upper + 1; last is overflow *)
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+type instrument =
+  | I_counter of counter
+  | I_gauge of gauge
+  | I_histogram of histogram
+
+type t = {
+  tbl : (string, instrument) Hashtbl.t;
+  mutable order : string list; (* reversed registration order *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let default = create ()
+
+let register t name make match_existing =
+  match Hashtbl.find_opt t.tbl name with
+  | Some existing -> match_existing existing
+  | None ->
+    let i = make () in
+    Hashtbl.replace t.tbl name i;
+    t.order <- name :: t.order;
+    i
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is already registered with another kind" name)
+
+let counter t name =
+  match
+    register t name
+      (fun () -> I_counter { c = 0 })
+      (function I_counter _ as i -> i | _ -> kind_error name)
+  with
+  | I_counter c -> c
+  | _ -> assert false
+
+let gauge t name =
+  match
+    register t name
+      (fun () -> I_gauge { g = 0.0 })
+      (function I_gauge _ as i -> i | _ -> kind_error name)
+  with
+  | I_gauge g -> g
+  | _ -> assert false
+
+let default_buckets =
+  [| 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0; 10.0; 30.0 |]
+
+let histogram ?(buckets = default_buckets) t name =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: no buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be ascending")
+    buckets;
+  match
+    register t name
+      (fun () ->
+        I_histogram
+          {
+            upper = Array.copy buckets;
+            counts = Array.make (Array.length buckets + 1) 0;
+            h_count = 0;
+            h_sum = 0.0;
+          })
+      (function I_histogram _ as i -> i | _ -> kind_error name)
+  with
+  | I_histogram h -> h
+  | _ -> assert false
+
+let incr c = c.c <- c.c + 1
+
+let add c n = c.c <- c.c + n
+
+let counter_value c = c.c
+
+let set g v = g.g <- v
+
+let gauge_value g = g.g
+
+let observe h v =
+  let n = Array.length h.upper in
+  let rec bucket i = if i >= n || v <= h.upper.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v
+
+type entry =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of {
+      upper : float array;
+      counts : int array;
+      count : int;
+      sum : float;
+    }
+
+type snapshot = (string * entry) list
+
+let snapshot t =
+  List.rev_map
+    (fun name ->
+      let entry =
+        match Hashtbl.find t.tbl name with
+        | I_counter c -> Counter_value c.c
+        | I_gauge g -> Gauge_value g.g
+        | I_histogram h ->
+          Histogram_value
+            {
+              upper = Array.copy h.upper;
+              counts = Array.copy h.counts;
+              count = h.h_count;
+              sum = h.h_sum;
+            }
+      in
+      (name, entry))
+    t.order
+
+let reset t =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | I_counter c -> c.c <- 0
+      | I_gauge g -> g.g <- 0.0
+      | I_histogram h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.h_count <- 0;
+        h.h_sum <- 0.0)
+    t.tbl
+
+let find snap name = List.assoc_opt name snap
+
+let render_table snap =
+  let rows =
+    List.map
+      (fun (name, entry) ->
+        match entry with
+        | Counter_value c -> [ name; "counter"; string_of_int c ]
+        | Gauge_value g -> [ name; "gauge"; Printf.sprintf "%g" g ]
+        | Histogram_value h ->
+          [
+            name;
+            "histogram";
+            Printf.sprintf "count=%d sum=%.6g mean=%.6g" h.count h.sum
+              (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count);
+          ])
+      snap
+  in
+  Monpos_util.Table.render ~header:[ "metric"; "kind"; "value" ] rows
+
+let to_json snap =
+  Json.Obj
+    (List.map
+       (fun (name, entry) ->
+         let v =
+           match entry with
+           | Counter_value c -> Json.Int c
+           | Gauge_value g -> Json.Float g
+           | Histogram_value h ->
+             let buckets =
+               List.init
+                 (Array.length h.counts)
+                 (fun i ->
+                   Json.Obj
+                     [
+                       ( "le",
+                         if i < Array.length h.upper then Json.Float h.upper.(i)
+                         else Json.Null );
+                       ("count", Json.Int h.counts.(i));
+                     ])
+             in
+             Json.Obj
+               [
+                 ("count", Json.Int h.count);
+                 ("sum", Json.Float h.sum);
+                 ("buckets", Json.List buckets);
+               ]
+         in
+         (name, v))
+       snap)

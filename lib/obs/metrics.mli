@@ -1,0 +1,81 @@
+(** Registry of named counters, gauges and fixed-bucket histograms.
+
+    Instruments are registered once by name and are stable for the
+    registry's lifetime: {!reset} zeroes their values but keeps the
+    instrument handles valid, so solver modules can cache handles at
+    module scope and pay no lookup on hot paths. Re-registering an
+    existing name returns the existing instrument (and raises
+    [Invalid_argument] if the kind differs).
+
+    The {!default} registry is the ambient one used by the solver
+    stack; tools snapshot and render it after a run. *)
+
+type t
+
+type counter
+
+type gauge
+
+type histogram
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry the solvers record into. *)
+
+(** {1 Registration} *)
+
+val counter : t -> string -> counter
+
+val gauge : t -> string -> gauge
+
+val histogram : ?buckets:float array -> t -> string -> histogram
+(** [buckets] are ascending upper bounds; observations above the last
+    bound land in an implicit overflow bucket. The default buckets are
+    log-spaced latencies from 100µs to 30s. Raises [Invalid_argument]
+    on empty or non-ascending bounds. *)
+
+(** {1 Recording} *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+
+(** {1 Snapshot and rendering} *)
+
+type entry =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of {
+      upper : float array;  (** bucket upper bounds *)
+      counts : int array;  (** one per bound plus a final overflow *)
+      count : int;
+      sum : float;
+    }
+
+type snapshot = (string * entry) list
+(** Name/value pairs in registration order. *)
+
+val snapshot : t -> snapshot
+
+val reset : t -> unit
+(** Zero every instrument's value; handles stay valid. *)
+
+val find : snapshot -> string -> entry option
+
+val render_table : snapshot -> string
+(** Aligned plain-text table (one instrument per row). *)
+
+val to_json : snapshot -> Json.t
+(** Object keyed by instrument name; counters render as integers,
+    gauges as numbers, histograms as
+    [{"count":..,"sum":..,"buckets":[{"le":..,"count":..},...]}]
+    where the final bucket has ["le":null] (overflow). *)

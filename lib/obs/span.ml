@@ -1,0 +1,25 @@
+let nesting = ref 0
+
+let time ?metrics ?sink name f =
+  let sink = match sink with Some s -> s | None -> Trace.current () in
+  let registry = match metrics with Some m -> m | None -> Metrics.default in
+  let depth = !nesting in
+  Trace.span_open sink ~name ~depth;
+  incr nesting;
+  let t0 = Clock.now () in
+  let finish () =
+    decr nesting;
+    let dt = Clock.elapsed t0 in
+    Trace.span_close sink ~name ~depth ~seconds:dt;
+    Metrics.observe (Metrics.histogram registry ("span." ^ name)) dt;
+    dt
+  in
+  match f () with
+  | r ->
+    let dt = finish () in
+    (r, dt)
+  | exception e ->
+    ignore (finish ());
+    raise e
+
+let run ?metrics ?sink name f = fst (time ?metrics ?sink name f)

@@ -1,0 +1,17 @@
+(** Nested wall-clock span timers.
+
+    A span times a region of code against {!Clock}, emits
+    [span_open]/[span_close] trace events on the ambient (or given)
+    sink, and records the elapsed seconds into a
+    [span.<name>] histogram of the (default or given) registry.
+    Spans nest: the emitted events carry the nesting depth, and an
+    enclosing span's elapsed time always dominates its children's. *)
+
+val time :
+  ?metrics:Metrics.t -> ?sink:Trace.sink -> string -> (unit -> 'a) -> 'a * float
+(** [time name f] runs [f] inside a span and returns its result with
+    the elapsed wall-clock seconds. The close event and histogram
+    observation happen even when [f] raises. *)
+
+val run : ?metrics:Metrics.t -> ?sink:Trace.sink -> string -> (unit -> 'a) -> 'a
+(** {!time} without the elapsed seconds. *)

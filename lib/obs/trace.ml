@@ -1,0 +1,132 @@
+type sink = {
+  oc : out_channel option;
+  epoch : float;
+  buf : Buffer.t;
+  mutable events : int;
+}
+
+let null = { oc = None; epoch = 0.0; buf = Buffer.create 1; events = 0 }
+
+let to_channel oc =
+  { oc = Some oc; epoch = Clock.now (); buf = Buffer.create 256; events = 0 }
+
+let open_file path = to_channel (open_out path)
+
+let close s =
+  match s.oc with
+  | None -> ()
+  | Some oc -> if oc == stdout || oc == stderr then flush oc else close_out oc
+
+let enabled s = s.oc <> None
+
+let events_written s = s.events
+
+let ambient = ref null
+
+let current () = !ambient
+
+let set_current s = ambient := s
+
+let with_current s f =
+  let saved = !ambient in
+  ambient := s;
+  Fun.protect ~finally:(fun () -> ambient := saved) f
+
+let emit s ev fields =
+  match s.oc with
+  | None -> ()
+  | Some oc ->
+    let b = s.buf in
+    Buffer.clear b;
+    Buffer.add_string b "{\"ev\":\"";
+    Json.escape_to b ev;
+    Buffer.add_string b "\",\"ts\":";
+    Json.float_to b (Clock.now () -. s.epoch);
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b ",\"";
+        Json.escape_to b k;
+        Buffer.add_string b "\":";
+        Json.to_buffer b v)
+      fields;
+    Buffer.add_string b "}\n";
+    Buffer.output_buffer oc b;
+    s.events <- s.events + 1
+
+let span_open s ~name ~depth =
+  if s.oc <> None then
+    emit s "span_open" [ ("name", Json.String name); ("depth", Json.Int depth) ]
+
+let span_close s ~name ~depth ~seconds =
+  if s.oc <> None then
+    emit s "span_close"
+      [
+        ("name", Json.String name);
+        ("depth", Json.Int depth);
+        ("seconds", Json.Float seconds);
+      ]
+
+let bb_node s ~solver ~node ~depth ?bound () =
+  if s.oc <> None then
+    emit s "bb_node"
+      [
+        ("solver", Json.String solver);
+        ("node", Json.Int node);
+        ("depth", Json.Int depth);
+        ("bound", match bound with Some b -> Json.Float b | None -> Json.Null);
+      ]
+
+let incumbent s ~solver ~node ~objective =
+  if s.oc <> None then
+    emit s "incumbent"
+      [
+        ("solver", Json.String solver);
+        ("node", Json.Int node);
+        ("objective", Json.Float objective);
+      ]
+
+let bound_pruned s ~solver ~node ~bound ~incumbent =
+  if s.oc <> None then
+    emit s "bound_pruned"
+      [
+        ("solver", Json.String solver);
+        ("node", Json.Int node);
+        ("bound", Json.Float bound);
+        ("incumbent", Json.Float incumbent);
+      ]
+
+let simplex_phase s ~phase ~iterations ~outcome =
+  if s.oc <> None then
+    emit s "simplex_phase"
+      [
+        ("phase", Json.Int phase);
+        ("iterations", Json.Int iterations);
+        ("outcome", Json.String outcome);
+      ]
+
+let greedy_pick s ~pick ~gain ~covered =
+  if s.oc <> None then
+    emit s "greedy_pick"
+      [
+        ("pick", Json.Int pick);
+        ("gain", Json.Float gain);
+        ("covered", Json.Float covered);
+      ]
+
+let flow_augmentation s ~amount ~path_cost ~routed =
+  if s.oc <> None then
+    emit s "flow_augmentation"
+      [
+        ("amount", Json.Float amount);
+        ("path_cost", Json.Float path_cost);
+        ("routed", Json.Float routed);
+      ]
+
+let presolve_reduction s ~rows_dropped ~bounds_tightened ~fixed_vars =
+  if s.oc <> None then
+    emit s "presolve_reduction"
+      [
+        ("rows_dropped", Json.Int rows_dropped);
+        ("bounds_tightened", Json.Int bounds_tightened);
+        ("fixed_vars", Json.Int fixed_vars);
+      ]

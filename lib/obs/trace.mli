@@ -1,0 +1,73 @@
+(** Structured trace sink writing JSONL solver events.
+
+    A sink is either the {!null} sink — every emit helper returns
+    immediately, allocating nothing — or a channel-backed sink that
+    writes one JSON object per line. Each event carries its event name
+    under ["ev"] and a relative timestamp in seconds under ["ts"];
+    non-finite numeric fields render as [null].
+
+    The solvers read the ambient sink via {!current}; it defaults to
+    {!null} so the instrumented hot paths cost nothing unless a tool
+    (the CLI's [--trace], a test) installs a real sink. Per-node call
+    sites additionally guard with {!enabled} so even the boxing of
+    float arguments is skipped when tracing is off. *)
+
+type sink
+
+val null : sink
+(** The no-op sink: emits are dropped before any formatting work. *)
+
+val to_channel : out_channel -> sink
+
+val open_file : string -> sink
+(** Truncate/create the file and return a sink writing to it. *)
+
+val close : sink -> unit
+(** Flush, and close the underlying channel unless it is stdout or
+    stderr. The null sink is a no-op. *)
+
+val enabled : sink -> bool
+
+val events_written : sink -> int
+
+(** {1 Ambient sink} *)
+
+val current : unit -> sink
+
+val set_current : sink -> unit
+
+val with_current : sink -> (unit -> 'a) -> 'a
+(** Install the sink for the duration of the callback, restoring the
+    previous one even on exceptions. *)
+
+(** {1 Events} *)
+
+val emit : sink -> string -> (string * Json.t) list -> unit
+(** [emit sink ev fields] writes one JSONL event. The typed helpers
+    below are the stable event taxonomy; prefer them. *)
+
+val span_open : sink -> name:string -> depth:int -> unit
+
+val span_close : sink -> name:string -> depth:int -> seconds:float -> unit
+
+val bb_node :
+  sink -> solver:string -> node:int -> depth:int -> ?bound:float -> unit -> unit
+(** A branch-and-bound node was visited. [solver] is ["mip"] for the
+    LP-based solver, ["cover"] for the combinatorial set-cover one. *)
+
+val incumbent : sink -> solver:string -> node:int -> objective:float -> unit
+(** The incumbent improved (the initial heuristic incumbent included). *)
+
+val bound_pruned :
+  sink -> solver:string -> node:int -> bound:float -> incumbent:float -> unit
+
+val simplex_phase :
+  sink -> phase:int -> iterations:int -> outcome:string -> unit
+
+val greedy_pick : sink -> pick:int -> gain:float -> covered:float -> unit
+
+val flow_augmentation :
+  sink -> amount:float -> path_cost:float -> routed:float -> unit
+
+val presolve_reduction :
+  sink -> rows_dropped:int -> bounds_tightened:int -> fixed_vars:int -> unit

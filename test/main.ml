@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("lp.simplex", Test_lp.suite);
       ("lp.mip", Test_mip.suite);
+      ("obs", Test_obs.suite);
       ("graph", Test_graph.suite);
       ("flow", Test_flow.suite);
       ("cover", Test_cover.suite);
