@@ -3,7 +3,10 @@
    Usage:
      dune exec bench/main.exe                 # every experiment
      dune exec bench/main.exe -- fig7 micro   # a selection
-   Experiments: fig3 fig7 fig8 fig9 fig10 fig11 dynamic ablation micro
+     dune exec bench/main.exe -- --compare-warmstart
+                                              # cold vs warm-started MIP solves
+   Experiments: fig3 fig7 fig8 fig9 fig10 fig11 dynamic warmstart
+   sampling campaign ablation micro
 
    Set MONPOS_BENCH_FULL=1 for paper-scale runs (20 seeds everywhere,
    full sweeps, larger branch-and-bound budgets). The default
@@ -412,6 +415,125 @@ let sampling_sweep () =
      steps: LP3 trades sampling rate against hardware exactly as section 5\n\
      frames it (solved to a 1%% gap by default)."
 
+(* Warm-start ablation (also reachable as --compare-warmstart): run
+   the MIP-backed suites with branch-and-bound node re-solves done
+   cold (primal from the slack basis) and warm (dual simplex from the
+   parent basis) and compare total simplex pivot counts. Solutions are
+   identical by construction; only the work per node changes. *)
+let warmstart () =
+  section "Warm starts — cold primal vs dual-simplex node re-solves";
+  let counter snap name =
+    match Metrics.find snap name with
+    | Some (Metrics.Counter_value v) -> v
+    | _ -> 0
+  in
+  (* Each sub-run gets its own freshly reset registry window so the
+     pivot counters are attributable to that configuration alone. *)
+  let measure f =
+    Metrics.reset Metrics.default;
+    let (), secs = wall f in
+    let snap = Metrics.snapshot Metrics.default in
+    ( counter snap "simplex.iterations",
+      counter snap "simplex.dual_iterations",
+      counter snap "mip.nodes",
+      counter snap "simplex.warm_starts",
+      secs )
+  in
+  let mip_opts warm_on =
+    { Monpos_lp.Mip.default_options with Monpos_lp.Mip.warm_start = warm_on }
+  in
+  let nseeds = if full_mode then 10 else 5 in
+  let ppm warm_on () =
+    List.iter
+      (fun seed ->
+        let pop = Pop.make_preset `Pop10 ~seed in
+        let inst = Instance.of_pop pop ~seed:(seed * 131) in
+        List.iter
+          (fun k ->
+            ignore (Passive.solve_mip ~k ~options:(mip_opts warm_on) inst))
+          [ 0.8; 0.9; 1.0 ])
+      (seeds nseeds)
+  in
+  let ppme warm_on () =
+    let pop = Pop.make_preset `Pop10 ~seed:1 in
+    let inst = Instance.of_pop pop ~seed:131 in
+    let costs = Sampling.load_scaled_costs inst ~install:8.0 () in
+    List.iter
+      (fun k ->
+        let pb = Sampling.make_problem ~k ~costs inst in
+        let options =
+          {
+            Sampling.default_milp_options with
+            Monpos_lp.Mip.warm_start = warm_on;
+          }
+        in
+        ignore (Sampling.solve_milp ~options pb))
+      [ 0.7; 0.9 ]
+  in
+  let active warm_on () =
+    let pop = Pop.make_preset `Pop15 ~seed:1 in
+    let routers = Array.of_list (Pop.routers pop) in
+    let rng = Prng.create 7 in
+    Prng.shuffle rng routers;
+    let vb = List.sort compare (Array.to_list (Array.sub routers 0 10)) in
+    let probes =
+      Active.compute_probes ~targets:vb pop.Pop.graph ~candidates:vb
+    in
+    ignore (Active.place_ilp ~options:(mip_opts warm_on) probes ~candidates:vb)
+  in
+  let suites =
+    [
+      ("ppm", "PPM(k) Pop10 x seeds", ppm);
+      ("ppme", "PPME LP3 Pop10", ppme);
+      ("active", "beacon ILP Pop15", active);
+    ]
+  in
+  let ppm_ratio = ref 0.0 in
+  let rows =
+    List.map
+      (fun (key, label, suite) ->
+        let pivots_cold, _, nodes_cold, _, secs_cold = measure (suite false) in
+        let pivots_warm, dual_warm, nodes_warm, warm_starts, secs_warm =
+          measure (suite true)
+        in
+        let ratio =
+          float_of_int pivots_cold /. float_of_int (max 1 pivots_warm)
+        in
+        if key = "ppm" then ppm_ratio := ratio;
+        kv (key ^ "_pivots_cold") (Json.Int pivots_cold);
+        kv (key ^ "_pivots_warm") (Json.Int pivots_warm);
+        kv (key ^ "_dual_pivots") (Json.Int dual_warm);
+        kv (key ^ "_warm_starts") (Json.Int warm_starts);
+        kv_float (key ^ "_pivot_ratio") ratio;
+        kv_float (key ^ "_seconds_cold") secs_cold;
+        kv_float (key ^ "_seconds_warm") secs_warm;
+        [
+          label;
+          string_of_int pivots_cold;
+          string_of_int pivots_warm;
+          Table.float_cell ~decimals:2 ratio;
+          Printf.sprintf "%d/%d" dual_warm pivots_warm;
+          string_of_int warm_starts;
+          Printf.sprintf "%d/%d" nodes_cold nodes_warm;
+          Printf.sprintf "%.2f/%.2f" secs_cold secs_warm;
+        ])
+      suites
+  in
+  Table.print
+    ~header:
+      [
+        "suite"; "pivots cold"; "pivots warm"; "speedup x"; "dual/warm";
+        "warm starts"; "nodes c/w"; "secs c/w";
+      ]
+    rows;
+  note
+    "same trees, same answers: the dual simplex re-optimizes each child\n\
+     from its parent's basis instead of re-running both primal phases.";
+  if !ppm_ratio >= 2.0 then
+    note "PPM pivot reduction %.2fx (target >= 2x): OK" !ppm_ratio
+  else
+    note "!! PPM pivot reduction %.2fx is below the 2x target" !ppm_ratio
+
 (* §7 extension: measurement campaigns *)
 let campaign () =
   section "Extension (§7) — measurement campaigns (re-route to monitor)";
@@ -450,6 +572,7 @@ let experiments =
     ("fig10", fig10);
     ("fig11", fig11);
     ("dynamic", dynamic);
+    ("warmstart", warmstart);
     ("sampling", sampling_sweep);
     ("campaign", campaign);
     ("ablation", ablation);
@@ -496,7 +619,11 @@ let write_report ~total_seconds phases =
 let () =
   let requested =
     match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as picks) -> picks
+    | _ :: (_ :: _ as picks) ->
+      (* flag spelling kept for muscle memory: bench --compare-warmstart *)
+      List.map
+        (function "--compare-warmstart" -> "warmstart" | pick -> pick)
+        picks
     | _ -> List.map fst experiments
   in
   Printf.printf

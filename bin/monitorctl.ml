@@ -26,6 +26,7 @@ module Table = Monpos_util.Table
 module Prng = Monpos_util.Prng
 module Obs_trace = Monpos_obs.Trace
 module Obs_metrics = Monpos_obs.Metrics
+module Mip = Monpos_lp.Mip
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -79,6 +80,31 @@ let with_obs obs f =
         print_string
           (Obs_metrics.render_table (Obs_metrics.snapshot Obs_metrics.default));
       r)
+
+(* ------------------------------------------------------------------ *)
+(* solver flags, shared by the MIP-backed subcommands                  *)
+
+(* Evaluates to a tuner applied to whichever default option record the
+   subcommand starts from, so sampling keeps its looser gap/time
+   defaults while still honouring the flags. *)
+let solver_term =
+  let cold_arg =
+    let doc =
+      "Solve every branch-and-bound node with a cold primal simplex \
+       instead of warm-starting the dual simplex from the parent \
+       basis. Results are identical; the flag exists to measure the \
+       warm-start speedup and to bisect numerical surprises."
+    in
+    Arg.(value & flag & info [ "cold-start" ] ~doc)
+  in
+  let no_presolve_arg =
+    let doc = "Skip presolve bound tightening before branch and bound." in
+    Arg.(value & flag & info [ "no-presolve" ] ~doc)
+  in
+  let make cold no_presolve (base : Mip.options) =
+    { base with Mip.warm_start = not cold; presolve = not no_presolve }
+  in
+  Term.(const make $ cold_arg $ no_presolve_arg)
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments                                                    *)
@@ -174,9 +200,10 @@ let passive_cmd =
     let doc = "Write a Graphviz rendering with monitored links highlighted." in
     Arg.(value & opt (some string) None & info [ "dot" ] ~doc)
   in
-  let run obs preset seed sample k method_ budget installed dot =
+  let run obs tune preset seed sample k method_ budget installed dot =
     with_obs obs @@ fun () ->
     let _, inst = load_instance ?sample preset seed in
+    let options = tune Mip.default_options in
     let parse_edges s =
       List.map int_of_string (String.split_on_char ',' s)
     in
@@ -190,9 +217,9 @@ let passive_cmd =
         | "greedy" -> Passive.greedy ~k inst
         | "static" -> Passive.greedy_static ~k inst
         | "exact" -> Passive.solve_exact ~k inst
-        | "mip-lp1" -> Passive.solve_mip ~k ~formulation:`Lp1 inst
-        | "mip-lp2" -> Passive.solve_mip ~k ~formulation:`Lp2 inst
-        | "mecf" -> Mecf.solve_mip ~k inst
+        | "mip-lp1" -> Passive.solve_mip ~k ~formulation:`Lp1 ~options inst
+        | "mip-lp2" -> Passive.solve_mip ~k ~formulation:`Lp2 ~options inst
+        | "mecf" -> Mecf.solve_mip ~k ~options inst
         | other -> failwith (Printf.sprintf "unknown method %S" other))
     in
     Format.printf "%a@." Passive.pp sol;
@@ -209,7 +236,7 @@ let passive_cmd =
   Cmd.v
     (Cmd.info "passive" ~doc)
     Term.(
-      const run $ obs_term $ preset_arg $ seed_arg $ sample_arg
+      const run $ obs_term $ solver_term $ preset_arg $ seed_arg $ sample_arg
       $ coverage_arg $ method_arg $ budget_arg $ installed_arg $ dot_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -224,7 +251,7 @@ let sampling_cmd =
     let doc = "Scale exploitation cost with link load (default uniform)." in
     Arg.(value & flag & info [ "load-scaled" ] ~doc)
   in
-  let run obs preset seed k install_cost scaled =
+  let run obs tune preset seed k install_cost scaled =
     with_obs obs @@ fun () ->
     let _, inst = load_instance preset seed in
     let costs =
@@ -232,7 +259,7 @@ let sampling_cmd =
       else Sampling.uniform_costs ~install:install_cost ()
     in
     let pb = Sampling.make_problem ~k ~costs inst in
-    let sol = Sampling.solve_milp pb in
+    let sol = Sampling.solve_milp ~options:(tune Sampling.default_milp_options) pb in
     Format.printf "%a@." Sampling.pp sol;
     List.iter
       (fun e ->
@@ -246,7 +273,7 @@ let sampling_cmd =
   Cmd.v
     (Cmd.info "sampling" ~doc)
     Term.(
-      const run $ obs_term $ preset_arg $ seed_arg $ coverage_arg
+      const run $ obs_term $ solver_term $ preset_arg $ seed_arg $ coverage_arg
       $ install_cost_arg $ scaled_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -261,7 +288,7 @@ let active_cmd =
     let doc = "Placement: thiran, greedy or ilp." in
     Arg.(value & opt string "ilp" & info [ "method"; "m" ] ~doc)
   in
-  let run obs preset seed vb method_ =
+  let run obs tune preset seed vb method_ =
     with_obs obs @@ fun () ->
     let pop = Pop.make_preset preset ~seed in
     let routers = Array.of_list (Pop.routers pop) in
@@ -285,7 +312,7 @@ let active_cmd =
         match method_ with
         | "thiran" -> Active.place_thiran probes ~candidates
         | "greedy" -> Active.place_greedy probes ~candidates
-        | "ilp" -> Active.place_ilp probes ~candidates
+        | "ilp" -> Active.place_ilp ~options:(tune Mip.default_options) probes ~candidates
         | other -> failwith (Printf.sprintf "unknown method %S" other)
       in
       Format.printf "%s places %d beacon(s):%s@." placement.Active.method_name
@@ -302,7 +329,9 @@ let active_cmd =
   let doc = "Compute probes and place active beacons (§6)." in
   Cmd.v
     (Cmd.info "active" ~doc)
-    Term.(const run $ obs_term $ preset_arg $ seed_arg $ vb_arg $ method_arg)
+    Term.(
+      const run $ obs_term $ solver_term $ preset_arg $ seed_arg $ vb_arg
+      $ method_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dynamic                                                             *)

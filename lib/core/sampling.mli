@@ -59,6 +59,12 @@ type solution = {
   optimal : bool;
 }
 
+val default_milp_options : Monpos_lp.Mip.options
+(** The options {!solve_milp} uses when none are passed: a 1% relative
+    gap under a short time budget (LP3's relaxation is weak). Exposed
+    so callers can adjust one field — e.g. turn warm starts off for a
+    benchmark — without re-deriving the tuned gap/time values. *)
+
 val solve_milp : ?options:Monpos_lp.Mip.options -> problem -> solution
 (** Linear program 3: joint placement and rate assignment minimizing
     install + exploitation cost. By default the branch and bound runs

@@ -21,6 +21,8 @@ type options = {
   gap_tolerance : float;
   integrality_tol : float;
   heuristic_period : int;
+  warm_start : bool;
+  presolve : bool;
   log : bool;
 }
 
@@ -32,6 +34,8 @@ let default_options =
     gap_tolerance = 1e-9;
     integrality_tol = 1e-6;
     heuristic_period = 16;
+    warm_start = true;
+    presolve = true;
     log = false;
   }
 
@@ -54,6 +58,10 @@ type node = {
      parent relaxation's score and fractional part, so the child's LP
      value updates the per-variable degradation statistics *)
   branched : (int * [ `Down | `Up ] * float * float) option;
+  (* the parent relaxation's optimal basis (basic-variable index set):
+     the child differs by one bound, so this basis is dual feasible
+     and the node re-solve warm-starts off it *)
+  start_basis : Simplex.basis option;
 }
 
 (* Internal scores are minimization scores: score = obj for Minimize,
@@ -63,9 +71,29 @@ let solve ?(options = default_options) model =
   Monpos_obs.Span.run "mip.solve" @@ fun () ->
   let sink = Trace.current () in
   Metrics.incr (Lazy.force m_solves);
-  let n = Model.num_vars model in
-  let problem = Simplex.of_model model in
   let minimize = Model.direction model = Model.Minimize in
+  (* Root presolve: every reduction is exact and preserves variable
+     indices, so the search below can pretend the reduced model is the
+     original. Nodes inherit the tightened bounds. *)
+  let model, presolved_infeasible =
+    if options.presolve then begin
+      let reduced, info = Presolve.reduce model in
+      if info.Presolve.infeasible then (model, true) else (reduced, false)
+    end
+    else (model, false)
+  in
+  let n = Model.num_vars model in
+  if presolved_infeasible then
+    {
+      status = Infeasible;
+      objective = nan;
+      solution = None;
+      bound = (if minimize then infinity else neg_infinity);
+      nodes = 0;
+      gap = infinity;
+    }
+  else begin
+  let problem = Simplex.of_model model in
   let to_score obj = if minimize then obj else -.obj in
   let of_score s = if minimize then s else -.s in
   let int_vars =
@@ -116,6 +144,13 @@ let solve ?(options = default_options) model =
      rounded-away fraction, per variable and direction *)
   let pc_down = Array.make n 0.0 and pc_down_n = Array.make n 0 in
   let pc_up = Array.make n 0.0 and pc_up_n = Array.make n 0 in
+  (* The fractional part recorded at branch time is x - floor(x + itol),
+     which sits in (itol, 1 - itol) for the default tolerance but can
+     approach 0 or 1 (or even leave [0, 1] entirely) when callers loosen
+     integrality_tol; dividing by it unguarded turns one degenerate
+     branch into a pseudocost that dwarfs every honest observation.
+     Clamp the denominator below by the tolerance itself. *)
+  let pc_frac f = Float.max f (Float.max itol 1e-6) in
   let record_pseudocost node child_score =
     match node.branched with
     | None -> ()
@@ -123,13 +158,13 @@ let solve ?(options = default_options) model =
       let degradation = max 0.0 (child_score -. parent_score) in
       (match dir with
       | `Down ->
-        let per_unit = degradation /. max frac 1e-6 in
+        let per_unit = degradation /. pc_frac frac in
         pc_down.(v) <-
           ((pc_down.(v) *. float_of_int pc_down_n.(v)) +. per_unit)
           /. float_of_int (pc_down_n.(v) + 1);
         pc_down_n.(v) <- pc_down_n.(v) + 1
       | `Up ->
-        let per_unit = degradation /. max (1.0 -. frac) 1e-6 in
+        let per_unit = degradation /. pc_frac (1.0 -. frac) in
         pc_up.(v) <-
           ((pc_up.(v) *. float_of_int pc_up_n.(v)) +. per_unit)
           /. float_of_int (pc_up_n.(v) + 1);
@@ -189,14 +224,15 @@ let solve ?(options = default_options) model =
      feasibility) until the LP relaxation comes out integral. Much more
      reliable than one-shot rounding on covering-type programs, where
      rounding fractional openings down is almost always infeasible. *)
-  let diving_heuristic node primal0 =
+  let diving_heuristic node primal0 basis0 =
     let lower = Array.copy node.lower and upper = Array.copy node.upper in
-    let rec dive primal fuel =
+    let warm basis = if options.warm_start then Some basis else None in
+    let rec dive primal basis fuel =
       if fuel >= 0 then
         match fractional_var primal with
         | None ->
           (* integral: re-solve once to get the continuous completion *)
-          let sol = Simplex.solve ~lower ~upper problem in
+          let sol = Simplex.solve ~lower ~upper ?basis:(warm basis) problem in
           if sol.Simplex.status = Simplex.Optimal then
             record_candidate sol.Simplex.primal (to_score sol.Simplex.objective)
         | Some v ->
@@ -204,7 +240,7 @@ let solve ?(options = default_options) model =
             let saved_l = lower.(v) and saved_u = upper.(v) in
             lower.(v) <- value;
             upper.(v) <- value;
-            let sol = Simplex.solve ~lower ~upper problem in
+            let sol = Simplex.solve ~lower ~upper ?basis:(warm basis) problem in
             if sol.Simplex.status = Simplex.Optimal then Some sol
             else begin
               lower.(v) <- saved_l;
@@ -219,13 +255,13 @@ let solve ?(options = default_options) model =
             else rounded -. 1.0
           in
           (match try_fix rounded with
-          | Some sol -> dive sol.Simplex.primal (fuel - 1)
+          | Some sol -> dive sol.Simplex.primal sol.Simplex.basis (fuel - 1)
           | None -> (
             match try_fix other with
-            | Some sol -> dive sol.Simplex.primal (fuel - 1)
+            | Some sol -> dive sol.Simplex.primal sol.Simplex.basis (fuel - 1)
             | None -> ()))
     in
-    dive primal0 (List.length int_vars)
+    dive primal0 basis0 (List.length int_vars)
   in
   let queue = Monpos_util.Heap.create () in
   let root =
@@ -234,6 +270,7 @@ let solve ?(options = default_options) model =
       upper = Array.init n (fun v -> Model.var_ub model (Model.var_of_index model v));
       depth = 0;
       branched = None;
+      start_basis = None;
     }
   in
   let start = Clock.now () in
@@ -277,7 +314,11 @@ let solve ?(options = default_options) model =
         if Trace.enabled sink then
           Trace.bb_node sink ~solver:"mip" ~node:!nodes ~depth:node.depth
             ~bound:(of_score parent_bound) ();
-        let sol = Simplex.solve ~lower:node.lower ~upper:node.upper problem in
+        let sol =
+          Simplex.solve ~lower:node.lower ~upper:node.upper
+            ?basis:(if options.warm_start then node.start_basis else None)
+            problem
+        in
         match sol.Simplex.status with
         | Simplex.Infeasible -> ()
         | Simplex.Iteration_limit ->
@@ -315,10 +356,13 @@ let solve ?(options = default_options) model =
               if
                 options.heuristic_period > 0
                 && (!nodes = 1 || !nodes mod options.heuristic_period = 0)
-              then diving_heuristic node sol.Simplex.primal;
+              then diving_heuristic node sol.Simplex.primal sol.Simplex.basis;
               let x = sol.Simplex.primal.(v) in
               let f = floor (x +. itol) in
               let frac = x -. f in
+              (* both children differ from this node by one bound, so
+                 this relaxation's basis stays dual feasible for them *)
+              let child_basis = Some sol.Simplex.basis in
               let down = { node with upper = Array.copy node.upper } in
               down.upper.(v) <- f;
               let up =
@@ -327,6 +371,7 @@ let solve ?(options = default_options) model =
                   lower = Array.copy node.lower;
                   depth = node.depth + 1;
                   branched = Some (v, `Up, raw_score, frac);
+                  start_basis = child_basis;
                 }
               in
               up.lower.(v) <- f +. 1.0;
@@ -335,6 +380,7 @@ let solve ?(options = default_options) model =
                   down with
                   depth = node.depth + 1;
                   branched = Some (v, `Down, raw_score, frac);
+                  start_basis = child_basis;
                 }
               in
               if down.upper.(v) >= down.lower.(v) -. 1e-9 then
@@ -382,6 +428,7 @@ let solve ?(options = default_options) model =
     nodes = !nodes;
     gap = (if status = Optimal then 0.0 else gap);
   }
+  end
 
 let solve_or_fail ?options model =
   let r = solve ?options model in

@@ -6,12 +6,14 @@
     optimality on the instance sizes of the evaluation.
 
     Strategy: best-bound node selection over LP relaxations solved by
-    {!Simplex}; configurable branching (pseudocost by default, see
-    {!branching}); an LP-diving heuristic for incumbents; pruning by
-    bound, with bounds rounded up when the objective is provably
-    integral (pure device counts). Node and wall-clock limits turn the
-    solver into an anytime heuristic that reports the remaining
-    gap. *)
+    {!Simplex}, each node warm-started with the dual simplex from its
+    parent's basis (the basis is stored per node as the basic-variable
+    index set); configurable branching (pseudocost by default, see
+    {!branching}); an LP-diving heuristic for incumbents; {!Presolve}
+    bound tightening before the search; pruning by bound, with bounds
+    rounded up when the objective is provably integral (pure device
+    counts). Node and wall-clock limits turn the solver into an
+    anytime heuristic that reports the remaining gap. *)
 
 type branching =
   | Most_fractional
@@ -36,6 +38,15 @@ type options = {
   heuristic_period : int;
       (** run the fix-and-resolve rounding heuristic every this many
           nodes (default 16; 0 disables) *)
+  warm_start : bool;
+      (** re-solve each node with the dual simplex warm-started from
+          its parent's basis instead of a cold primal solve (default
+          [true]; results are identical, only pivot counts change —
+          turn off to benchmark or to bisect numerical issues) *)
+  presolve : bool;
+      (** run {!Presolve.reduce} (bound tightening, probing, row
+          removal) on the model before branching so every node starts
+          from tighter bounds (default [true]) *)
   log : bool;  (** print a search trace to stderr *)
 }
 

@@ -39,15 +39,17 @@ let reduce model =
   let rows_dropped = ref 0 in
   let bounds_tightened = ref 0 in
   let infeasible = ref false in
-  (* tighten a variable's bounds; integer bounds round inward *)
+  (* integer bounds round inward *)
+  let rounded_bounds v new_lb new_ub =
+    match kind.(v) with
+    | Model.Continuous -> (new_lb, new_ub)
+    | Model.Integer | Model.Binary ->
+      ( (if new_lb = neg_infinity then new_lb else Float.ceil (new_lb -. tol)),
+        if new_ub = infinity then new_ub else Float.floor (new_ub +. tol) )
+  in
+  (* tighten a variable's bounds in the committed arrays *)
   let tighten v new_lb new_ub =
-    let new_lb, new_ub =
-      match kind.(v) with
-      | Model.Continuous -> (new_lb, new_ub)
-      | Model.Integer | Model.Binary ->
-        ( (if new_lb = neg_infinity then new_lb else Float.ceil (new_lb -. tol)),
-          if new_ub = infinity then new_ub else Float.floor (new_ub +. tol) )
-    in
+    let new_lb, new_ub = rounded_bounds v new_lb new_ub in
     if new_lb > lb.(v) +. tol then begin
       lb.(v) <- new_lb;
       incr bounds_tightened
@@ -58,8 +60,59 @@ let reduce model =
     end;
     if lb.(v) > ub.(v) +. tol then infeasible := true
   in
+  (* Activity-based propagation of one multi-term row under the given
+     bound arrays. Calls [tighten] for every implied tighter bound and
+     returns [true] when the activity interval proves the row
+     unsatisfiable. Shared between the committed presolve passes and
+     the what-if probing trials below. *)
+  let propagate_row lb ub tighten terms sense rhs =
+    let lo, hi = activity_bounds lb ub terms in
+    let impossible =
+      match sense with
+      | Model.Le -> lo > rhs +. tol
+      | Model.Ge -> hi < rhs -. tol
+      | Model.Eq -> lo > rhs +. tol || hi < rhs -. tol
+    in
+    if impossible then true
+    else begin
+      (* for <= rows, each variable's contribution is bounded by rhs
+         minus the minimum activity of the others *)
+      let tighten_from (rhs', sgn) =
+        List.iter
+          (fun (c, v) ->
+            let c = sgn *. c in
+            let lo_others =
+              List.fold_left
+                (fun acc (c', v') ->
+                  if v' = v then acc
+                  else begin
+                    let c' = sgn *. c' in
+                    if c' >= 0.0 then acc +. (c' *. lb.(v'))
+                    else acc +. (c' *. ub.(v'))
+                  end)
+                0.0 terms
+            in
+            let room = rhs' -. lo_others in
+            if c > tol then begin
+              if room /. c < ub.(v) -. tol then
+                tighten v neg_infinity (room /. c)
+            end
+            else if c < -.tol then
+              if room /. c > lb.(v) +. tol then tighten v (room /. c) infinity)
+          terms
+      in
+      (match sense with
+      | Model.Le -> tighten_from (rhs, 1.0)
+      | Model.Ge -> tighten_from (-.rhs, -1.0)
+      | Model.Eq ->
+        tighten_from (rhs, 1.0);
+        tighten_from (-.rhs, -1.0));
+      false
+    end
+  in
   let pass () =
     let changed = ref false in
+    let tightened_before = !bounds_tightened in
     Array.iteri
       (fun i (terms, sense, rhs) ->
         if alive.(i) && not !infeasible then begin
@@ -95,64 +148,88 @@ let reduce model =
               | Model.Ge -> lo >= rhs -. tol
               | Model.Eq -> false
             in
-            let impossible =
-              match sense with
-              | Model.Le -> lo > rhs +. tol
-              | Model.Ge -> hi < rhs -. tol
-              | Model.Eq -> lo > rhs +. tol || hi < rhs -. tol
-            in
-            if impossible then infeasible := true
-            else if redundant then begin
+            if redundant then begin
               alive.(i) <- false;
               incr rows_dropped;
               changed := true
             end
-            else begin
-              (* bound tightening from the row: for <= rows, each
-                 variable's contribution is bounded by rhs minus the
-                 minimum activity of the others *)
-              let tighten_from upper =
-                (* upper = true handles a.x <= rhs' *)
-                let rhs', sgn = upper in
-                List.iter
-                  (fun (c, v) ->
-                    let c = sgn *. c in
-                    let lo_others =
-                      List.fold_left
-                        (fun acc (c', v') ->
-                          if v' = v then acc
-                          else begin
-                            let c' = sgn *. c' in
-                            if c' >= 0.0 then acc +. (c' *. lb.(v'))
-                            else acc +. (c' *. ub.(v'))
-                          end)
-                        0.0 terms
-                    in
-                    let room = rhs' -. lo_others in
-                    if c > tol then begin
-                      if room /. c < ub.(v) -. tol then
-                        tighten v neg_infinity (room /. c)
-                    end
-                    else if c < -.tol then
-                      if room /. c > lb.(v) +. tol then
-                        tighten v (room /. c) infinity)
-                  terms
-              in
-              (match sense with
-              | Model.Le -> tighten_from (rhs, 1.0)
-              | Model.Ge -> tighten_from (-.rhs, -1.0)
-              | Model.Eq ->
-                tighten_from (rhs, 1.0);
-                tighten_from (-.rhs, -1.0))
-            end
+            else if propagate_row lb ub tighten terms sense rhs then
+              infeasible := true
         end)
       rows;
-    !changed
+    (* a tightened bound can unlock further reductions, so it counts
+       as progress for the fixed-point iteration just like a dropped
+       row does *)
+    !changed || !bounds_tightened > tightened_before
   in
-  let passes = ref 0 in
-  while pass () && !passes < 10 && not !infeasible do
-    incr passes
-  done;
+  let fixed_point () =
+    let passes = ref 0 in
+    while pass () && !passes < 10 && not !infeasible do
+      incr passes
+    done
+  in
+  fixed_point ();
+  (* Probing on the 0–1 device variables: tentatively fix each still
+     free binary to 0 and to 1 and propagate the row activities under
+     the trial bounds. When one side proves infeasible the variable is
+     fixed the other way for good — on the paper's covering
+     formulations this cascades through rows whose only remaining
+     support is a single device. Trial tightenings touch copies of the
+     bound arrays, never the committed ones. *)
+  let binaries =
+    List.filter
+      (fun v -> kind.(v) = Model.Binary)
+      (List.init n (fun v -> v))
+  in
+  if (not !infeasible) && binaries <> [] && List.length binaries <= 512 then begin
+    let probe_infeasible v value =
+      let plb = Array.copy lb and pub = Array.copy ub in
+      plb.(v) <- value;
+      pub.(v) <- value;
+      let bad = ref false in
+      let tighten_trial w new_lb new_ub =
+        let new_lb, new_ub = rounded_bounds w new_lb new_ub in
+        if new_lb > plb.(w) +. tol then plb.(w) <- new_lb;
+        if new_ub < pub.(w) -. tol then pub.(w) <- new_ub;
+        if plb.(w) > pub.(w) +. tol then bad := true
+      in
+      let sweeps = ref 0 in
+      while (not !bad) && !sweeps < 3 do
+        Array.iteri
+          (fun i (terms, sense, rhs) ->
+            if alive.(i) && not !bad then
+              match terms with
+              | [] | [ _ ] -> ()
+              | _ ->
+                if propagate_row plb pub tighten_trial terms sense rhs then
+                  bad := true)
+          rows;
+        incr sweeps
+      done;
+      !bad
+    in
+    let rounds = ref 0 in
+    let progress = ref true in
+    while !progress && !rounds < 3 && not !infeasible do
+      progress := false;
+      List.iter
+        (fun v ->
+          if (not !infeasible) && ub.(v) -. lb.(v) > tol then
+            if probe_infeasible v 0.0 then begin
+              (* v = 0 kills the model, so v = 1 in every solution *)
+              tighten v 1.0 infinity;
+              progress := true
+            end
+            else if probe_infeasible v 1.0 then begin
+              tighten v neg_infinity 0.0;
+              progress := true
+            end)
+        binaries;
+      (* fixings feed the ordinary reductions, and vice versa *)
+      if !progress then fixed_point ();
+      incr rounds
+    done
+  end;
   (* rebuild *)
   let reduced = Model.create ~name:(Model.name model ^ "-presolved")
       (Model.direction model)

@@ -3,10 +3,13 @@
     Implements the standard safe reductions (the kind CPLEX applies
     before its own simplex): removal of empty rows, conversion of
     singleton rows into variable bounds, bound tightening from row
-    activity, and fixing of variables whose bounds coincide. All
-    reductions are exact: the reduced model has the same optimal value
-    as the original, and {!restore} lifts a reduced solution back to
-    the original variable space.
+    activity iterated to a fixed point, probing on binary variables
+    (tentatively fixing each 0–1 device variable and fixing it the
+    other way when propagation proves a side impossible), and fixing
+    of variables whose bounds coincide. All reductions are exact: the
+    reduced model has the same optimal value as the original, and
+    {!restore} lifts a reduced solution back to the original variable
+    space.
 
     Presolve never changes variable indices — reductions only tighten
     bounds and drop rows — so the lifted solution is index-compatible

@@ -1,10 +1,21 @@
-(* Bounded-variable revised primal simplex with explicit basis inverse.
+(* Bounded-variable revised primal and dual simplex with explicit
+   basis inverse.
 
    Conventions: the problem is solved as a minimization; a Maximize
    model has its costs negated on input and its objective and duals
    negated on output. Every row [a.x {<=,>=,=} b] becomes
    [a.x + s = b] with slack bounds [0,inf) / (-inf,0] / [0,0], so the
-   initial slack basis is the identity. *)
+   initial slack basis is the identity.
+
+   Warm starts: [solve ?basis] installs a caller-supplied basic set
+   (typically the parent branch-and-bound node's optimal basis), parks
+   each nonbasic variable on the bound its reduced-cost sign asks for,
+   and — when the result is dual feasible, which it always is after a
+   pure bound change on an optimal basis — runs the dual simplex to
+   primal feasibility. The primal phases then run from wherever the
+   dual phase stopped, so the final status and objective are always
+   produced by the same primal machinery as a cold solve; the dual
+   phase is purely an accelerator. *)
 
 module Trace = Monpos_obs.Trace
 module Metrics = Monpos_obs.Metrics
@@ -12,6 +23,12 @@ module Metrics = Monpos_obs.Metrics
 let m_solves = lazy (Metrics.counter Metrics.default "simplex.solves")
 
 let m_iterations = lazy (Metrics.counter Metrics.default "simplex.iterations")
+
+let m_warm_starts =
+  lazy (Metrics.counter Metrics.default "simplex.warm_starts")
+
+let m_dual_iterations =
+  lazy (Metrics.counter Metrics.default "simplex.dual_iterations")
 
 type col = { rows : int array; coefs : float array }
 
@@ -30,6 +47,8 @@ type problem = {
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
+type basis = int array
+
 type solution = {
   status : status;
   objective : float;
@@ -37,6 +56,8 @@ type solution = {
   duals : float array;
   reduced_costs : float array;
   iterations : int;
+  dual_iterations : int;
+  basis : basis;
 }
 
 let num_rows p = p.m
@@ -458,9 +479,212 @@ let run_phase st ~phase1 ~max_iterations =
   done;
   !result
 
+(* --- warm starts and the dual simplex ----------------------------- *)
+
+(* Structural sanity of a caller-supplied basis: one distinct column
+   per row, all in range. Anything else is silently treated as "no
+   warm start" — a basis from a different problem must never crash the
+   solve. *)
+let basis_well_formed st basis =
+  Array.length basis = st.p.m
+  && begin
+    let seen = Array.make st.nn false in
+    Array.for_all
+      (fun j ->
+        j >= 0 && j < st.nn && not seen.(j)
+        && begin
+          seen.(j) <- true;
+          true
+        end)
+      basis
+  end
+
+(* Install the basic set and factorize it. Raises Singular_basis when
+   the columns are dependent; the caller falls back to a cold start. *)
+let install_basis st basis =
+  for j = 0 to st.nn - 1 do
+    st.in_row.(j) <- -1
+  done;
+  for r = 0 to st.p.m - 1 do
+    st.basic_var.(r) <- basis.(r);
+    st.in_row.(basis.(r)) <- r
+  done;
+  for j = 0 to st.nn - 1 do
+    if st.in_row.(j) >= 0 then st.vstat.(j) <- Basic
+    else begin
+      (* provisional parking spot; re-chosen by reduced-cost sign in
+         [prepare_warm_nonbasics] once the factorization exists *)
+      st.vstat.(j) <- (if st.lb.(j) > neg_infinity then At_lower
+                       else if st.ub.(j) < infinity then At_upper
+                       else Free_nb);
+      st.x.(j) <-
+        (if st.lb.(j) > neg_infinity then st.lb.(j)
+         else if st.ub.(j) < infinity then st.ub.(j)
+         else 0.0)
+    end
+  done;
+  refactorize st
+
+(* Park every nonbasic variable on the bound its reduced cost wants:
+   a boxed variable is always dual feasible this way; a one-sided or
+   free variable can only sit where its bounds allow, so a wrong-signed
+   reduced cost there breaks dual feasibility. Returns whether the
+   basis is dual feasible (so the dual simplex may run). *)
+let prepare_warm_nonbasics st =
+  for r = 0 to st.p.m - 1 do
+    st.c1.(r) <- cost_of st st.basic_var.(r)
+  done;
+  btran st st.c1;
+  let dual_ok = ref true in
+  for j = 0 to st.nn - 1 do
+    if st.in_row.(j) < 0 then begin
+      let l = st.lb.(j) and u = st.ub.(j) in
+      let d = reduced_cost st j (cost_of st j) in
+      if l > neg_infinity && u < infinity then
+        if d >= 0.0 then begin
+          st.vstat.(j) <- At_lower;
+          st.x.(j) <- l
+        end
+        else begin
+          st.vstat.(j) <- At_upper;
+          st.x.(j) <- u
+        end
+      else if l > neg_infinity then begin
+        st.vstat.(j) <- At_lower;
+        st.x.(j) <- l;
+        if d < -.dj_tol then dual_ok := false
+      end
+      else if u < infinity then begin
+        st.vstat.(j) <- At_upper;
+        st.x.(j) <- u;
+        if d > dj_tol then dual_ok := false
+      end
+      else begin
+        st.vstat.(j) <- Free_nb;
+        st.x.(j) <- 0.0;
+        if abs_float d > dj_tol then dual_ok := false
+      end
+    end
+  done;
+  recompute_basics st;
+  !dual_ok
+
+(* Dual simplex phase. Precondition: the basis is dual feasible (every
+   nonbasic reduced cost has its optimality sign). Each iteration picks
+   the most bound-violating basic variable as the leaving row, prices
+   that row of B^-1 against the nonbasic columns, and enters the column
+   whose reduced-cost ratio |d_j / alpha_j| is smallest among those
+   that move the violated basic toward its bound — the bounded-variable
+   dual ratio test, ties broken by the largest pivot magnitude.
+
+   Returns [`Done] (primal feasible, hence optimal), [`No_pivot] (a
+   violated row admits no entering column — the strong hint of primal
+   infeasibility, confirmed afterwards by primal phase 1),
+   [`Numerical] (row/column pivot disagreement; the primal phases take
+   over from the current basis) or [`Iteration_limit]. *)
+let run_dual_phase st ~max_iterations =
+  let m = st.p.m in
+  let rho = Array.make (max m 1) 0.0 in
+  let continue = ref true in
+  let result = ref `Done in
+  while !continue do
+    if st.iters >= max_iterations then begin
+      result := `Iteration_limit;
+      continue := false
+    end
+    else begin
+      if st.iters > 0 && st.iters mod st.refactor_every = 0 then refactorize st;
+      let r_best = ref (-1) and viol_best = ref feas_tol in
+      for r = 0 to m - 1 do
+        let v = violation st st.basic_var.(r) in
+        if v > !viol_best then begin
+          r_best := r;
+          viol_best := v
+        end
+      done;
+      if !r_best = -1 then begin
+        result := `Done;
+        continue := false
+      end
+      else begin
+        let r = !r_best in
+        let v = st.basic_var.(r) in
+        let to_upper = st.x.(v) > st.ub.(v) +. feas_tol in
+        (* true multipliers for the reduced costs *)
+        for i = 0 to m - 1 do
+          st.c1.(i) <- cost_of st st.basic_var.(i)
+        done;
+        btran st st.c1;
+        Array.blit st.binv.(r) 0 rho 0 m;
+        let alpha_of j =
+          let acc = ref 0.0 in
+          col_iter st j (fun i a -> acc := !acc +. (rho.(i) *. a));
+          !acc
+        in
+        let best = ref (-1) in
+        let best_ratio = ref infinity in
+        let best_piv = ref 0.0 in
+        for j = 0 to st.nn - 1 do
+          match st.vstat.(j) with
+          | Basic -> ()
+          | (At_lower | At_upper | Free_nb) as vs ->
+            if vs = Free_nb || st.ub.(j) -. st.lb.(j) > zero_tol then begin
+              let a = alpha_of j in
+              if abs_float a > piv_tol then begin
+                let eligible =
+                  match vs with
+                  | At_lower -> if to_upper then a > 0.0 else a < 0.0
+                  | At_upper -> if to_upper then a < 0.0 else a > 0.0
+                  | Free_nb -> true
+                  | Basic -> false
+                in
+                if eligible then begin
+                  let d = reduced_cost st j (cost_of st j) in
+                  let ratio = abs_float (d /. a) in
+                  if
+                    ratio < !best_ratio -. 1e-9
+                    || (ratio <= !best_ratio +. 1e-9 && abs_float a > !best_piv)
+                  then begin
+                    best := j;
+                    best_ratio := ratio;
+                    best_piv := abs_float a
+                  end
+                end
+              end
+            end
+        done;
+        if !best = -1 then begin
+          result := `No_pivot;
+          continue := false
+        end
+        else begin
+          let j = !best in
+          ftran st j;
+          let a = st.alpha.(r) in
+          if abs_float a <= piv_tol then begin
+            (* the row view and the freshly ftran'd column disagree:
+               the factorization has drifted; let the primal phases
+               finish from here rather than pivot on noise *)
+            result := `Numerical;
+            continue := false
+          end
+          else begin
+            let bound = if to_upper then st.ub.(v) else st.lb.(v) in
+            let t = (st.x.(v) -. bound) /. a in
+            let dir = if t >= 0.0 then 1.0 else -1.0 in
+            apply_step st j dir (abs_float t)
+              (Leave (r, if to_upper then `Upper else `Lower));
+            st.iters <- st.iters + 1
+          end
+        end
+      end
+    end
+  done;
+  !result
+
 let default_iterations p = 20_000 + (60 * (p.n + p.m))
 
-let solve ?max_iterations ?lower ?upper p =
+let solve ?max_iterations ?lower ?upper ?basis p =
   let max_iterations =
     match max_iterations with Some k -> k | None -> default_iterations p
   in
@@ -487,6 +711,8 @@ let solve ?max_iterations ?lower ?upper p =
       duals = Array.make m 0.0;
       reduced_costs = Array.make n 0.0;
       iterations = 0;
+      dual_iterations = 0;
+      basis = Array.init m (fun r -> n + r);
     }
   in
   if not !bounds_ok then empty_solution Infeasible
@@ -556,6 +782,29 @@ let solve ?max_iterations ?lower ?upper p =
       recompute_basics st
     in
     reset_to_slack_basis ();
+    (* Warm start: install the caller's basis and decide whether the
+       dual simplex may run. Any failure (wrong shape, singular
+       columns) falls back to the cold slack basis just built. *)
+    let warm_dual = ref false in
+    let warm_installed = ref false in
+    (match basis with
+    | Some bas when m > 0 && basis_well_formed st bas -> (
+      match install_basis st bas with
+      | () ->
+        warm_installed := true;
+        warm_dual := prepare_warm_nonbasics st
+      | exception Singular_basis -> reset_to_slack_basis ())
+    | _ -> ());
+    if !warm_installed then begin
+      Metrics.incr (Lazy.force m_warm_starts);
+      if not !warm_dual then begin
+        let sink = Trace.current () in
+        if Trace.enabled sink then
+          Trace.warm_start sink ~dual_feasible:false ~iterations:0
+            ~outcome:"primal_fallback"
+      end
+    end;
+    let dual_iters = ref 0 in
     let finish status =
       (* multipliers for the true objective at the final basis *)
       for r = 0 to m - 1 do
@@ -582,6 +831,8 @@ let solve ?max_iterations ?lower ?upper p =
         duals;
         reduced_costs;
         iterations = st.iters;
+        dual_iterations = !dual_iters;
+        basis = Array.sub st.basic_var 0 m;
       }
     in
     let sink = Trace.current () in
@@ -596,6 +847,26 @@ let solve ?max_iterations ?lower ?upper p =
             | `Iteration_limit -> "iteration_limit")
     in
     let run () =
+      (* dual phase first when the warm basis allows it; the primal
+         phases below then confirm (usually in zero pivots) whatever it
+         reached, so a cold and a warm solve share one status
+         authority *)
+      if !warm_dual then begin
+        warm_dual := false;
+        let it0 = st.iters in
+        let outcome = run_dual_phase st ~max_iterations in
+        let pivots = st.iters - it0 in
+        dual_iters := !dual_iters + pivots;
+        Metrics.add (Lazy.force m_dual_iterations) pivots;
+        if Trace.enabled sink then
+          Trace.warm_start sink ~dual_feasible:true ~iterations:pivots
+            ~outcome:
+              (match outcome with
+              | `Done -> "reoptimal"
+              | `No_pivot -> "infeasible_guess"
+              | `Numerical -> "primal_fallback"
+              | `Iteration_limit -> "iteration_limit")
+      end;
       let r1 =
         if total_infeasibility st > feas_tol then begin
           let r = run_phase st ~phase1:true ~max_iterations in

@@ -1,4 +1,5 @@
-(** Two-phase bounded-variable revised primal simplex.
+(** Two-phase bounded-variable revised primal simplex, with a dual
+    simplex phase for warm-started re-solves.
 
     Solves [min/max c.x] subject to the linear constraints and variable
     bounds of a {!Model.t}, ignoring integrality (the LP relaxation).
@@ -8,6 +9,17 @@
     (or at zero when free), which keeps the paper's formulations small
     — e.g. the [δ_t ∈ [0,1]] variables of Linear program 2 consume no
     rows.
+
+    Warm starts: passing the parent solve's {!solution.basis} back via
+    [solve ?basis] after a bound change re-installs that basis, and —
+    because reduced costs depend only on the basis, not the bounds —
+    it is dual feasible, so the bounded-variable dual simplex
+    re-optimizes in a handful of pivots instead of a full cold solve.
+    This is how {!Mip} gets branch-and-bound node throughput. The
+    final status is always confirmed by the primal phases, so a warm
+    solve can never report a different status than a cold one; on a
+    singular or ill-shaped basis the solver silently falls back to the
+    cold slack start.
 
     Anti-cycling: after a run of degenerate pivots the pivot rule
     falls back to Bland's rule until progress resumes. *)
@@ -23,6 +35,12 @@ type status =
   | Unbounded  (** an improving ray was found in phase 2 *)
   | Iteration_limit  (** gave up after [max_iterations] pivots *)
 
+type basis = int array
+(** A basis as the basic-variable index per row: structural variables
+    are their {!Model.var_index}, the slack of row [r] is
+    [num_structural + r]. Compact enough to store at every
+    branch-and-bound node. *)
+
 type solution = {
   status : status;
   objective : float;
@@ -37,7 +55,12 @@ type solution = {
           that weak duality holds in the model's direction. *)
   reduced_costs : float array;
       (** Reduced cost per structural variable (minimization form). *)
-  iterations : int;  (** Total pivots across both phases. *)
+  iterations : int;  (** Total pivots across all phases. *)
+  dual_iterations : int;
+      (** Pivots spent in the dual simplex phase (0 on cold solves). *)
+  basis : basis;
+      (** The final basis; feed it back through [solve ?basis] to warm
+          start a re-solve after a bound change. *)
 }
 
 val of_model : Model.t -> problem
@@ -49,12 +72,17 @@ val solve :
   ?max_iterations:int ->
   ?lower:float array ->
   ?upper:float array ->
+  ?basis:basis ->
   problem ->
   solution
 (** Solve the LP relaxation. [lower]/[upper] (length = number of
     structural variables) override the bounds captured by
-    {!of_model}. Default iteration budget scales with the instance
-    size. *)
+    {!of_model}. [basis] warm starts from a previous solve's final
+    basis: when it is dual feasible under the current bounds (always
+    true for a pure bound change on an optimal basis) the dual simplex
+    runs first; otherwise the primal phases start from it. A malformed
+    or singular basis degrades to a cold solve — never to a different
+    answer. Default iteration budget scales with the instance size. *)
 
 val solve_model : ?max_iterations:int -> Model.t -> solution
 (** [solve_model m] is [solve (of_model m)]. *)

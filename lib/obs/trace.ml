@@ -104,6 +104,15 @@ let simplex_phase s ~phase ~iterations ~outcome =
         ("outcome", Json.String outcome);
       ]
 
+let warm_start s ~dual_feasible ~iterations ~outcome =
+  if s.oc <> None then
+    emit s "warm_start"
+      [
+        ("dual_feasible", Json.Bool dual_feasible);
+        ("iterations", Json.Int iterations);
+        ("outcome", Json.String outcome);
+      ]
+
 let greedy_pick s ~pick ~gain ~covered =
   if s.oc <> None then
     emit s "greedy_pick"

@@ -64,6 +64,13 @@ val bound_pruned :
 val simplex_phase :
   sink -> phase:int -> iterations:int -> outcome:string -> unit
 
+val warm_start :
+  sink -> dual_feasible:bool -> iterations:int -> outcome:string -> unit
+(** A simplex solve started from a caller-supplied basis. [iterations]
+    counts dual-simplex pivots (0 when the basis was installed but the
+    primal phases ran instead); [outcome] is ["reoptimal"],
+    ["primal_fallback"], ["infeasible_guess"] or ["iteration_limit"]. *)
+
 val greedy_pick : sink -> pick:int -> gain:float -> covered:float -> unit
 
 val flow_augmentation :

@@ -363,6 +363,114 @@ let prop_duality_certificates =
         && abs_float (cx -. (!yb -. !ys_dot_slack +. !dx))
            < 1e-5 *. (1.0 +. abs_float cx))
 
+(* Full certificate check in the model's own direction, for Minimize
+   and Maximize alike. With y the reported row duals, d the reported
+   reduced costs (minimization form, per the interface) and sgn = +1
+   for Minimize / -1 for Maximize:
+
+   - recomputing d from scratch as c_min - y_min A (with c_min, y_min
+     the minimization-form cost vector and multipliers) must
+     reproduce [reduced_costs];
+   - complementary slackness: |y_r| > 0 forces row r tight, |d_j| > 0
+     forces x_j onto a bound;
+   - the dual objective y_min.b + sum_j d_j * (bound x_j sits on)
+     equals the minimization-form optimum — i.e. duals and reduced
+     costs certify the objective, weak duality holding with equality
+     at the optimum. *)
+let prop_certificates_both_directions =
+  let gen =
+    QCheck2.Gen.(pair bool (int_range 0 1_000_000))
+  in
+  QCheck2.Test.make
+    ~name:"duality certificates hold for Minimize and Maximize" ~count:120 gen
+    (fun (maximize, seed) ->
+      let rng = Monpos_util.Prng.create seed in
+      let n = 2 + Monpos_util.Prng.int rng 4 in
+      let rows = 1 + Monpos_util.Prng.int rng 4 in
+      let m =
+        Model.create (if maximize then Model.Maximize else Model.Minimize)
+      in
+      let xs =
+        Array.init n (fun _ ->
+            Model.add_var m
+              ~ub:(1.0 +. Monpos_util.Prng.float rng 9.0)
+              ~obj:(Monpos_util.Prng.float rng 10.0 -. 4.0)
+              Model.Continuous)
+      in
+      let coefs = Array.make_matrix rows n 0.0 in
+      let rhs = Array.make rows 0.0 in
+      let senses = Array.make rows Model.Le in
+      for r = 0 to rows - 1 do
+        let terms = ref [] in
+        for i = 0 to n - 1 do
+          let c = Monpos_util.Prng.float rng 4.0 in
+          coefs.(r).(i) <- c;
+          terms := (c, xs.(i)) :: !terms
+        done;
+        rhs.(r) <- 2.0 +. Monpos_util.Prng.float rng 15.0;
+        senses.(r) <- (if Monpos_util.Prng.bool rng then Model.Le else Model.Ge);
+        if senses.(r) = Model.Ge then begin
+          (* keep Ge rows satisfiable: x = ub maximizes the lhs *)
+          let max_lhs = ref 0.0 in
+          for i = 0 to n - 1 do
+            max_lhs := !max_lhs +. (coefs.(r).(i) *. Model.var_ub m xs.(i))
+          done;
+          rhs.(r) <- min rhs.(r) (0.8 *. !max_lhs)
+        end;
+        Model.add_constr m !terms senses.(r) rhs.(r)
+      done;
+      let sol = Simplex.solve_model m in
+      match sol.Simplex.status with
+      | Simplex.Infeasible -> true (* nothing to certify *)
+      | Simplex.Unbounded | Simplex.Iteration_limit ->
+        false (* impossible: boxed variables, satisfiable Ge rows *)
+      | Simplex.Optimal ->
+        let sgn = if maximize then -1.0 else 1.0 in
+        let x = sol.Simplex.primal in
+        let d = sol.Simplex.reduced_costs in
+        (* minimization-form multipliers and costs *)
+        let y_min = Array.map (fun y -> sgn *. y) sol.Simplex.duals in
+        let ok = ref true in
+        (* 1. reduced costs recompute from the multipliers *)
+        for j = 0 to n - 1 do
+          let c_min = sgn *. Model.var_obj m xs.(j) in
+          let d_hat = ref c_min in
+          for r = 0 to rows - 1 do
+            d_hat := !d_hat -. (y_min.(r) *. coefs.(r).(j))
+          done;
+          if abs_float (!d_hat -. d.(j)) > 1e-5 *. (1.0 +. abs_float !d_hat)
+          then ok := false
+        done;
+        (* 2. complementary slackness + multiplier signs (min form:
+           y <= 0 on Le rows, y >= 0 on Ge rows) *)
+        for r = 0 to rows - 1 do
+          let lhs = ref 0.0 in
+          for j = 0 to n - 1 do
+            lhs := !lhs +. (coefs.(r).(j) *. x.(j))
+          done;
+          let slack = rhs.(r) -. !lhs in
+          if abs_float y_min.(r) > 1e-6 && abs_float slack > 1e-5 then
+            ok := false;
+          (match senses.(r) with
+          | Model.Le -> if y_min.(r) > 1e-6 then ok := false
+          | Model.Ge -> if y_min.(r) < -1e-6 then ok := false
+          | Model.Eq -> ())
+        done;
+        (* 3. the certificate prices the optimum: dual objective =
+           y_min.b + d . (active bounds) = minimization optimum *)
+        let obj_min = sgn *. sol.Simplex.objective in
+        let dual_obj = ref 0.0 in
+        for r = 0 to rows - 1 do
+          dual_obj := !dual_obj +. (y_min.(r) *. rhs.(r))
+        done;
+        for j = 0 to n - 1 do
+          if d.(j) > 1e-6 then
+            dual_obj := !dual_obj +. (d.(j) *. Model.var_lb m xs.(j))
+          else if d.(j) < -1e-6 then
+            dual_obj := !dual_obj +. (d.(j) *. Model.var_ub m xs.(j))
+        done;
+        !ok && abs_float (!dual_obj -. obj_min) < 1e-5 *. (1.0 +. abs_float obj_min))
+
 let test_lp_format_export () =
   let m = Model.create ~name:"demo" Model.Minimize in
   let x = Model.add_var m ~name:"x" ~obj:2.0 Model.Binary in
@@ -495,5 +603,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_presolve_preserves_optimum;
     QCheck_alcotest.to_alcotest prop_fractional_knapsack;
     QCheck_alcotest.to_alcotest prop_duality_certificates;
+    QCheck_alcotest.to_alcotest prop_certificates_both_directions;
     QCheck_alcotest.to_alcotest prop_optimal_dominates_samples;
   ]

@@ -1,0 +1,196 @@
+(* Randomized differential harness for the dual-simplex warm starts.
+
+   Generates small random LPs (mixed <=/>=/= rows; boxed, one-sided
+   and free variables) with the deterministic Monpos_util.Prng and
+   checks, instance by instance, that
+
+   - re-solving from the final basis with unchanged bounds reproduces
+     the cold solve,
+   - after random branching-style bound flips the warm-started
+     re-solve (dual simplex from the parent basis) agrees with a cold
+     primal solve on status and objective within 1e-6,
+   - a malformed warm basis silently degrades to the cold answer.
+
+   The base seed comes from MONPOS_PROP_SEED (default 1) so CI can run
+   the same 200 instances under several seeds. *)
+
+module Model = Monpos_lp.Model
+module Simplex = Monpos_lp.Simplex
+module Prng = Monpos_util.Prng
+
+let prop_seed =
+  match Sys.getenv_opt "MONPOS_PROP_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 1)
+  | None -> 1
+
+let cases = 200
+
+let status_name = function
+  | Simplex.Optimal -> "optimal"
+  | Simplex.Infeasible -> "infeasible"
+  | Simplex.Unbounded -> "unbounded"
+  | Simplex.Iteration_limit -> "iteration_limit"
+
+(* random LP: 2-6 structural variables of every bound shape, 1-5 rows
+   of every sense, signed coefficients and objective *)
+let random_model rng =
+  let n = 2 + Prng.int rng 5 in
+  let rows = 1 + Prng.int rng 5 in
+  let dir = if Prng.bool rng then Model.Minimize else Model.Maximize in
+  let m = Model.create dir in
+  let xs =
+    Array.init n (fun _ ->
+        (* boxed most of the time so a useful share of instances is
+           bounded and optimal; every shape still appears *)
+        let lb, ub =
+          match Prng.int rng 8 with
+          | 0 | 1 | 2 | 3 | 4 -> (0.0, 1.0 +. Prng.float rng 9.0)
+          | 5 -> (0.0, infinity)
+          | 6 -> (neg_infinity, Prng.float rng 10.0)
+          | _ -> (neg_infinity, infinity)
+        in
+        Model.add_var m ~lb ~ub
+          ~obj:(Prng.float rng 10.0 -. 5.0)
+          Model.Continuous)
+  in
+  for _ = 1 to rows do
+    let nterms = 1 + Prng.int rng n in
+    let terms =
+      List.init nterms (fun _ ->
+          (Prng.float rng 8.0 -. 4.0, xs.(Prng.int rng n)))
+    in
+    let sense =
+      match Prng.int rng 5 with
+      | 0 | 1 -> Model.Le
+      | 2 | 3 -> Model.Ge
+      | _ -> Model.Eq
+    in
+    Model.add_constr m terms sense (Prng.float rng 16.0 -. 8.0)
+  done;
+  m
+
+let check_agree ~case ~what model cold warm =
+  if cold.Simplex.status <> warm.Simplex.status then
+    Alcotest.failf "case %d (%s): status cold=%s warm=%s" case what
+      (status_name cold.Simplex.status)
+      (status_name warm.Simplex.status);
+  if cold.Simplex.status = Simplex.Optimal then begin
+    let scale = 1.0 +. abs_float cold.Simplex.objective in
+    if
+      abs_float (cold.Simplex.objective -. warm.Simplex.objective)
+      > 1e-6 *. scale
+    then
+      Alcotest.failf "case %d (%s): objective cold=%.9f warm=%.9f" case what
+        cold.Simplex.objective warm.Simplex.objective;
+    (* each reported objective must be the objective of its own primal
+       point (guards against a stale objective riding on a warm basis) *)
+    List.iter
+      (fun (name, (sol : Simplex.solution)) ->
+        let v = Model.objective_value model sol.Simplex.primal in
+        if abs_float (v -. sol.Simplex.objective) > 1e-5 *. scale then
+          Alcotest.failf "case %d (%s): %s objective %.9f but primal scores %.9f"
+            case what name sol.Simplex.objective v)
+      [ ("cold", cold); ("warm", warm) ]
+  end
+
+(* branching-style flips: tighten a bound to cut off the current
+   optimal value of a random variable, one to three times *)
+let flip_bounds rng (cold : Simplex.solution) lower upper =
+  let n = Array.length lower in
+  let flips = 1 + Prng.int rng 2 in
+  for _ = 1 to flips do
+    let v = Prng.int rng n in
+    let x = cold.Simplex.primal.(v) in
+    if Prng.bool rng then begin
+      let new_ub = x -. (0.1 +. Prng.float rng 2.0) in
+      if new_ub >= lower.(v) then upper.(v) <- min upper.(v) new_ub
+    end
+    else begin
+      let new_lb = x +. (0.1 +. Prng.float rng 2.0) in
+      if new_lb <= upper.(v) then lower.(v) <- max lower.(v) new_lb
+    end
+  done
+
+let test_differential () =
+  let bound_flip_cases = ref 0 in
+  let dual_pivots = ref 0 in
+  for case = 0 to cases - 1 do
+    let rng = Prng.create ((prop_seed * 1_000_003) + case) in
+    let m = random_model rng in
+    let p = Simplex.of_model m in
+    let n = Simplex.num_structural p in
+    let cold = Simplex.solve p in
+    (* same bounds, final basis back in: nothing may change *)
+    let replay = Simplex.solve ~basis:cold.Simplex.basis p in
+    check_agree ~case ~what:"replay" m cold replay;
+    if cold.Simplex.status = Simplex.Optimal then begin
+      let lower =
+        Array.init n (fun v -> Model.var_lb m (Model.var_of_index m v))
+      in
+      let upper =
+        Array.init n (fun v -> Model.var_ub m (Model.var_of_index m v))
+      in
+      flip_bounds rng cold lower upper;
+      let cold2 = Simplex.solve ~lower ~upper p in
+      let warm2 = Simplex.solve ~lower ~upper ~basis:cold.Simplex.basis p in
+      incr bound_flip_cases;
+      dual_pivots := !dual_pivots + warm2.Simplex.dual_iterations;
+      check_agree ~case ~what:"bound flip" m cold2 warm2
+    end
+  done;
+  (* the harness must actually exercise the machinery it tests *)
+  Alcotest.(check bool)
+    (Printf.sprintf "enough optimal instances (%d)" !bound_flip_cases)
+    true
+    (!bound_flip_cases > cases / 8);
+  Alcotest.(check bool)
+    (Printf.sprintf "dual simplex pivoted (%d pivots)" !dual_pivots)
+    true (!dual_pivots > 0)
+
+let test_malformed_basis_degrades () =
+  for case = 0 to 29 do
+    let rng = Prng.create ((prop_seed * 7_368_787) + case) in
+    let m = random_model rng in
+    let p = Simplex.of_model m in
+    let rows = Simplex.num_rows p in
+    let cold = Simplex.solve p in
+    let garbage =
+      [
+        [||];
+        Array.make rows 0 (* duplicates *);
+        Array.init rows (fun r -> r * 1_000_000) (* out of range *);
+        Array.init (rows + 3) (fun r -> r) (* wrong length *);
+      ]
+    in
+    List.iter
+      (fun basis ->
+        let warm = Simplex.solve ~basis p in
+        check_agree ~case ~what:"malformed basis" m cold warm)
+      garbage
+  done
+
+(* the slack basis passed explicitly must behave exactly like the
+   implicit cold start *)
+let test_explicit_slack_basis () =
+  for case = 0 to 29 do
+    let rng = Prng.create ((prop_seed * 15_485_863) + case) in
+    let m = random_model rng in
+    let p = Simplex.of_model m in
+    let slack =
+      Array.init (Simplex.num_rows p) (fun r -> Simplex.num_structural p + r)
+    in
+    let cold = Simplex.solve p in
+    let warm = Simplex.solve ~basis:slack p in
+    check_agree ~case ~what:"slack basis" m cold warm
+  done
+
+let suite =
+  [
+    Alcotest.test_case
+      (Printf.sprintf "warm vs cold differential (seed %d)" prop_seed)
+      `Quick test_differential;
+    Alcotest.test_case "malformed basis degrades to cold" `Quick
+      test_malformed_basis_degrades;
+    Alcotest.test_case "explicit slack basis = cold start" `Quick
+      test_explicit_slack_basis;
+  ]
