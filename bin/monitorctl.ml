@@ -27,6 +27,7 @@ module Prng = Monpos_util.Prng
 module Obs_trace = Monpos_obs.Trace
 module Obs_metrics = Monpos_obs.Metrics
 module Mip = Monpos_lp.Mip
+module Simplex = Monpos_lp.Simplex
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -101,10 +102,24 @@ let solver_term =
     let doc = "Skip presolve bound tightening before branch and bound." in
     Arg.(value & flag & info [ "no-presolve" ] ~doc)
   in
-  let make cold no_presolve (base : Mip.options) =
-    { base with Mip.warm_start = not cold; presolve = not no_presolve }
+  let dense_kernel_arg =
+    let doc =
+      "Run every node LP on the dense explicit-inverse simplex kernel \
+       instead of the sparse LU + eta-file one. Results are identical; \
+       the flag exists for differential testing and to measure the \
+       sparse kernel's speedup."
+    in
+    Arg.(value & flag & info [ "dense-kernel" ] ~doc)
   in
-  Term.(const make $ cold_arg $ no_presolve_arg)
+  let make cold no_presolve dense (base : Mip.options) =
+    {
+      base with
+      Mip.warm_start = not cold;
+      presolve = not no_presolve;
+      kernel = (if dense then Simplex.Dense else Simplex.Sparse_lu);
+    }
+  in
+  Term.(const make $ cold_arg $ no_presolve_arg $ dense_kernel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments                                                    *)

@@ -216,10 +216,15 @@ let solve_mip ?(k = 1.0) ?(formulation = `Lp2) ?options inst =
       ~method_name:name (extract_monitors xvar x)
   | _ -> failwith "Passive.solve_mip: no solution found"
 
-let lp_bound ?(k = 1.0) inst =
+let lp_bound ?(k = 1.0) ?kernel inst =
   Span.run "passive.lp_bound" @@ fun () ->
   let m, _ = build_lp2 ~k ~maximize_coverage:false inst in
-  let sol = Simplex.solve_model m in
+  let options =
+    match kernel with
+    | None -> None
+    | Some kernel -> Some { Simplex.default_options with Simplex.kernel }
+  in
+  let sol = Simplex.solve_model ?options m in
   match sol.Simplex.status with
   | Simplex.Optimal -> sol.Simplex.objective
   | _ -> failwith "Passive.lp_bound: relaxation not solved"

@@ -63,9 +63,11 @@ val solve_mip :
     with [δ_t]. Raises [Failure] when the MIP solver stops without an
     incumbent. *)
 
-val lp_bound : ?k:float -> Instance.t -> float
+val lp_bound : ?k:float -> ?kernel:Monpos_lp.Simplex.kernel -> Instance.t -> float
 (** Optimal value of the LP relaxation of Linear program 2: a valid
-    lower bound on the minimum device count. *)
+    lower bound on the minimum device count. [kernel] overrides the
+    simplex linear-algebra kernel (default {!Monpos_lp.Simplex.Sparse_lu});
+    the kernel-comparison bench passes [Dense] here. *)
 
 val randomized_rounding :
   ?k:float -> ?trials:int -> ?seed:int -> Instance.t -> solution

@@ -1,0 +1,478 @@
+(* Sparse LU with Markowitz pivoting, threshold partial pivoting and a
+   product-form eta file. See the .mli for the index-space contract.
+
+   Factorization: Gaussian elimination on a row-wise copy of the
+   basis. At step k a pivot (p, q) is chosen among the shortest active
+   columns by Markowitz cost, subject to |a_pq| >= tau * max|a_.q|;
+   row p then eliminates every other row with an entry in column q.
+   The recorded elimination ops are the L factor (B = L1..Lm U), the
+   surviving rows are U in pivot order. Column adjacency lists are
+   maintained lazily (stale entries are dropped on scan, exact counts
+   are kept separately), and row merges run through a dense scatter
+   accumulator so each merge costs O(nonzeros touched). *)
+
+exception Singular
+
+let tau = 0.1 (* threshold partial pivoting factor *)
+
+let singular_tol = 1e-12 (* a column whose largest entry is below this is dead *)
+
+let drop_tol = 1e-13 (* elimination entries below this are discarded *)
+
+type eta = {
+  e_r : int; (* pivot basis position *)
+  e_piv : float;
+  e_idx : int array; (* other positions touched, with their alpha values *)
+  e_val : float array;
+}
+
+type t = {
+  m : int;
+  (* L ops in elimination order: source row, target rows, multipliers *)
+  l_src : int array;
+  l_tgt : int array array;
+  l_mul : float array array;
+  (* U in pivot order: pivot row/position/value plus the row remainder *)
+  perm_r : int array;
+  perm_c : int array;
+  u_piv : float array;
+  u_cols : int array array; (* basis positions, pivotal at later steps *)
+  u_val : float array array;
+  basis_nnz : int;
+  factor_nnz : int;
+  mutable etas : eta array;
+  mutable n_eta : int;
+  mutable eta_nnz : int;
+}
+
+type stats = {
+  basis_nnz : int;
+  factor_nnz : int;
+  eta_count : int;
+  eta_nnz : int;
+}
+
+(* --- growable pair buffers (rows of the active matrix) -------------- *)
+
+type row_buf = {
+  mutable cols : int array;
+  mutable vals : float array;
+  mutable len : int;
+}
+
+let row_create () = { cols = Array.make 4 0; vals = Array.make 4 0.0; len = 0 }
+
+let row_push rb c v =
+  if rb.len = Array.length rb.cols then begin
+    let n = 2 * rb.len in
+    let cols = Array.make n 0 and vals = Array.make n 0.0 in
+    Array.blit rb.cols 0 cols 0 rb.len;
+    Array.blit rb.vals 0 vals 0 rb.len;
+    rb.cols <- cols;
+    rb.vals <- vals
+  end;
+  rb.cols.(rb.len) <- c;
+  rb.vals.(rb.len) <- v;
+  rb.len <- rb.len + 1
+
+let row_find rb c =
+  let rec go k =
+    if k >= rb.len then 0.0
+    else if rb.cols.(k) = c then rb.vals.(k)
+    else go (k + 1)
+  in
+  go 0
+
+type int_buf = { mutable a : int array; mutable n : int }
+
+let ib_create () = { a = Array.make 4 0; n = 0 }
+
+let ib_push b i =
+  if b.n = Array.length b.a then begin
+    let a = Array.make (2 * b.n) 0 in
+    Array.blit b.a 0 a 0 b.n;
+    b.a <- a
+  end;
+  b.a.(b.n) <- i;
+  b.n <- b.n + 1
+
+(* --- factorization ------------------------------------------------- *)
+
+let factor ~m ~col =
+  if m = 0 then
+    {
+      m = 0;
+      l_src = [||];
+      l_tgt = [||];
+      l_mul = [||];
+      perm_r = [||];
+      perm_c = [||];
+      u_piv = [||];
+      u_cols = [||];
+      u_val = [||];
+      basis_nnz = 0;
+      factor_nnz = 0;
+      etas = [||];
+      n_eta = 0;
+      eta_nnz = 0;
+    }
+  else begin
+    let rows = Array.init m (fun _ -> row_create ()) in
+    let collist = Array.init m (fun _ -> ib_create ()) in
+    let colcount = Array.make m 0 in
+    let row_active = Array.make m true in
+    let col_active = Array.make m true in
+    let basis_nnz = ref 0 in
+    for c = 0 to m - 1 do
+      col c (fun i a ->
+          if a <> 0.0 then begin
+            row_push rows.(i) c a;
+            ib_push collist.(c) i;
+            colcount.(c) <- colcount.(c) + 1;
+            incr basis_nnz
+          end)
+    done;
+    (* scatter accumulator for row merges *)
+    let spa = Array.make m 0.0 in
+    let spa_mark = Bytes.make m '\000' in
+    let fills = ib_create () in
+    (* per-column scan dedup (stale entries can duplicate a live one) *)
+    let seen = Bytes.make m '\000' in
+    (* live rows of the column being evaluated, refreshed by compact *)
+    let live_rows = ib_create () in
+    (* Drop stale/duplicate entries of column q in place; fill
+       [live_rows] with the surviving row indices. *)
+    let compact q =
+      let lst = collist.(q) in
+      live_rows.n <- 0;
+      let w = ref 0 in
+      for k = 0 to lst.n - 1 do
+        let i = lst.a.(k) in
+        if
+          row_active.(i)
+          && Bytes.get seen i = '\000'
+          && row_find rows.(i) q <> 0.0
+        then begin
+          Bytes.set seen i '\001';
+          lst.a.(!w) <- i;
+          incr w;
+          ib_push live_rows i
+        end
+      done;
+      lst.n <- !w;
+      for k = 0 to live_rows.n - 1 do
+        Bytes.set seen live_rows.a.(k) '\000'
+      done
+    in
+    (* Best acceptable pivot of column q: Markowitz cost, ties to the
+       larger magnitude. Returns (cost, |a|, row) or None (dead). *)
+    let eval_col q =
+      compact q;
+      let colmax = ref 0.0 in
+      for k = 0 to live_rows.n - 1 do
+        let a = abs_float (row_find rows.(live_rows.a.(k)) q) in
+        if a > !colmax then colmax := a
+      done;
+      if !colmax < singular_tol then None
+      else begin
+        let cq = live_rows.n in
+        let best = ref (-1) and best_cost = ref max_int and best_abs = ref 0.0 in
+        for k = 0 to live_rows.n - 1 do
+          let i = live_rows.a.(k) in
+          let a = abs_float (row_find rows.(i) q) in
+          if a >= tau *. !colmax then begin
+            let cost = (rows.(i).len - 1) * (cq - 1) in
+            if cost < !best_cost || (cost = !best_cost && a > !best_abs) then begin
+              best := i;
+              best_cost := cost;
+              best_abs := a
+            end
+          end
+        done;
+        if !best < 0 then None else Some (!best_cost, !best_abs, !best)
+      end
+    in
+    let l_src = Array.make m 0 in
+    let l_tgt = Array.make m [||] in
+    let l_mul = Array.make m [||] in
+    let perm_r = Array.make m 0 in
+    let perm_c = Array.make m 0 in
+    let u_piv = Array.make m 0.0 in
+    let u_cols = Array.make m [||] in
+    let u_val = Array.make m [||] in
+    let factor_nnz = ref m in
+    for step = 0 to m - 1 do
+      (* candidate columns: up to 4 active ones with the smallest
+         exact counts; fall back to scanning every active column when
+         all candidates are numerically dead *)
+      let mincount = ref max_int in
+      for c = 0 to m - 1 do
+        if col_active.(c) && colcount.(c) > 0 && colcount.(c) < !mincount
+        then mincount := colcount.(c)
+      done;
+      let pivot = ref None in
+      let consider q =
+        match eval_col q with
+        | None -> ()
+        | Some (cost, a, i) -> (
+          match !pivot with
+          | Some (bc, ba, _, _) when bc < cost || (bc = cost && ba >= a) -> ()
+          | _ -> pivot := Some (cost, a, i, q))
+      in
+      if !mincount < max_int then begin
+        let cand = ref 0 in
+        let c = ref 0 in
+        while !cand < 4 && !c < m do
+          if col_active.(!c) && colcount.(!c) = !mincount then begin
+            consider !c;
+            incr cand
+          end;
+          incr c
+        done
+      end;
+      if !pivot = None then
+        for c = 0 to m - 1 do
+          if col_active.(c) && colcount.(c) > 0 then consider c
+        done;
+      match !pivot with
+      | None -> raise Singular
+      | Some (_, _, p, q) ->
+        (* eval_col ran on several candidates; refresh [live_rows] for
+           the winning column before eliminating *)
+        compact q;
+        let apq = row_find rows.(p) q in
+        perm_r.(step) <- p;
+        perm_c.(step) <- q;
+        u_piv.(step) <- apq;
+        (* U remainder of row p, and its retirement from the counts *)
+        let prow = rows.(p) in
+        let ulen = prow.len - 1 in
+        let uc = Array.make (max ulen 0) 0 and uv = Array.make (max ulen 0) 0.0 in
+        let w = ref 0 in
+        for k = 0 to prow.len - 1 do
+          let c = prow.cols.(k) in
+          if c <> q then begin
+            uc.(!w) <- c;
+            uv.(!w) <- prow.vals.(k);
+            incr w;
+            colcount.(c) <- colcount.(c) - 1
+          end
+        done;
+        u_cols.(step) <- uc;
+        u_val.(step) <- uv;
+        factor_nnz := !factor_nnz + ulen;
+        row_active.(p) <- false;
+        col_active.(q) <- false;
+        (* eliminate the other rows of column q; [live_rows] is still
+           the compacted scan from the winning eval_col *)
+        let tgt = ib_create () in
+        let mul = ref [] in
+        for k = 0 to live_rows.n - 1 do
+          let i = live_rows.a.(k) in
+          if i <> p then begin
+            let aiq = row_find rows.(i) q in
+            let mi = aiq /. apq in
+            ib_push tgt i;
+            mul := mi :: !mul;
+            (* new row_i = row_i - mi * row_p, pivot entry removed *)
+            let rb = rows.(i) in
+            for e = 0 to rb.len - 1 do
+              spa.(rb.cols.(e)) <- rb.vals.(e);
+              Bytes.set spa_mark rb.cols.(e) '\001'
+            done;
+            fills.n <- 0;
+            for e = 0 to ulen - 1 do
+              let c = uc.(e) in
+              if Bytes.get spa_mark c = '\001' then
+                spa.(c) <- spa.(c) -. (mi *. uv.(e))
+              else begin
+                spa.(c) <- -.mi *. uv.(e);
+                Bytes.set spa_mark c '\001';
+                ib_push fills c
+              end
+            done;
+            (* rebuild the row from old pattern (minus q) + fills *)
+            let old_len = rb.len in
+            let old_cols = Array.sub rb.cols 0 old_len in
+            rb.len <- 0;
+            for e = 0 to old_len - 1 do
+              let c = old_cols.(e) in
+              if c <> q then begin
+                let x = spa.(c) in
+                if abs_float x > drop_tol then row_push rb c x
+                else colcount.(c) <- colcount.(c) - 1 (* cancelled *)
+              end
+            done;
+            for e = 0 to fills.n - 1 do
+              let c = fills.a.(e) in
+              let x = spa.(c) in
+              if abs_float x > drop_tol then begin
+                row_push rb c x;
+                colcount.(c) <- colcount.(c) + 1;
+                ib_push collist.(c) i
+              end
+            done;
+            (* clear the accumulator *)
+            for e = 0 to old_len - 1 do
+              spa.(old_cols.(e)) <- 0.0;
+              Bytes.set spa_mark old_cols.(e) '\000'
+            done;
+            for e = 0 to fills.n - 1 do
+              spa.(fills.a.(e)) <- 0.0;
+              Bytes.set spa_mark fills.a.(e) '\000'
+            done
+          end
+        done;
+        l_src.(step) <- p;
+        l_tgt.(step) <- Array.sub tgt.a 0 tgt.n;
+        let ml = Array.of_list (List.rev !mul) in
+        l_mul.(step) <- ml;
+        factor_nnz := !factor_nnz + Array.length ml
+    done;
+    {
+      m;
+      l_src;
+      l_tgt;
+      l_mul;
+      perm_r;
+      perm_c;
+      u_piv;
+      u_cols;
+      u_val;
+      basis_nnz = !basis_nnz;
+      factor_nnz = !factor_nnz;
+      etas = [||];
+      n_eta = 0;
+      eta_nnz = 0;
+    }
+  end
+
+(* --- solves -------------------------------------------------------- *)
+
+let ftran t ~rhs ~into =
+  Sparse_vec.clear into;
+  if t.m > 0 then begin
+    let bv = Sparse_vec.raw rhs in
+    (* apply L^-1 ops in elimination order *)
+    for k = 0 to t.m - 1 do
+      let tgt = t.l_tgt.(k) in
+      if Array.length tgt > 0 then begin
+        let x = bv.(t.l_src.(k)) in
+        if x <> 0.0 then begin
+          let mul = t.l_mul.(k) in
+          for j = 0 to Array.length tgt - 1 do
+            Sparse_vec.add rhs tgt.(j) (-.mul.(j) *. x)
+          done
+        end
+      end
+    done;
+    (* back substitution with U, descending pivot order *)
+    let xv = Sparse_vec.raw into in
+    for k = t.m - 1 downto 0 do
+      let acc = ref bv.(t.perm_r.(k)) in
+      let uc = t.u_cols.(k) and uv = t.u_val.(k) in
+      for j = 0 to Array.length uc - 1 do
+        let x = xv.(uc.(j)) in
+        if x <> 0.0 then acc := !acc -. (uv.(j) *. x)
+      done;
+      if !acc <> 0.0 then Sparse_vec.set into t.perm_c.(k) (!acc /. t.u_piv.(k))
+    done;
+    (* product-form etas, oldest first *)
+    for l = 0 to t.n_eta - 1 do
+      let e = t.etas.(l) in
+      let x = xv.(e.e_r) in
+      if x <> 0.0 then begin
+        let x = x /. e.e_piv in
+        Sparse_vec.set into e.e_r x;
+        for j = 0 to Array.length e.e_idx - 1 do
+          Sparse_vec.add into e.e_idx.(j) (-.e.e_val.(j) *. x)
+        done
+      end
+    done
+  end
+
+let btran t ~rhs ~into =
+  Sparse_vec.clear into;
+  if t.m > 0 then begin
+    let cv = Sparse_vec.raw rhs in
+    (* transposed etas, newest first: only the pivot position moves *)
+    for l = t.n_eta - 1 downto 0 do
+      let e = t.etas.(l) in
+      let acc = ref cv.(e.e_r) in
+      for j = 0 to Array.length e.e_idx - 1 do
+        let x = cv.(e.e_idx.(j)) in
+        if x <> 0.0 then acc := !acc -. (e.e_val.(j) *. x)
+      done;
+      let z = !acc /. e.e_piv in
+      if z <> 0.0 || cv.(e.e_r) <> 0.0 then Sparse_vec.set rhs e.e_r z
+    done;
+    (* forward substitution with U^T, ascending pivot order *)
+    for k = 0 to t.m - 1 do
+      let x = cv.(t.perm_c.(k)) in
+      if x <> 0.0 then begin
+        let z = x /. t.u_piv.(k) in
+        Sparse_vec.set into t.perm_r.(k) z;
+        let uc = t.u_cols.(k) and uv = t.u_val.(k) in
+        for j = 0 to Array.length uc - 1 do
+          Sparse_vec.add rhs uc.(j) (-.uv.(j) *. z)
+        done
+      end
+    done;
+    (* transposed L ops, newest first: only the source row moves *)
+    let yv = Sparse_vec.raw into in
+    for k = t.m - 1 downto 0 do
+      let tgt = t.l_tgt.(k) in
+      if Array.length tgt > 0 then begin
+        let mul = t.l_mul.(k) in
+        let acc = ref 0.0 in
+        for j = 0 to Array.length tgt - 1 do
+          let x = yv.(tgt.(j)) in
+          if x <> 0.0 then acc := !acc +. (mul.(j) *. x)
+        done;
+        if !acc <> 0.0 then Sparse_vec.add into t.l_src.(k) (-. !acc)
+      end
+    done
+  end
+
+(* --- eta file ------------------------------------------------------ *)
+
+let append_eta t ~r ~alpha =
+  let piv = Sparse_vec.get alpha r in
+  let count = ref 0 in
+  Sparse_vec.iter alpha (fun i _ -> if i <> r then incr count);
+  let e_idx = Array.make !count 0 and e_val = Array.make !count 0.0 in
+  let w = ref 0 in
+  Sparse_vec.iter alpha (fun i a ->
+      if i <> r then begin
+        e_idx.(!w) <- i;
+        e_val.(!w) <- a;
+        incr w
+      end);
+  let e = { e_r = r; e_piv = piv; e_idx; e_val } in
+  if t.n_eta = Array.length t.etas then begin
+    let cap = max 8 (2 * Array.length t.etas) in
+    let etas = Array.make cap e in
+    Array.blit t.etas 0 etas 0 t.n_eta;
+    t.etas <- etas
+  end;
+  t.etas.(t.n_eta) <- e;
+  t.n_eta <- t.n_eta + 1;
+  t.eta_nnz <- t.eta_nnz + !count + 1
+
+let eta_count t = t.n_eta
+
+let should_refactor ?eta_limit t =
+  let limit =
+    match eta_limit with
+    | Some l -> max 1 l
+    | None -> max 32 (min 128 ((t.m / 4) + 16))
+  in
+  t.n_eta >= limit || t.eta_nnz > 2 * (t.factor_nnz + t.m)
+
+let stats (t : t) =
+  {
+    basis_nnz = t.basis_nnz;
+    factor_nnz = t.factor_nnz;
+    eta_count = t.n_eta;
+    eta_nnz = t.eta_nnz;
+  }

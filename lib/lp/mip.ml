@@ -23,6 +23,7 @@ type options = {
   heuristic_period : int;
   warm_start : bool;
   presolve : bool;
+  kernel : Simplex.kernel;
   log : bool;
 }
 
@@ -36,6 +37,7 @@ let default_options =
     heuristic_period = 16;
     warm_start = true;
     presolve = true;
+    kernel = Simplex.Sparse_lu;
     log = false;
   }
 
@@ -94,6 +96,9 @@ let solve ?(options = default_options) model =
     }
   else begin
   let problem = Simplex.of_model model in
+  let lp_options =
+    { Simplex.default_options with Simplex.kernel = options.kernel }
+  in
   let to_score obj = if minimize then obj else -.obj in
   let of_score s = if minimize then s else -.s in
   let int_vars =
@@ -232,7 +237,10 @@ let solve ?(options = default_options) model =
         match fractional_var primal with
         | None ->
           (* integral: re-solve once to get the continuous completion *)
-          let sol = Simplex.solve ~lower ~upper ?basis:(warm basis) problem in
+          let sol =
+            Simplex.solve ~lower ~upper ?basis:(warm basis)
+              ~options:lp_options problem
+          in
           if sol.Simplex.status = Simplex.Optimal then
             record_candidate sol.Simplex.primal (to_score sol.Simplex.objective)
         | Some v ->
@@ -240,7 +248,10 @@ let solve ?(options = default_options) model =
             let saved_l = lower.(v) and saved_u = upper.(v) in
             lower.(v) <- value;
             upper.(v) <- value;
-            let sol = Simplex.solve ~lower ~upper ?basis:(warm basis) problem in
+            let sol =
+              Simplex.solve ~lower ~upper ?basis:(warm basis)
+                ~options:lp_options problem
+            in
             if sol.Simplex.status = Simplex.Optimal then Some sol
             else begin
               lower.(v) <- saved_l;
@@ -317,7 +328,7 @@ let solve ?(options = default_options) model =
         let sol =
           Simplex.solve ~lower:node.lower ~upper:node.upper
             ?basis:(if options.warm_start then node.start_basis else None)
-            problem
+            ~options:lp_options problem
         in
         match sol.Simplex.status with
         | Simplex.Infeasible -> ()

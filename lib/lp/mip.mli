@@ -47,6 +47,10 @@ type options = {
       (** run {!Presolve.reduce} (bound tightening, probing, row
           removal) on the model before branching so every node starts
           from tighter bounds (default [true]) *)
+  kernel : Simplex.kernel;
+      (** linear-algebra kernel for every node LP (default
+          {!Simplex.Sparse_lu}; [Dense] is the slow reference for
+          differential testing, [--dense-kernel] in the CLI) *)
   log : bool;  (** print a search trace to stderr *)
 }
 

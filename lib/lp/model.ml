@@ -188,6 +188,32 @@ let constr_name m i = (constr m i).c_name
 let iter_constrs m f =
   Array.iteri (fun i c -> f i c.c_terms c.c_sense c.c_rhs) (constrs m)
 
+let columns m =
+  let cs = constrs m in
+  (* two passes: size each column exactly, then fill in row order *)
+  let counts = Array.make m.nvars 0 in
+  Array.iter
+    (fun c ->
+      List.iter (fun (_, v) -> counts.(v) <- counts.(v) + 1) c.c_terms)
+    cs;
+  let cols =
+    Array.init m.nvars (fun v ->
+        (Array.make counts.(v) 0, Array.make counts.(v) 0.0))
+  in
+  let fill = Array.make m.nvars 0 in
+  Array.iteri
+    (fun i c ->
+      List.iter
+        (fun (coef, v) ->
+          let rows, coefs = cols.(v) in
+          let k = fill.(v) in
+          rows.(k) <- i;
+          coefs.(k) <- coef;
+          fill.(v) <- k + 1)
+        c.c_terms)
+    cs;
+  cols
+
 let value_feasible ?(tol = 1e-6) m x =
   assert (Array.length x = m.nvars);
   let bounds_ok = ref true in

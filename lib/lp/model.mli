@@ -97,6 +97,13 @@ val constr_name : t -> int -> string
 val iter_constrs : t -> (int -> (float * int) list -> sense -> float -> unit) -> unit
 (** Iterate over constraints in insertion order. *)
 
+val columns : t -> (int array * float array) array
+(** Column-wise (CSC) export of the constraint matrix: entry [v] is
+    [(rows, coefs)] with the constraint indices and coefficients of
+    variable [v]'s column, in increasing row order. A fresh snapshot —
+    later [add_constr] calls are not reflected. This is what
+    {!Simplex.of_model} consumes. *)
+
 val value_feasible : ?tol:float -> t -> float array -> bool
 (** [value_feasible m x] checks that the assignment [x] (indexed by
     {!var_index}) satisfies every bound, every constraint and every

@@ -1,5 +1,5 @@
-(* Bounded-variable revised primal and dual simplex with explicit
-   basis inverse.
+(* Bounded-variable revised primal and dual simplex over a pluggable
+   linear-algebra kernel.
 
    Conventions: the problem is solved as a minimization; a Maximize
    model has its costs negated on input and its objective and duals
@@ -7,8 +7,21 @@
    [a.x + s = b] with slack bounds [0,inf) / (-inf,0] / [0,0], so the
    initial slack basis is the identity.
 
+   Kernels: the default [Sparse_lu] kernel keeps the basis as a
+   Markowitz LU factorization plus a product-form eta file ({!Lu});
+   FTRAN/BTRAN and the dual phase's row extraction run on sparse,
+   indexed work vectors, so a pivot costs O(nonzeros) instead of
+   O(m^2) and a refactorization costs O(fill) instead of the O(m^3)
+   Gauss-Jordan of the [Dense] explicit-inverse kernel. The dense
+   kernel is kept behind [options.kernel] for differential testing
+   and as the numerical reference. Refactorization is adaptive: the
+   LU path refactorizes when the eta file outgrows the factorization
+   (eta count or accumulated fill), the dense path after a pivot
+   count derived from m — both overridable via [options.refactor_every].
+
    Warm starts: [solve ?basis] installs a caller-supplied basic set
-   (typically the parent branch-and-bound node's optimal basis), parks
+   (typically the parent branch-and-bound node's optimal basis)
+   through the same kernel factorization as any other basis, parks
    each nonbasic variable on the bound its reduced-cost sign asks for,
    and — when the result is dual feasible, which it always is after a
    pure bound change on an optimal basis — runs the dual simplex to
@@ -19,6 +32,7 @@
 
 module Trace = Monpos_obs.Trace
 module Metrics = Monpos_obs.Metrics
+module Span = Monpos_obs.Span
 
 let m_solves = lazy (Metrics.counter Metrics.default "simplex.solves")
 
@@ -29,6 +43,30 @@ let m_warm_starts =
 
 let m_dual_iterations =
   lazy (Metrics.counter Metrics.default "simplex.dual_iterations")
+
+let m_refactorizations =
+  lazy (Metrics.counter Metrics.default "simplex.refactorizations")
+
+(* length of the eta file when a factorization is retired *)
+let m_eta_len =
+  lazy
+    (Metrics.histogram
+       ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
+       Metrics.default "simplex.eta_len")
+
+(* nnz(L+U) / nnz(B) of each fresh LU factorization *)
+let m_lu_fill =
+  lazy
+    (Metrics.histogram
+       ~buckets:[| 1.0; 1.25; 1.5; 2.0; 3.0; 5.0; 10.0 |]
+       Metrics.default "simplex.lu_fill")
+
+(* nnz(alpha) / m of each entering-column FTRAN *)
+let m_ftran_nnz =
+  lazy
+    (Metrics.histogram
+       ~buckets:[| 0.01; 0.02; 0.05; 0.1; 0.2; 0.3; 0.5; 0.7; 0.9; 1.0 |]
+       Metrics.default "simplex.ftran_nnz_ratio")
 
 type col = { rows : int array; coefs : float array }
 
@@ -60,6 +98,12 @@ type solution = {
   basis : basis;
 }
 
+type kernel = Dense | Sparse_lu
+
+type options = { kernel : kernel; refactor_every : int option }
+
+let default_options = { kernel = Sparse_lu; refactor_every = None }
+
 let num_rows p = p.m
 
 let num_structural p = p.n
@@ -68,15 +112,14 @@ let of_model model =
   let n = Model.num_vars model in
   let m = Model.num_constrs model in
   let cols =
-    Array.init n (fun _ -> { rows = [||]; coefs = [||] })
+    Array.map (fun (rows, coefs) -> { rows; coefs }) (Model.columns model)
   in
-  let entries = Array.make n [] in
   let b = Array.make (max m 1) 0.0 in
   let slack_lb = Array.make (max m 1) 0.0 in
   let slack_ub = Array.make (max m 1) 0.0 in
-  Model.iter_constrs model (fun i terms sense rhs ->
+  Model.iter_constrs model (fun i _terms sense rhs ->
       b.(i) <- rhs;
-      (match sense with
+      match sense with
       | Model.Le ->
         slack_lb.(i) <- 0.0;
         slack_ub.(i) <- infinity
@@ -86,15 +129,6 @@ let of_model model =
       | Model.Eq ->
         slack_lb.(i) <- 0.0;
         slack_ub.(i) <- 0.0);
-      List.iter (fun (c, v) -> entries.(v) <- (i, c) :: entries.(v)) terms);
-  for v = 0 to n - 1 do
-    let es = List.rev entries.(v) in
-    cols.(v) <-
-      {
-        rows = Array.of_list (List.map fst es);
-        coefs = Array.of_list (List.map snd es);
-      }
-  done;
   let maximize = Model.direction model = Model.Maximize in
   let cost =
     Array.init n (fun v ->
@@ -113,23 +147,31 @@ let of_model model =
 
 type vstatus = Basic | At_lower | At_upper | Free_nb
 
+type kstate =
+  | Kdense of float array array (* explicit m x m inverse *)
+  | Klu of lu_slot (* factorization + eta file; None before first factor *)
+
+and lu_slot = { mutable fact : Lu.t option }
+
 type state = {
   p : problem;
   nn : int; (* n + m total columns *)
   lb : float array; (* length nn *)
   ub : float array;
-  c1 : float array; (* scratch: phase-1 basic costs, length m *)
   x : float array; (* current value per column *)
   vstat : vstatus array;
   basic_var : int array; (* row -> column *)
   in_row : int array; (* column -> row or -1 *)
-  binv : float array array; (* m x m *)
-  y : float array; (* scratch multipliers *)
-  alpha : float array; (* scratch entering column *)
+  kern : kstate;
+  alpha : Sparse_vec.t; (* FTRAN result, indexed by basis position *)
+  y : Sparse_vec.t; (* BTRAN result, indexed by constraint row *)
+  work : Sparse_vec.t; (* kernel right-hand-side scratch *)
+  rho : Sparse_vec.t; (* dual phase pricing row of B^-1 *)
   mutable iters : int;
   mutable degenerate_run : int;
   mutable bland : bool;
-  mutable refactor_every : int;
+  mutable pivots_since_factor : int;
+  mutable refactor_override : int option;
 }
 
 let feas_tol = 1e-7
@@ -152,105 +194,208 @@ let col_iter st j f =
 
 let cost_of st j = if j < st.p.n then st.p.cost.(j) else 0.0
 
+let kernel_name st =
+  match st.kern with Kdense _ -> "dense" | Klu _ -> "sparse_lu"
+
+(* --- kernel dispatch --------------------------------------------------- *)
+
+(* alpha := B^-1 work. The work vector is consumed. *)
+let kernel_ftran st =
+  match st.kern with
+  | Kdense binv ->
+    Sparse_vec.clear st.alpha;
+    let av = Sparse_vec.raw st.alpha in
+    let m = st.p.m in
+    Sparse_vec.iter st.work (fun i a ->
+        for r = 0 to m - 1 do
+          av.(r) <- av.(r) +. (binv.(r).(i) *. a)
+        done);
+    Sparse_vec.rescan st.alpha
+  | Klu slot -> (
+    match slot.fact with
+    | Some f -> Lu.ftran f ~rhs:st.work ~into:st.alpha
+    | None -> Sparse_vec.clear st.alpha)
+
+(* y := B^-T work. The work vector is consumed. *)
+let kernel_btran st =
+  match st.kern with
+  | Kdense binv ->
+    Sparse_vec.clear st.y;
+    let yv = Sparse_vec.raw st.y in
+    let m = st.p.m in
+    Sparse_vec.iter st.work (fun r c ->
+        let row = binv.(r) in
+        for i = 0 to m - 1 do
+          yv.(i) <- yv.(i) +. (c *. row.(i))
+        done);
+    Sparse_vec.rescan st.y
+  | Klu slot -> (
+    match slot.fact with
+    | Some f -> Lu.btran f ~rhs:st.work ~into:st.y
+    | None -> Sparse_vec.clear st.y)
+
+(* rho := row [r] of B^-1 (equivalently B^-T e_r). *)
+let kernel_row st r =
+  match st.kern with
+  | Kdense binv ->
+    Sparse_vec.clear st.rho;
+    let rv = Sparse_vec.raw st.rho in
+    Array.blit binv.(r) 0 rv 0 st.p.m;
+    Sparse_vec.rescan st.rho
+  | Klu slot -> (
+    Sparse_vec.clear st.work;
+    Sparse_vec.set st.work r 1.0;
+    match slot.fact with
+    | Some f -> Lu.btran f ~rhs:st.work ~into:st.rho
+    | None -> Sparse_vec.clear st.rho)
+
 (* alpha := B^-1 A_j *)
 let ftran st j =
-  Array.fill st.alpha 0 st.p.m 0.0;
-  col_iter st j (fun i a ->
-      if a <> 0.0 then
-        for r = 0 to st.p.m - 1 do
-          st.alpha.(r) <- st.alpha.(r) +. (st.binv.(r).(i) *. a)
-        done)
+  Sparse_vec.clear st.work;
+  col_iter st j (fun i a -> if a <> 0.0 then Sparse_vec.add st.work i a);
+  kernel_ftran st;
+  if st.p.m > 0 then
+    Metrics.observe (Lazy.force m_ftran_nnz)
+      (float_of_int (Sparse_vec.nnz st.alpha) /. float_of_int st.p.m)
 
-(* y := cB^T B^-1 for the given per-row basic costs. *)
-let btran st cb =
-  Array.fill st.y 0 st.p.m 0.0;
+(* work := per-row basic costs for the current phase objective *)
+let load_phase_costs st ~phase1 =
+  Sparse_vec.clear st.work;
   for r = 0 to st.p.m - 1 do
-    let c = cb.(r) in
-    if c <> 0.0 then begin
-      let row = st.binv.(r) in
-      for i = 0 to st.p.m - 1 do
-        st.y.(i) <- st.y.(i) +. (c *. row.(i))
-      done
-    end
+    let v = st.basic_var.(r) in
+    let c =
+      if phase1 then begin
+        let x = st.x.(v) in
+        if x < st.lb.(v) -. feas_tol then -1.0
+        else if x > st.ub.(v) +. feas_tol then 1.0
+        else 0.0
+      end
+      else cost_of st v
+    in
+    if c <> 0.0 then Sparse_vec.set st.work r c
   done
 
 let reduced_cost st j cost_j =
+  let yv = Sparse_vec.raw st.y in
   let acc = ref cost_j in
-  col_iter st j (fun i a -> acc := !acc -. (st.y.(i) *. a));
+  col_iter st j (fun i a -> acc := !acc -. (yv.(i) *. a));
   !acc
 
 (* Recompute basic variable values from nonbasic values. *)
 let recompute_basics st =
   let m = st.p.m in
-  let rhs = Array.copy st.p.b in
+  Sparse_vec.clear st.work;
+  for i = 0 to m - 1 do
+    if st.p.b.(i) <> 0.0 then Sparse_vec.set st.work i st.p.b.(i)
+  done;
   for j = 0 to st.nn - 1 do
     if st.vstat.(j) <> Basic && st.x.(j) <> 0.0 then
-      col_iter st j (fun i a -> rhs.(i) <- rhs.(i) -. (a *. st.x.(j)))
+      col_iter st j (fun i a -> Sparse_vec.add st.work i (-.a *. st.x.(j)))
   done;
+  kernel_ftran st;
+  let av = Sparse_vec.raw st.alpha in
   for r = 0 to m - 1 do
-    let row = st.binv.(r) in
-    let acc = ref 0.0 in
-    for i = 0 to m - 1 do
-      acc := !acc +. (row.(i) *. rhs.(i))
-    done;
-    st.x.(st.basic_var.(r)) <- !acc
+    st.x.(st.basic_var.(r)) <- av.(r)
   done
 
 exception Singular_basis
 
-(* Rebuild binv from scratch by Gauss-Jordan with partial pivoting. *)
+(* Rebuild the basis representation from scratch: Gauss-Jordan with
+   partial pivoting for the dense kernel, a Markowitz LU for the
+   sparse one. *)
 let refactorize st =
   let m = st.p.m in
   if m > 0 then begin
-    let mat = Array.init m (fun _ -> Array.make m 0.0) in
-    for r = 0 to m - 1 do
-      let j = st.basic_var.(r) in
-      col_iter st j (fun i a -> mat.(i).(r) <- a)
-    done;
-    let inv = Array.init m (fun r -> Array.init m (fun i -> if r = i then 1.0 else 0.0)) in
-    for k = 0 to m - 1 do
-      (* partial pivot *)
-      let best = ref k and best_abs = ref (abs_float mat.(k).(k)) in
-      for i = k + 1 to m - 1 do
-        let a = abs_float mat.(i).(k) in
-        if a > !best_abs then begin
-          best := i;
-          best_abs := a
-        end
+    (match st.kern with
+    | Kdense binv ->
+      let mat = Array.init m (fun _ -> Array.make m 0.0) in
+      for r = 0 to m - 1 do
+        let j = st.basic_var.(r) in
+        col_iter st j (fun i a -> mat.(i).(r) <- a)
       done;
-      if !best_abs < 1e-12 then raise Singular_basis;
-      if !best <> k then begin
-        let t = mat.(k) in
-        mat.(k) <- mat.(!best);
-        mat.(!best) <- t;
-        let t = inv.(k) in
-        inv.(k) <- inv.(!best);
-        inv.(!best) <- t
-      end;
-      let piv = mat.(k).(k) in
-      let mk = mat.(k) and ik = inv.(k) in
-      for c = 0 to m - 1 do
-        mk.(c) <- mk.(c) /. piv;
-        ik.(c) <- ik.(c) /. piv
-      done;
-      for i = 0 to m - 1 do
-        if i <> k then begin
-          let f = mat.(i).(k) in
-          if f <> 0.0 then begin
-            let mi = mat.(i) and ii = inv.(i) in
-            for c = 0 to m - 1 do
-              mi.(c) <- mi.(c) -. (f *. mk.(c));
-              ii.(c) <- ii.(c) -. (f *. ik.(c))
-            done
+      let inv =
+        Array.init m (fun r ->
+            Array.init m (fun i -> if r = i then 1.0 else 0.0))
+      in
+      for k = 0 to m - 1 do
+        (* partial pivot *)
+        let best = ref k and best_abs = ref (abs_float mat.(k).(k)) in
+        for i = k + 1 to m - 1 do
+          let a = abs_float mat.(i).(k) in
+          if a > !best_abs then begin
+            best := i;
+            best_abs := a
           end
-        end
+        done;
+        if !best_abs < 1e-12 then raise Singular_basis;
+        if !best <> k then begin
+          let t = mat.(k) in
+          mat.(k) <- mat.(!best);
+          mat.(!best) <- t;
+          let t = inv.(k) in
+          inv.(k) <- inv.(!best);
+          inv.(!best) <- t
+        end;
+        let piv = mat.(k).(k) in
+        let mk = mat.(k) and ik = inv.(k) in
+        for c = 0 to m - 1 do
+          mk.(c) <- mk.(c) /. piv;
+          ik.(c) <- ik.(c) /. piv
+        done;
+        for i = 0 to m - 1 do
+          if i <> k then begin
+            let f = mat.(i).(k) in
+            if f <> 0.0 then begin
+              let mi = mat.(i) and ii = inv.(i) in
+              for c = 0 to m - 1 do
+                mi.(c) <- mi.(c) -. (f *. mk.(c));
+                ii.(c) <- ii.(c) -. (f *. ik.(c))
+              done
+            end
+          end
+        done
+      done;
+      for r = 0 to m - 1 do
+        Array.blit inv.(r) 0 binv.(r) 0 m
       done
-    done;
-    for r = 0 to m - 1 do
-      Array.blit inv.(r) 0 st.binv.(r) 0 m
-    done;
+    | Klu slot ->
+      (match slot.fact with
+      | Some f ->
+        let s = Lu.stats f in
+        Metrics.observe (Lazy.force m_eta_len) (float_of_int s.Lu.eta_count)
+      | None -> ());
+      let fact =
+        Span.run "lu_factor" @@ fun () ->
+        try Lu.factor ~m ~col:(fun r f -> col_iter st st.basic_var.(r) f)
+        with Lu.Singular -> raise Singular_basis
+      in
+      let s = Lu.stats fact in
+      Metrics.observe (Lazy.force m_lu_fill)
+        (float_of_int s.Lu.factor_nnz /. float_of_int (max 1 s.Lu.basis_nnz));
+      slot.fact <- Some fact);
+    Metrics.incr (Lazy.force m_refactorizations);
+    st.pivots_since_factor <- 0;
     recompute_basics st
   end
+
+(* Refactorization cadence. The LU kernel asks its own eta file (count
+   and accumulated fill); the dense kernel refactorizes after a pivot
+   count derived from m — small bases drift fast and are cheap to
+   rebuild. [refactor_override] (options or the numerical-recovery
+   path) forces a cadence / eta limit. *)
+let need_refactor st =
+  match st.kern with
+  | Kdense _ ->
+    let every =
+      match st.refactor_override with
+      | Some k -> max 1 k
+      | None -> max 32 (min 256 (4 * st.p.m))
+    in
+    st.pivots_since_factor >= every
+  | Klu slot -> (
+    match slot.fact with
+    | Some f -> Lu.should_refactor ?eta_limit:st.refactor_override f
+    | None -> true)
 
 let violation st j =
   let x = st.x.(j) in
@@ -305,10 +450,11 @@ let choose_entering st ~phase1 =
 
 type leave = Bound_flip | Leave of int * [ `Lower | `Upper ]
 
-(* Ratio test. In phase 1 infeasible basics may travel to the bound
-   they violate and leave there. Returns (t, leave) or None when the
-   direction is unbounded. Ties within [tie] are broken by the largest
-   pivot magnitude (stability) or, in Bland mode, by the smallest
+(* Ratio test over the nonzeros of the ftran'd entering column. In
+   phase 1 infeasible basics may travel to the bound they violate and
+   leave there. Returns (t, leave) or None when the direction is
+   unbounded. Ties within [tie] are broken by the largest pivot
+   magnitude (stability) or, in Bland mode, by the smallest
    leaving-variable index (anti-cycling). *)
 let ratio_test st j dir ~phase1 =
   let tie = 1e-9 in
@@ -320,55 +466,50 @@ let ratio_test st j dir ~phase1 =
   let leave = ref Bound_flip in
   let best_piv = ref 0.0 in
   let leave_var = ref max_int in
-  for r = 0 to st.p.m - 1 do
-    let a = st.alpha.(r) in
-    if abs_float a > piv_tol then begin
-      let v = st.basic_var.(r) in
-      let delta = -.dir *. a in
-      let xr = st.x.(v) and lr = st.lb.(v) and ur = st.ub.(v) in
-      let candidate t side =
-        let t = if t < 0.0 then 0.0 else t in
-        let strictly_less = t < !t_best -. tie in
-        let tied = (not strictly_less) && t <= !t_best +. tie in
-        let wins_tie =
-          tied
-          &&
-          if st.bland then v < !leave_var
-          else abs_float a > !best_piv
+  Sparse_vec.iter st.alpha (fun r a ->
+      if abs_float a > piv_tol then begin
+        let v = st.basic_var.(r) in
+        let delta = -.dir *. a in
+        let xr = st.x.(v) and lr = st.lb.(v) and ur = st.ub.(v) in
+        let candidate t side =
+          let t = if t < 0.0 then 0.0 else t in
+          let strictly_less = t < !t_best -. tie in
+          let tied = (not strictly_less) && t <= !t_best +. tie in
+          let wins_tie =
+            tied
+            &&
+            if st.bland then v < !leave_var
+            else abs_float a > !best_piv
+          in
+          if strictly_less || wins_tie then begin
+            if t < !t_best then t_best := t;
+            leave := Leave (r, side);
+            best_piv := abs_float a;
+            leave_var := v
+          end
         in
-        if strictly_less || wins_tie then begin
-          if t < !t_best then t_best := t;
-          leave := Leave (r, side);
-          best_piv := abs_float a;
-          leave_var := v
+        let below = xr < lr -. feas_tol and above = xr > ur +. feas_tol in
+        if (not below) && not above then begin
+          if delta < 0.0 && lr > neg_infinity then
+            candidate ((xr -. lr) /. -.delta) `Lower
+          else if delta > 0.0 && ur < infinity then
+            candidate ((ur -. xr) /. delta) `Upper
         end
-      in
-      let below = xr < lr -. feas_tol and above = xr > ur +. feas_tol in
-      if (not below) && not above then begin
-        if delta < 0.0 && lr > neg_infinity then
-          candidate ((xr -. lr) /. -.delta) `Lower
-        else if delta > 0.0 && ur < infinity then
-          candidate ((ur -. xr) /. delta) `Upper
-      end
-      else if phase1 then begin
-        if below && delta > 0.0 then candidate ((lr -. xr) /. delta) `Lower
-        else if above && delta < 0.0 then candidate ((xr -. ur) /. -.delta) `Upper
-      end
-    end
-  done;
+        else if phase1 then begin
+          if below && delta > 0.0 then candidate ((lr -. xr) /. delta) `Lower
+          else if above && delta < 0.0 then
+            candidate ((xr -. ur) /. -.delta) `Upper
+        end
+      end);
   if !t_best = infinity then None else Some (!t_best, !leave)
 
 (* Apply a step of length t along entering variable j / direction dir. *)
 let apply_step st j dir t leave =
   let m = st.p.m in
-  (* move basics *)
-  for r = 0 to m - 1 do
-    let a = st.alpha.(r) in
-    if a <> 0.0 then begin
+  (* move basics along the nonzeros of alpha *)
+  Sparse_vec.iter st.alpha (fun r a ->
       let v = st.basic_var.(r) in
-      st.x.(v) <- st.x.(v) -. (a *. dir *. t)
-    end
-  done;
+      st.x.(v) <- st.x.(v) -. (a *. dir *. t));
   match leave with
   | Bound_flip ->
     (match st.vstat.(j) with
@@ -397,23 +538,27 @@ let apply_step st j dir t leave =
     st.vstat.(j) <- Basic;
     st.basic_var.(r) <- j;
     st.in_row.(j) <- r;
-    (* binv := E * binv *)
-    let piv = st.alpha.(r) in
-    let pr = st.binv.(r) in
-    for k = 0 to m - 1 do
-      pr.(k) <- pr.(k) /. piv
-    done;
-    for i = 0 to m - 1 do
-      if i <> r then begin
-        let f = st.alpha.(i) in
-        if abs_float f > zero_tol then begin
-          let row = st.binv.(i) in
-          for k = 0 to m - 1 do
-            row.(k) <- row.(k) -. (f *. pr.(k))
-          done
-        end
-      end
-    done
+    (* fold the basis change into the kernel *)
+    (match st.kern with
+    | Kdense binv ->
+      (* binv := E * binv *)
+      let piv = Sparse_vec.get st.alpha r in
+      let pr = binv.(r) in
+      for k = 0 to m - 1 do
+        pr.(k) <- pr.(k) /. piv
+      done;
+      Sparse_vec.iter st.alpha (fun i f ->
+          if i <> r && abs_float f > zero_tol then begin
+            let row = binv.(i) in
+            for k = 0 to m - 1 do
+              row.(k) <- row.(k) -. (f *. pr.(k))
+            done
+          end)
+    | Klu slot -> (
+      match slot.fact with
+      | Some fct -> Lu.append_eta fct ~r ~alpha:st.alpha
+      | None -> assert false));
+    st.pivots_since_factor <- st.pivots_since_factor + 1
 
 (* One simplex phase; [phase1] selects the infeasibility objective.
    Returns [`Done] (phase-1 feasible / phase-2 optimal), [`Infeasible],
@@ -427,7 +572,7 @@ let run_phase st ~phase1 ~max_iterations =
       continue := false
     end
     else begin
-      if st.iters > 0 && st.iters mod st.refactor_every = 0 then refactorize st;
+      if st.iters > 0 && need_refactor st then refactorize st;
       let inf = total_infeasibility st in
       if phase1 && inf <= feas_tol then begin
         result := `Done;
@@ -435,23 +580,8 @@ let run_phase st ~phase1 ~max_iterations =
       end
       else begin
         (* multipliers for the current phase objective *)
-        if phase1 then begin
-          for r = 0 to st.p.m - 1 do
-            let v = st.basic_var.(r) in
-            let x = st.x.(v) in
-            st.c1.(r) <-
-              (if x < st.lb.(v) -. feas_tol then -1.0
-               else if x > st.ub.(v) +. feas_tol then 1.0
-               else 0.0)
-          done;
-          btran st st.c1
-        end
-        else begin
-          for r = 0 to st.p.m - 1 do
-            st.c1.(r) <- cost_of st st.basic_var.(r)
-          done;
-          btran st st.c1
-        end;
+        load_phase_costs st ~phase1;
+        kernel_btran st;
         match choose_entering st ~phase1 with
         | None ->
           if phase1 && inf > feas_tol then result := `Infeasible
@@ -499,8 +629,9 @@ let basis_well_formed st basis =
       basis
   end
 
-(* Install the basic set and factorize it. Raises Singular_basis when
-   the columns are dependent; the caller falls back to a cold start. *)
+(* Install the basic set and factorize it through the kernel. Raises
+   Singular_basis when the columns are dependent; the caller falls
+   back to a cold start. *)
 let install_basis st basis =
   for j = 0 to st.nn - 1 do
     st.in_row.(j) <- -1
@@ -531,10 +662,8 @@ let install_basis st basis =
    reduced cost there breaks dual feasibility. Returns whether the
    basis is dual feasible (so the dual simplex may run). *)
 let prepare_warm_nonbasics st =
-  for r = 0 to st.p.m - 1 do
-    st.c1.(r) <- cost_of st st.basic_var.(r)
-  done;
-  btran st st.c1;
+  load_phase_costs st ~phase1:false;
+  kernel_btran st;
   let dual_ok = ref true in
   for j = 0 to st.nn - 1 do
     if st.in_row.(j) < 0 then begin
@@ -571,11 +700,13 @@ let prepare_warm_nonbasics st =
 
 (* Dual simplex phase. Precondition: the basis is dual feasible (every
    nonbasic reduced cost has its optimality sign). Each iteration picks
-   the most bound-violating basic variable as the leaving row, prices
-   that row of B^-1 against the nonbasic columns, and enters the column
-   whose reduced-cost ratio |d_j / alpha_j| is smallest among those
-   that move the violated basic toward its bound — the bounded-variable
-   dual ratio test, ties broken by the largest pivot magnitude.
+   the most bound-violating basic variable as the leaving row, extracts
+   that row of B^-1 through the kernel (a sparse BTRAN of a unit vector
+   on the LU path), prices it against the nonbasic columns, and enters
+   the column whose reduced-cost ratio |d_j / alpha_j| is smallest
+   among those that move the violated basic toward its bound — the
+   bounded-variable dual ratio test, ties broken by the largest pivot
+   magnitude.
 
    Returns [`Done] (primal feasible, hence optimal), [`No_pivot] (a
    violated row admits no entering column — the strong hint of primal
@@ -584,7 +715,6 @@ let prepare_warm_nonbasics st =
    over from the current basis) or [`Iteration_limit]. *)
 let run_dual_phase st ~max_iterations =
   let m = st.p.m in
-  let rho = Array.make (max m 1) 0.0 in
   let continue = ref true in
   let result = ref `Done in
   while !continue do
@@ -593,7 +723,7 @@ let run_dual_phase st ~max_iterations =
       continue := false
     end
     else begin
-      if st.iters > 0 && st.iters mod st.refactor_every = 0 then refactorize st;
+      if st.iters > 0 && need_refactor st then refactorize st;
       let r_best = ref (-1) and viol_best = ref feas_tol in
       for r = 0 to m - 1 do
         let v = violation st st.basic_var.(r) in
@@ -611,14 +741,13 @@ let run_dual_phase st ~max_iterations =
         let v = st.basic_var.(r) in
         let to_upper = st.x.(v) > st.ub.(v) +. feas_tol in
         (* true multipliers for the reduced costs *)
-        for i = 0 to m - 1 do
-          st.c1.(i) <- cost_of st st.basic_var.(i)
-        done;
-        btran st st.c1;
-        Array.blit st.binv.(r) 0 rho 0 m;
+        load_phase_costs st ~phase1:false;
+        kernel_btran st;
+        kernel_row st r;
+        let rv = Sparse_vec.raw st.rho in
         let alpha_of j =
           let acc = ref 0.0 in
-          col_iter st j (fun i a -> acc := !acc +. (rho.(i) *. a));
+          col_iter st j (fun i a -> acc := !acc +. (rv.(i) *. a));
           !acc
         in
         let best = ref (-1) in
@@ -660,7 +789,7 @@ let run_dual_phase st ~max_iterations =
         else begin
           let j = !best in
           ftran st j;
-          let a = st.alpha.(r) in
+          let a = Sparse_vec.get st.alpha r in
           if abs_float a <= piv_tol then begin
             (* the row view and the freshly ftran'd column disagree:
                the factorization has drifted; let the primal phases
@@ -684,7 +813,7 @@ let run_dual_phase st ~max_iterations =
 
 let default_iterations p = 20_000 + (60 * (p.n + p.m))
 
-let solve ?max_iterations ?lower ?upper ?basis p =
+let solve ?max_iterations ?lower ?upper ?basis ?(options = default_options) p =
   let max_iterations =
     match max_iterations with Some k -> k | None -> default_iterations p
   in
@@ -723,20 +852,26 @@ let solve ?max_iterations ?lower ?upper ?basis p =
         nn;
         lb;
         ub;
-        c1 = Array.make (max m 1) 0.0;
         x = Array.make nn 0.0;
         vstat = Array.make nn At_lower;
         basic_var = Array.init (max m 1) (fun r -> n + r);
         in_row = Array.make nn (-1);
-        binv =
-          Array.init (max m 1) (fun r ->
-              Array.init (max m 1) (fun i -> if r = i then 1.0 else 0.0));
-        y = Array.make (max m 1) 0.0;
-        alpha = Array.make (max m 1) 0.0;
+        kern =
+          (match options.kernel with
+          | Dense ->
+            Kdense
+              (Array.init (max m 1) (fun r ->
+                   Array.init (max m 1) (fun i -> if r = i then 1.0 else 0.0)))
+          | Sparse_lu -> Klu { fact = None });
+        alpha = Sparse_vec.create m;
+        y = Sparse_vec.create m;
+        work = Sparse_vec.create m;
+        rho = Sparse_vec.create m;
         iters = 0;
         degenerate_run = 0;
         bland = false;
-        refactor_every = 256;
+        pivots_since_factor = 0;
+        refactor_override = options.refactor_every;
       }
     in
     (* (re)start from the all-slack basis; used both for the initial
@@ -747,10 +882,7 @@ let solve ?max_iterations ?lower ?upper ?basis p =
       done;
       for r = 0 to m - 1 do
         st.basic_var.(r) <- n + r;
-        st.in_row.(n + r) <- r;
-        let row = st.binv.(r) in
-        Array.fill row 0 m 0.0;
-        row.(r) <- 1.0
+        st.in_row.(n + r) <- r
       done;
       for j = 0 to n - 1 do
         let l = lb.(j) and u = ub.(j) in
@@ -779,7 +911,9 @@ let solve ?max_iterations ?lower ?upper ?basis p =
       for r = 0 to m - 1 do
         st.vstat.(n + r) <- Basic
       done;
-      recompute_basics st
+      (* factorizing the slack identity is trivial for both kernels
+         and cannot be singular; it also recomputes the basics *)
+      if m > 0 then refactorize st else recompute_basics st
     in
     reset_to_slack_basis ();
     (* Warm start: install the caller's basis and decide whether the
@@ -801,16 +935,20 @@ let solve ?max_iterations ?lower ?upper ?basis p =
         let sink = Trace.current () in
         if Trace.enabled sink then
           Trace.warm_start sink ~dual_feasible:false ~iterations:0
-            ~outcome:"primal_fallback"
+            ~kernel:(kernel_name st) ~outcome:"primal_fallback"
       end
     end;
     let dual_iters = ref 0 in
     let finish status =
       (* multipliers for the true objective at the final basis *)
-      for r = 0 to m - 1 do
-        st.c1.(r) <- cost_of st st.basic_var.(r)
-      done;
-      btran st st.c1;
+      load_phase_costs st ~phase1:false;
+      kernel_btran st;
+      (match st.kern with
+      | Klu { fact = Some f } ->
+        Metrics.observe (Lazy.force m_eta_len)
+          (float_of_int (Lu.eta_count f))
+      | _ -> ());
+      let yv = Sparse_vec.raw st.y in
       let primal = Array.sub st.x 0 n in
       let obj_min =
         let acc = ref 0.0 in
@@ -820,7 +958,7 @@ let solve ?max_iterations ?lower ?upper ?basis p =
         !acc
       in
       let sign = if p.maximize then -1.0 else 1.0 in
-      let duals = Array.init m (fun r -> sign *. st.y.(r)) in
+      let duals = Array.init m (fun r -> sign *. yv.(r)) in
       let reduced_costs =
         Array.init n (fun j -> reduced_cost st j p.cost.(j))
       in
@@ -860,6 +998,7 @@ let solve ?max_iterations ?lower ?upper ?basis p =
         Metrics.add (Lazy.force m_dual_iterations) pivots;
         if Trace.enabled sink then
           Trace.warm_start sink ~dual_feasible:true ~iterations:pivots
+            ~kernel:(kernel_name st)
             ~outcome:
               (match outcome with
               | `Done -> "reoptimal"
@@ -895,18 +1034,22 @@ let solve ?max_iterations ?lower ?upper ?basis p =
         | `Infeasible -> finish Infeasible
         | `Iteration_limit -> finish Iteration_limit)
     in
-    (* numerical recovery: a singular basis (accumulated inverse drift
-       or a degenerate pivot sequence) restarts from the slack basis
-       under Bland's rule with more frequent refactorization; a second
-       failure gives up with Iteration_limit *)
+    (* numerical recovery: a singular basis (accumulated factorization
+       drift or a degenerate pivot sequence) restarts from the slack
+       basis under Bland's rule with more frequent refactorization; a
+       second failure gives up with Iteration_limit *)
     let sol =
       match run () with
       | sol -> sol
       | exception Singular_basis -> (
-        reset_to_slack_basis ();
         st.bland <- true;
         st.degenerate_run <- 0;
-        st.refactor_every <- 64;
+        st.refactor_override <-
+          Some
+            (match st.refactor_override with
+            | Some k -> min k 64
+            | None -> 64);
+        reset_to_slack_basis ();
         match run () with
         | sol -> sol
         | exception Singular_basis -> finish Iteration_limit)
@@ -916,4 +1059,4 @@ let solve ?max_iterations ?lower ?upper ?basis p =
     sol
   end
 
-let solve_model ?max_iterations m = solve ?max_iterations (of_model m)
+let solve_model ?max_iterations ?options m = solve ?max_iterations ?options (of_model m)

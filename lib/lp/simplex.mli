@@ -4,11 +4,20 @@
     Solves [min/max c.x] subject to the linear constraints and variable
     bounds of a {!Model.t}, ignoring integrality (the LP relaxation).
     The implementation keeps the constraint matrix as sparse columns
-    and maintains an explicit dense basis inverse with periodic
-    refactorization; variables may sit non-basic at either finite bound
-    (or at zero when free), which keeps the paper's formulations small
-    — e.g. the [δ_t ∈ [0,1]] variables of Linear program 2 consume no
-    rows.
+    and represents the basis through a pluggable linear-algebra
+    {!kernel}: the default {!Sparse_lu} kernel factorizes the basis
+    with Markowitz LU ({!Lu}) and folds pivots in as product-form
+    etas, so FTRAN/BTRAN and the dual phase's row extraction run on
+    sparse indexed work vectors in O(nonzeros); the {!Dense} kernel
+    keeps the explicit inverse and is retained as the numerical
+    reference for differential testing ([--dense-kernel] in the CLI
+    and bench). Refactorization cadence is adaptive — the LU kernel
+    refactorizes when its eta file outgrows the factorization, the
+    dense kernel after a pivot count derived from the row count — and
+    can be pinned via {!options.refactor_every}. Variables may sit
+    non-basic at either finite bound (or at zero when free), which
+    keeps the paper's formulations small — e.g. the [δ_t ∈ [0,1]]
+    variables of Linear program 2 consume no rows.
 
     Warm starts: passing the parent solve's {!solution.basis} back via
     [solve ?basis] after a bound change re-installs that basis, and —
@@ -34,6 +43,24 @@ type status =
   | Infeasible  (** phase 1 ended with positive infeasibility *)
   | Unbounded  (** an improving ray was found in phase 2 *)
   | Iteration_limit  (** gave up after [max_iterations] pivots *)
+
+type kernel =
+  | Dense  (** explicit dense inverse, O(m^2) per pivot — reference *)
+  | Sparse_lu
+      (** Markowitz LU + eta file, O(nonzeros) per pivot — default *)
+
+type options = {
+  kernel : kernel;
+  refactor_every : int option;
+      (** Pin the refactorization cadence: maximum eta-file length for
+          {!Sparse_lu}, pivots between rebuilds for {!Dense}. [None]
+          (the default) derives it adaptively — from the eta file's
+          size and fill growth on the LU kernel, from the row count on
+          the dense one. *)
+}
+
+val default_options : options
+(** [{ kernel = Sparse_lu; refactor_every = None }] *)
 
 type basis = int array
 (** A basis as the basic-variable index per row: structural variables
@@ -73,6 +100,7 @@ val solve :
   ?lower:float array ->
   ?upper:float array ->
   ?basis:basis ->
+  ?options:options ->
   problem ->
   solution
 (** Solve the LP relaxation. [lower]/[upper] (length = number of
@@ -82,9 +110,12 @@ val solve :
     true for a pure bound change on an optimal basis) the dual simplex
     runs first; otherwise the primal phases start from it. A malformed
     or singular basis degrades to a cold solve — never to a different
-    answer. Default iteration budget scales with the instance size. *)
+    answer. Warm-start bases are installed through the same kernel
+    factorization as any other basis. [options] selects the kernel and
+    refactorization cadence ({!default_options} otherwise). Default
+    iteration budget scales with the instance size. *)
 
-val solve_model : ?max_iterations:int -> Model.t -> solution
+val solve_model : ?max_iterations:int -> ?options:options -> Model.t -> solution
 (** [solve_model m] is [solve (of_model m)]. *)
 
 val num_rows : problem -> int

@@ -104,12 +104,13 @@ let simplex_phase s ~phase ~iterations ~outcome =
         ("outcome", Json.String outcome);
       ]
 
-let warm_start s ~dual_feasible ~iterations ~outcome =
+let warm_start s ~dual_feasible ~iterations ~kernel ~outcome =
   if s.oc <> None then
     emit s "warm_start"
       [
         ("dual_feasible", Json.Bool dual_feasible);
         ("iterations", Json.Int iterations);
+        ("kernel", Json.String kernel);
         ("outcome", Json.String outcome);
       ]
 

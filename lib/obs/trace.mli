@@ -65,11 +65,18 @@ val simplex_phase :
   sink -> phase:int -> iterations:int -> outcome:string -> unit
 
 val warm_start :
-  sink -> dual_feasible:bool -> iterations:int -> outcome:string -> unit
+  sink ->
+  dual_feasible:bool ->
+  iterations:int ->
+  kernel:string ->
+  outcome:string ->
+  unit
 (** A simplex solve started from a caller-supplied basis. [iterations]
     counts dual-simplex pivots (0 when the basis was installed but the
-    primal phases ran instead); [outcome] is ["reoptimal"],
-    ["primal_fallback"], ["infeasible_guess"] or ["iteration_limit"]. *)
+    primal phases ran instead); [kernel] names the linear-algebra
+    kernel the solve ran on (["sparse_lu"] or ["dense"]); [outcome] is
+    ["reoptimal"], ["primal_fallback"], ["infeasible_guess"] or
+    ["iteration_limit"]. *)
 
 val greedy_pick : sink -> pick:int -> gain:float -> covered:float -> unit
 
