@@ -717,26 +717,64 @@ let run_phase name f =
       ("extras", Json.Obj (List.rev !extras));
     ]
 
-let write_report ~total_seconds phases =
-  let doc =
-    Json.Obj
-      [
-        ("schema", Json.String "monpos-bench/1");
-        ("mode", Json.String (if full_mode then "full" else "default"));
-        ("generated_at_unix", Json.Float (Clock.now ()));
-        ("total_seconds", Json.Float total_seconds);
-        ("phases", Json.List phases);
-      ]
-  in
+let report_doc ~total_seconds phases =
+  Json.Obj
+    [
+      ("schema", Json.String "monpos-bench/1");
+      ("mode", Json.String (if full_mode then "full" else "default"));
+      ("generated_at_unix", Json.Float (Clock.now ()));
+      ("total_seconds", Json.Float total_seconds);
+      ("phases", Json.List phases);
+    ]
+
+let write_report doc =
   Out_channel.with_open_text report_path (fun oc ->
       output_string oc (Json.to_string doc);
       output_char oc '\n');
   Printf.printf "report written to %s\n" report_path
 
+(* --check BASELINE: regression gate. The baseline is loaded before
+   any experiment runs (it usually IS report_path, which the run
+   overwrites at the end); a baseline that does not parse or has the
+   wrong schema/mode is exit code 2, a metric outside its threshold is
+   exit code 1. *)
+let load_baseline path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg ->
+    Printf.printf "bench check: cannot read baseline: %s\n" msg;
+    exit 2
+  | contents -> (
+    match Monpos_obs.Json.parse contents with
+    | Error msg ->
+      Printf.printf "bench check: baseline %s does not parse: %s\n" path msg;
+      exit 2
+    | Ok doc -> doc)
+
+let run_check ~baseline ~current =
+  match Monpos_obs.Bench_check.compare_reports ~baseline ~current with
+  | Error msg ->
+    Printf.printf "bench check: %s\n" msg;
+    2
+  | Ok report ->
+    print_string (Monpos_obs.Bench_check.render report);
+    if report.Monpos_obs.Bench_check.findings = [] then 0 else 1
+
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let check_path, args =
+    let rec extract acc = function
+      | "--check" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | "--check" :: [] ->
+        Printf.printf "bench check: --check needs a baseline path\n";
+        exit 2
+      | a :: rest -> extract (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    extract [] args
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as picks) ->
+    match args with
+    | _ :: _ as picks ->
       (* flag spellings kept for muscle memory:
          bench --compare-warmstart / --compare-kernel *)
       List.map
@@ -745,8 +783,9 @@ let () =
           | "--compare-kernel" -> "kernelscale"
           | pick -> pick)
         picks
-    | _ -> List.map fst experiments
+    | [] -> List.map fst experiments
   in
+  let baseline = Option.map load_baseline check_path in
   Printf.printf
     "monpos bench harness — reproduction of CoNEXT'05 monitoring placement\n";
   Printf.printf "mode: %s\n"
@@ -764,5 +803,10 @@ let () =
       requested
   in
   Printf.printf "\n";
-  write_report ~total_seconds:(Clock.elapsed t0) phases;
-  Printf.printf "done.\n"
+  let doc = report_doc ~total_seconds:(Clock.elapsed t0) phases in
+  write_report doc;
+  (match baseline with
+  | None -> Printf.printf "done.\n"
+  | Some baseline ->
+    Printf.printf "done.\n\n";
+    exit (run_check ~baseline ~current:doc))

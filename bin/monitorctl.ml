@@ -33,14 +33,15 @@ open Cmdliner
 (* ------------------------------------------------------------------ *)
 (* observability flags, shared by every subcommand                     *)
 
-type obs = { trace : string option; metrics : bool }
+type obs = { trace : string option; metrics : bool; progress : bool }
 
 let obs_term =
   let trace_arg =
     let doc =
       "Write structured solver trace events (JSONL, one object per \
        line: branch-and-bound nodes, incumbents, simplex phases, flow \
-       augmentations, spans) to $(docv)."
+       augmentations, spans) to $(docv). Analyze it afterwards with \
+       $(b,monitorctl analyze)."
     in
     Arg.(
       value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
@@ -49,11 +50,20 @@ let obs_term =
     let doc = "Print the solver metrics registry after the command." in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
-  let make trace metrics = { trace; metrics } in
-  Term.(const make $ trace_arg $ metrics_arg)
+  let progress_arg =
+    let doc =
+      "Report live solve progress (nodes visited, incumbent, bound, \
+       gap, elapsed) on one in-place stderr line, throttled. Combines \
+       with $(b,--trace): the same events feed both sinks."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let make trace metrics progress = { trace; metrics; progress } in
+  Term.(const make $ trace_arg $ metrics_arg $ progress_arg)
 
 (* Install the trace sink around the command body, close it afterwards
-   and render the metrics table when requested. *)
+   and render the metrics table when requested. --trace and --progress
+   each contribute a sink; both at once fan out. *)
 let with_obs obs f =
   match
     match obs.trace with
@@ -63,7 +73,12 @@ let with_obs obs f =
   | Error msg ->
     Format.eprintf "monitorctl: cannot open trace file: %s@." msg;
     2
-  | Ok sink ->
+  | Ok file_sink ->
+  let sink =
+    if obs.progress then
+      Obs_trace.fanout [ file_sink; Monpos_obs.Progress.sink () ]
+    else file_sink
+  in
   Fun.protect
     ~finally:(fun () ->
       Obs_trace.set_current Obs_trace.null;
@@ -74,7 +89,7 @@ let with_obs obs f =
       (match obs.trace with
       | Some path ->
         Format.printf "trace: %d event(s) written to %s@."
-          (Obs_trace.events_written sink)
+          (Obs_trace.events_written file_sink)
           path
       | None -> ());
       if obs.metrics then
@@ -478,6 +493,81 @@ let sweep_cmd =
     Term.(const run $ obs_term $ figure_arg $ seeds_arg)
 
 (* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let analyze_cmd =
+  let module Reader = Monpos_obs.Trace_reader in
+  let module Profile = Monpos_obs.Profile in
+  let module Converge = Monpos_obs.Converge in
+  let module Json = Monpos_obs.Json in
+  let file_arg =
+    let doc = "JSONL trace file written by --trace." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let profile_arg =
+    let doc = "Report the span-tree wall-time profile." in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let converge_arg =
+    let doc =
+      "Report branch-and-bound convergence (incumbent/bound trajectory, \
+       gap, prune rate, warm-start outcomes) per solver."
+    in
+    Arg.(value & flag & info [ "converge" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the selected reports as one JSON object on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run file profile converge json =
+    (* neither flag: report both *)
+    let profile, converge =
+      if (not profile) && not converge then (true, true) else (profile, converge)
+    in
+    match Reader.read_file file with
+    | exception Sys_error msg ->
+      Format.eprintf "monitorctl: cannot read trace: %s@." msg;
+      2
+    | read ->
+      let records = read.Reader.records in
+      if json then begin
+        let reports =
+          [ ("events", Json.Int (List.length records));
+            ("malformed_lines", Json.Int read.Reader.malformed);
+            ("truncated", Json.Bool read.Reader.truncated) ]
+          @ (if profile then
+               [ ("profile", Profile.to_json (Profile.of_records records)) ]
+             else [])
+          @
+          if converge then
+            [ ("converge", Converge.to_json (Converge.of_records records)) ]
+          else []
+        in
+        print_endline (Json.to_string (Json.Obj reports))
+      end
+      else begin
+        Format.printf "%s: %d event(s)%s%s@." file (List.length records)
+          (if read.Reader.malformed > 0 then
+             Printf.sprintf ", %d malformed line(s) skipped"
+               read.Reader.malformed
+           else "")
+          (if read.Reader.truncated then ", truncated final line dropped"
+           else "");
+        if profile then print_string (Profile.render (Profile.of_records records));
+        if converge then
+          print_string (Converge.render (Converge.of_records records))
+      end;
+      0
+  in
+  let doc =
+    "Analyze a recorded solver trace: wall-time profile and/or \
+     branch-and-bound convergence report."
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(const run $ file_arg $ profile_arg $ converge_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -497,4 +587,5 @@ let () =
             dynamic_cmd;
             campaign_cmd;
             sweep_cmd;
+            analyze_cmd;
           ]))

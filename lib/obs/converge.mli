@@ -1,0 +1,47 @@
+(** Branch-and-bound convergence analysis over a trace.
+
+    Rebuilds each solver's search trajectory from its [bb_node],
+    [incumbent] and [bound_pruned] events: incumbent/bound pairs over
+    time, the relative gap between them, prune counts, plus the
+    warm-start outcome breakdown and simplex phase totals interleaved
+    with that solver's nodes. Events that carry no solver field
+    ([warm_start], [simplex_phase]) are attributed to the solver of
+    the most recent [bb_node], matching how the writers interleave
+    them. *)
+
+type point = {
+  ts : float;
+  node : int;
+  incumbent : float option;
+  bound : float option;
+  gap : float option;
+      (** [|incumbent - bound| / max 1e-9 |incumbent|] when both are
+          known and finite *)
+}
+
+type solver = {
+  solver : string;
+  nodes : int;  (** [bb_node] events seen *)
+  max_depth : int;
+  prunes : int;  (** [bound_pruned] events seen *)
+  incumbents : (float * int * float) list;  (** (ts, node, objective) *)
+  final_incumbent : float option;
+  final_bound : float option;
+  final_gap : float option;
+  trajectory : point list;
+      (** one point per incumbent improvement or prune, in order *)
+  warm_starts : (string * int) list;  (** outcome -> count *)
+  warm_dual_pivots : int;
+  simplex_phases : (int * int * int) list;
+      (** (phase, solves, total iterations) *)
+  first_ts : float;
+  last_ts : float;
+}
+
+type t = { solvers : solver list; events : int }
+
+val of_records : Trace_reader.record list -> t
+
+val render : t -> string
+
+val to_json : t -> Json.t

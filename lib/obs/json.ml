@@ -66,3 +66,261 @@ let to_string v =
   let b = Buffer.create 256 in
   to_buffer b v;
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* parsing — the dual of the writer above. Recursive descent over a
+   string; positions are byte offsets so error messages point into the
+   offending line. Bytes >= 0x80 pass through untouched (the writer
+   never escapes them), so UTF-8 payloads round-trip byte for byte. *)
+
+type parse_state = { src : string; mutable pos : int }
+
+exception Fail of int * string
+
+let fail st msg = raise (Fail (st.pos, msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    &&
+    match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | Some d -> fail st (Printf.sprintf "expected %C, found %C" c d)
+  | None -> fail st (Printf.sprintf "expected %C, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let hex4 st =
+  if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+  let v = ref 0 in
+  for i = st.pos to st.pos + 3 do
+    let d =
+      match st.src.[i] with
+      | '0' .. '9' as c -> Char.code c - Char.code '0'
+      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+      | _ -> fail st "bad hex digit in \\u escape"
+    in
+    v := (!v * 16) + d
+  done;
+  st.pos <- st.pos + 4;
+  !v
+
+(* Encode a Unicode scalar value as UTF-8. Escaped surrogate pairs are
+   combined by the caller; a lone surrogate is encoded as-is (WTF-8)
+   rather than rejected, keeping the parser total on real-world logs. *)
+let add_utf8 b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let parse_string_body st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' ->
+      st.pos <- st.pos + 1;
+      (match peek st with
+      | None -> fail st "unterminated escape"
+      | Some c ->
+        st.pos <- st.pos + 1;
+        (match c with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          let cp = hex4 st in
+          let cp =
+            (* high surrogate followed by an escaped low surrogate *)
+            if
+              cp >= 0xd800 && cp <= 0xdbff
+              && st.pos + 1 < String.length st.src
+              && st.src.[st.pos] = '\\'
+              && st.src.[st.pos + 1] = 'u'
+            then begin
+              let saved = st.pos in
+              st.pos <- st.pos + 2;
+              let lo = hex4 st in
+              if lo >= 0xdc00 && lo <= 0xdfff then
+                0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00)
+              else begin
+                st.pos <- saved;
+                cp
+              end
+            end
+            else cp
+          in
+          add_utf8 b cp
+        | c -> fail st (Printf.sprintf "bad escape \\%c" c)));
+      go ()
+    | Some c when Char.code c < 0x20 -> fail st "unescaped control character"
+    | Some c ->
+      Buffer.add_char b c;
+      st.pos <- st.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_int = ref true in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') -> st.pos <- st.pos + 1
+    | Some ('.' | 'e' | 'E') ->
+      is_int := false;
+      st.pos <- st.pos + 1
+    | _ -> continue := false
+  done;
+  if st.pos = start then fail st "expected a value";
+  let tok = String.sub st.src start (st.pos - start) in
+  if !is_int then
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+      (* out of native int range: keep the magnitude as a float *)
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None ->
+        st.pos <- start;
+        fail st (Printf.sprintf "bad number %S" tok))
+  else
+    match float_of_string_opt tok with
+    | Some f -> Float f
+    | None ->
+      st.pos <- start;
+      fail st (Printf.sprintf "bad number %S" tok)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "expected a value, found end of input"
+  | Some '"' -> String (parse_string_body st)
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          elements (v :: acc)
+        | Some ']' ->
+          st.pos <- st.pos + 1;
+          List.rev (v :: acc)
+        | _ -> fail st "expected ',' or ']'"
+      in
+      List (elements [])
+    end
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws st;
+        let k = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          st.pos <- st.pos + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> fail st "expected ',' or '}'"
+      in
+      Obj (members [])
+    end
+  | Some _ -> parse_number st
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos <> String.length s then
+      Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+    else Ok v
+  | exception Fail (pos, msg) ->
+    Error (Printf.sprintf "%s at offset %d" msg pos)
+
+let parse_lines s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         if String.trim line = "" then None else Some (parse line))
+
+(* ------------------------------------------------------------------ *)
+(* accessors used by the trace reader and the bench regression gate *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let as_string = function String s -> Some s | _ -> None
+
+let as_int = function Int i -> Some i | _ -> None
+
+let as_bool = function Bool b -> Some b | _ -> None
+
+let as_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let as_list = function List xs -> Some xs | _ -> None
+
+let as_obj = function Obj kvs -> Some kvs | _ -> None

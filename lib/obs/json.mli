@@ -1,6 +1,8 @@
-(** Minimal JSON construction for trace events, metric snapshots and
-    the bench output file. Writing only — no parser; the repo has no
-    JSON dependency and does not need one to emit valid documents. *)
+(** Minimal JSON construction and parsing for trace events, metric
+    snapshots and the bench report file. The repo has no JSON
+    dependency and does not need one: the writer emits valid documents
+    and the parser below is its exact dual, so traces and bench
+    reports round-trip through this module alone. *)
 
 type t =
   | Null
@@ -26,3 +28,42 @@ val float_to : Buffer.t -> float -> unit
 val to_buffer : Buffer.t -> t -> unit
 
 val to_string : t -> string
+
+(** {1 Parsing} *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; anything
+    else after the value is an error). Numbers without [.]/[e] that
+    fit in a native [int] parse as {!Int}, everything else as
+    {!Float}. String escapes are decoded, [\uXXXX] (including
+    surrogate pairs) re-encodes as UTF-8, and raw bytes >= 0x80 pass
+    through untouched — the writer's output round-trips byte for
+    byte. Note the writer renders non-finite floats as [null], so
+    those round-trip to {!Null} by design. *)
+
+val parse_lines : string -> (t, string) result list
+(** Parse a JSONL buffer: one result per non-blank line, in order.
+    A malformed line yields an [Error] without affecting its
+    neighbours — callers decide how tolerant to be (the trace reader
+    drops a malformed {e final} line as a truncated write). *)
+
+(** {1 Accessors}
+
+    Total accessors returning [None] on shape mismatch; used by the
+    trace reader's skip-unknown decoding and the bench gate. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val as_string : t -> string option
+
+val as_int : t -> int option
+
+val as_bool : t -> bool option
+
+val as_float : t -> float option
+(** Accepts both {!Float} and {!Int} (JSON does not distinguish). *)
+
+val as_list : t -> t list option
+
+val as_obj : t -> (string * t) list option

@@ -142,6 +142,17 @@ let reset t =
 
 let find snap name = List.assoc_opt name snap
 
+(* Percentile estimates via linear interpolation within buckets; an
+   estimate landing in the unbounded overflow bucket can only be
+   bounded below, and reports as ">last_bound". *)
+let estimate_percentile ~upper ~counts p =
+  Monpos_util.Stats.percentile_buckets ~upper ~counts p
+
+let percentile_cell ~upper ~counts p =
+  match estimate_percentile ~upper ~counts p with
+  | Some v -> Printf.sprintf "%.6g" v
+  | None -> Printf.sprintf ">%g" upper.(Array.length upper - 1)
+
 let render_table snap =
   let rows =
     List.map
@@ -153,8 +164,15 @@ let render_table snap =
           [
             name;
             "histogram";
-            Printf.sprintf "count=%d sum=%.6g mean=%.6g" h.count h.sum
-              (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count);
+            (if h.count = 0 then "count=0"
+             else
+               Printf.sprintf
+                 "count=%d sum=%.6g mean=%.6g p50=%s p90=%s p99=%s" h.count
+                 h.sum
+                 (h.sum /. float_of_int h.count)
+                 (percentile_cell ~upper:h.upper ~counts:h.counts 50.0)
+                 (percentile_cell ~upper:h.upper ~counts:h.counts 90.0)
+                 (percentile_cell ~upper:h.upper ~counts:h.counts 99.0));
           ])
       snap
   in
@@ -181,10 +199,18 @@ let to_json snap =
                        ("count", Json.Int h.counts.(i));
                      ])
              in
+             let pjson p =
+               match estimate_percentile ~upper:h.upper ~counts:h.counts p with
+               | Some v -> Json.Float v
+               | None -> Json.Null (* beyond the last bound *)
+             in
              Json.Obj
                [
                  ("count", Json.Int h.count);
                  ("sum", Json.Float h.sum);
+                 ("p50", pjson 50.0);
+                 ("p90", pjson 90.0);
+                 ("p99", pjson 99.0);
                  ("buckets", Json.List buckets);
                ]
          in

@@ -72,10 +72,16 @@ val reset : t -> unit
 val find : snapshot -> string -> entry option
 
 val render_table : snapshot -> string
-(** Aligned plain-text table (one instrument per row). *)
+(** Aligned plain-text table (one instrument per row). Histogram rows
+    include p50/p90/p99 estimated by linear interpolation within
+    buckets ({!Monpos_util.Stats.percentile_buckets}); an estimate
+    landing in the overflow bucket prints as [>last_bound]. *)
 
 val to_json : snapshot -> Json.t
 (** Object keyed by instrument name; counters render as integers,
     gauges as numbers, histograms as
-    [{"count":..,"sum":..,"buckets":[{"le":..,"count":..},...]}]
-    where the final bucket has ["le":null] (overflow). *)
+    [{"count":..,"sum":..,"p50":..,"p90":..,"p99":..,
+      "buckets":[{"le":..,"count":..},...]}]
+    where the final bucket has ["le":null] (overflow) and a
+    percentile estimate landing in the overflow bucket renders as
+    [null]. *)

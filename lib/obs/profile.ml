@@ -1,0 +1,163 @@
+(* Span-tree reconstruction. The writer emits span_open/span_close
+   pairs carrying the span name and its nesting depth; replaying them
+   against a stack rebuilds the call tree, and aggregating by path
+   (not just by name) yields a flamegraph-style profile: the same span
+   name reached through different parents stays separate in the tree
+   while the flat per-name totals merge them. *)
+
+type node = {
+  name : string;
+  mutable calls : int;
+  mutable total : float; (* sum of the span's recorded seconds *)
+  mutable self : float; (* total minus time attributed to children *)
+  mutable children : node list; (* reverse insertion order *)
+}
+
+type t = {
+  roots : node list;
+  unmatched : int; (* opens without a close, closes without an open *)
+}
+
+(* One stack frame per currently-open span. [child_secs] accumulates
+   the recorded seconds of completed direct children so self time can
+   be computed when this span closes. *)
+type frame = {
+  agg : node;
+  open_depth : int;
+  mutable child_secs : float;
+}
+
+let of_records records =
+  let roots = ref [] in
+  let unmatched = ref 0 in
+  let stack = ref [] in
+  let find_or_create siblings name =
+    match List.find_opt (fun n -> n.name = name) !siblings with
+    | Some n -> n
+    | None ->
+      let n = { name; calls = 0; total = 0.0; self = 0.0; children = [] } in
+      siblings := n :: !siblings;
+      n
+  in
+  let enter name depth =
+    (* depth jumped down: enclosing spans closed without a close event
+       (lost to truncation) — unwind to the event's depth *)
+    while List.length !stack > depth do
+      incr unmatched;
+      stack := List.tl !stack
+    done;
+    let agg =
+      match !stack with
+      | [] ->
+        let n = find_or_create roots name in
+        n
+      | parent :: _ ->
+        let siblings = ref parent.agg.children in
+        let n = find_or_create siblings name in
+        parent.agg.children <- !siblings;
+        n
+    in
+    stack := { agg; open_depth = depth; child_secs = 0.0 } :: !stack
+  in
+  let leave name depth seconds =
+    (* unwind past any nested spans that never closed *)
+    while
+      match !stack with
+      | f :: _ -> f.open_depth > depth
+      | [] -> false
+    do
+      incr unmatched;
+      stack := List.tl !stack
+    done;
+    match !stack with
+    | f :: rest when f.open_depth = depth && f.agg.name = name ->
+      f.agg.calls <- f.agg.calls + 1;
+      f.agg.total <- f.agg.total +. seconds;
+      f.agg.self <- f.agg.self +. Float.max 0.0 (seconds -. f.child_secs);
+      stack := rest;
+      (match rest with
+      | parent :: _ -> parent.child_secs <- parent.child_secs +. seconds
+      | [] -> ())
+    | _ -> incr unmatched
+  in
+  List.iter
+    (fun (r : Trace_reader.record) ->
+      match r.Trace_reader.event with
+      | Trace_reader.Span_open { name; depth } -> enter name depth
+      | Trace_reader.Span_close { name; depth; seconds } ->
+        leave name depth seconds
+      | _ -> ())
+    records;
+  unmatched := !unmatched + List.length !stack;
+  let rec order n = { n with children = List.rev_map order n.children } in
+  { roots = List.rev_map order !roots; unmatched = !unmatched }
+
+(* flat per-name aggregation, merging every path the name appears on *)
+let totals t =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  let rec visit n =
+    (match Hashtbl.find_opt tbl n.name with
+    | Some (calls, total, self) ->
+      Hashtbl.replace tbl n.name (calls + n.calls, total +. n.total, self +. n.self)
+    | None ->
+      order := n.name :: !order;
+      Hashtbl.add tbl n.name (n.calls, n.total, n.self));
+    List.iter visit n.children
+  in
+  List.iter visit t.roots;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+
+let grand_total t =
+  List.fold_left (fun acc n -> acc +. n.total) 0.0 t.roots
+
+let render t =
+  let b = Buffer.create 1024 in
+  let whole = grand_total t in
+  let pct x = if whole <= 0.0 then 0.0 else 100.0 *. x /. whole in
+  let sorted ns = List.sort (fun a c -> compare c.total a.total) ns in
+  let rec emit indent n =
+    Buffer.add_string b
+      (Printf.sprintf "%5.1f%% %9.3fms  self %9.3fms  %6d call%s  %s%s\n"
+         (pct n.total) (1e3 *. n.total) (1e3 *. n.self) n.calls
+         (if n.calls = 1 then " " else "s")
+         indent n.name);
+    List.iter (emit (indent ^ "  ")) (sorted n.children)
+  in
+  Buffer.add_string b "span tree (total / self, % of traced time):\n";
+  if t.roots = [] then Buffer.add_string b "  (no spans in trace)\n"
+  else List.iter (emit "") (sorted t.roots);
+  if t.unmatched > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "(%d unmatched span event(s) — truncated trace?)\n"
+         t.unmatched);
+  Buffer.contents b
+
+let to_json t =
+  let rec node_json n =
+    Json.Obj
+      [
+        ("name", Json.String n.name);
+        ("calls", Json.Int n.calls);
+        ("total_s", Json.Float n.total);
+        ("self_s", Json.Float n.self);
+        ("children", Json.List (List.map node_json n.children));
+      ]
+  in
+  Json.Obj
+    [
+      ("roots", Json.List (List.map node_json t.roots));
+      ( "totals",
+        Json.Obj
+          (List.map
+             (fun (name, (calls, total, self)) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("calls", Json.Int calls);
+                     ("total_s", Json.Float total);
+                     ("self_s", Json.Float self);
+                   ] ))
+             (totals t)) );
+      ("unmatched", Json.Int t.unmatched);
+    ]

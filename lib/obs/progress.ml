@@ -1,0 +1,93 @@
+(* Throttled in-place progress reporter, fed live through a
+   Trace.custom sink (typically fanned out next to a file sink).
+   Renders "\r nodes .. incumbent .. gap .. elapsed" onto one terminal
+   line at most every [interval] seconds, padding to a fixed width so
+   a shorter line fully overwrites a longer one. *)
+
+type state = {
+  oc : out_channel;
+  interval : float;
+  mutable solver : string;
+  mutable nodes : int;
+  mutable incumbent : float option;
+  mutable bound : float option;
+  mutable last_ts : float;
+  mutable last_render : float; (* Clock time of the last repaint *)
+  mutable rendered : bool;
+}
+
+let line st =
+  let cell name = function
+    | None -> Printf.sprintf "%s -" name
+    | Some v -> Printf.sprintf "%s %.6g" name v
+  in
+  let gap =
+    match (st.incumbent, st.bound) with
+    | Some inc, Some b when Float.is_finite inc && Float.is_finite b ->
+      Printf.sprintf "gap %.2f%%"
+        (100.0 *. Float.abs (inc -. b) /. Float.max 1e-9 (Float.abs inc))
+    | _ -> "gap -"
+  in
+  Printf.sprintf "[%s] nodes %d  %s  %s  %s  %.1fs"
+    (if st.solver = "" then "solve" else st.solver)
+    st.nodes
+    (cell "incumbent" st.incumbent)
+    (cell "bound" st.bound)
+    gap st.last_ts
+
+let width = 78
+
+let repaint st =
+  let s = line st in
+  let s =
+    if String.length s >= width then String.sub s 0 width
+    else s ^ String.make (width - String.length s) ' '
+  in
+  output_char st.oc '\r';
+  output_string st.oc s;
+  flush st.oc;
+  st.rendered <- true
+
+let sink ?(interval = 0.1) ?(oc = stderr) () =
+  let st =
+    {
+      oc;
+      interval;
+      solver = "";
+      nodes = 0;
+      incumbent = None;
+      bound = None;
+      last_ts = 0.0;
+      last_render = neg_infinity;
+      rendered = false;
+    }
+  in
+  let on_event ts ev fields =
+    st.last_ts <- ts;
+    (match Trace_reader.decode ~ev fields with
+    | Trace_reader.Bb_node { solver; bound; _ } ->
+      st.solver <- solver;
+      st.nodes <- st.nodes + 1;
+      (match bound with Some _ -> st.bound <- bound | None -> ())
+    | Trace_reader.Incumbent { solver; objective; _ } ->
+      st.solver <- solver;
+      st.incumbent <- Some objective
+    | Trace_reader.Bound_pruned { solver; bound; incumbent; _ } ->
+      st.solver <- solver;
+      (match bound with Some _ -> st.bound <- bound | None -> ());
+      (match incumbent with Some _ -> st.incumbent <- incumbent | None -> ())
+    | _ -> ());
+    let now = Clock.now () in
+    if now -. st.last_render >= st.interval then begin
+      st.last_render <- now;
+      repaint st
+    end
+  in
+  let close () =
+    if st.rendered || st.nodes > 0 then begin
+      repaint st;
+      output_char st.oc '\n';
+      flush st.oc
+    end
+  in
+  Trace.custom ~close on_event

@@ -1,0 +1,13 @@
+(** Live, throttled progress reporting for traced solves.
+
+    {!sink} builds a {!Trace.custom} sink that tracks branch-and-bound
+    progress (nodes visited, incumbent, bound, relative gap, elapsed
+    trace time) and repaints a single in-place line ([\r]-terminated,
+    fixed width) on the output channel at most every [interval]
+    seconds. Meant to be {!Trace.fanout}'d next to a file sink so a
+    long solve can be watched while its full trace is recorded.
+    Closing the sink repaints one final time and terminates the line
+    with a newline. *)
+
+val sink : ?interval:float -> ?oc:out_channel -> unit -> Trace.sink
+(** [interval] defaults to 0.1s; [oc] defaults to [stderr]. *)

@@ -5,10 +5,17 @@ let time ?metrics ?sink name f =
   let registry = match metrics with Some m -> m | None -> Metrics.default in
   let depth = !nesting in
   Trace.span_open sink ~name ~depth;
-  incr nesting;
+  nesting := depth + 1;
   let t0 = Clock.now () in
   let finish () =
-    decr nesting;
+    (* Restore rather than decrement: if a nested span raised partway
+       through its own bookkeeping (e.g. the sink's write failed after
+       the nested close had already adjusted the counter), a plain decr
+       would drift and every close above it would then be emitted one
+       depth off its open. Pinning back to this span's own depth keeps
+       each close paired with its open no matter how many levels below
+       unwound exceptionally. *)
+    nesting := depth;
     let dt = Clock.elapsed t0 in
     Trace.span_close sink ~name ~depth ~seconds:dt;
     Metrics.observe (Metrics.histogram registry ("span." ^ name)) dt;

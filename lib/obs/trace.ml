@@ -1,23 +1,97 @@
+(* A sink is a pair of closures (emit, close) plus bookkeeping. The
+   null sink is the only one with [on = false]; every typed helper
+   checks the flag before boxing its arguments, so instrumented hot
+   paths cost a load and a branch when tracing is off. *)
+
 type sink = {
-  oc : out_channel option;
+  on : bool;
   epoch : float;
-  buf : Buffer.t;
+  emit_fn : float -> string -> (string * Json.t) list -> unit;
+  close_fn : unit -> unit;
   mutable events : int;
 }
 
-let null = { oc = None; epoch = 0.0; buf = Buffer.create 1; events = 0 }
+let null =
+  {
+    on = false;
+    epoch = 0.0;
+    emit_fn = (fun _ _ _ -> ());
+    close_fn = ignore;
+    events = 0;
+  }
+
+(* Channel sinks buffer formatted events and write them out in batches:
+   one [output] syscall per [flush_every] events instead of one per
+   event, so tracing stops distorting the hot paths it observes.
+   [events_written] stays exact — it counts emits, not flushes. *)
+let flush_every = 64
 
 let to_channel oc =
-  { oc = Some oc; epoch = Clock.now (); buf = Buffer.create 256; events = 0 }
+  let buf = Buffer.create 8192 in
+  let pending = ref 0 in
+  let flush_buf () =
+    if Buffer.length buf > 0 then begin
+      Buffer.output_buffer oc buf;
+      Buffer.clear buf;
+      (* push through the channel too: a periodic flush that stops in
+         the out_channel's own buffer would make the trace neither
+         tail-able during a long solve nor recoverable after a crash *)
+      flush oc
+    end;
+    pending := 0
+  in
+  let emit_fn ts ev fields =
+    Buffer.add_string buf "{\"ev\":\"";
+    Json.escape_to buf ev;
+    Buffer.add_string buf "\",\"ts\":";
+    Json.float_to buf ts;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf ",\"";
+        Json.escape_to buf k;
+        Buffer.add_string buf "\":";
+        Json.to_buffer buf v)
+      fields;
+    Buffer.add_string buf "}\n";
+    incr pending;
+    if !pending >= flush_every then flush_buf ()
+  in
+  let close_fn () =
+    flush_buf ();
+    if oc == stdout || oc == stderr then flush oc else close_out oc
+  in
+  { on = true; epoch = Clock.now (); emit_fn; close_fn; events = 0 }
 
 let open_file path = to_channel (open_out path)
 
-let close s =
-  match s.oc with
-  | None -> ()
-  | Some oc -> if oc == stdout || oc == stderr then flush oc else close_out oc
+let custom ?(close = ignore) f =
+  { on = true; epoch = Clock.now (); emit_fn = f; close_fn = close; events = 0 }
 
-let enabled s = s.oc <> None
+(* Fan-out: one emit reaches every live child with the same timestamp,
+   so a file sink and a progress reporter can watch the same solve.
+   Closing the fan-out closes every child. *)
+let fanout sinks =
+  match List.filter (fun s -> s.on) sinks with
+  | [] -> null
+  | [ s ] -> s
+  | live ->
+    {
+      on = true;
+      epoch = Clock.now ();
+      emit_fn =
+        (fun ts ev fields ->
+          List.iter
+            (fun s ->
+              s.emit_fn ts ev fields;
+              s.events <- s.events + 1)
+            live);
+      close_fn = (fun () -> List.iter (fun s -> s.close_fn ()) live);
+      events = 0;
+    }
+
+let close s = s.close_fn ()
+
+let enabled s = s.on
 
 let events_written s = s.events
 
@@ -33,32 +107,17 @@ let with_current s f =
   Fun.protect ~finally:(fun () -> ambient := saved) f
 
 let emit s ev fields =
-  match s.oc with
-  | None -> ()
-  | Some oc ->
-    let b = s.buf in
-    Buffer.clear b;
-    Buffer.add_string b "{\"ev\":\"";
-    Json.escape_to b ev;
-    Buffer.add_string b "\",\"ts\":";
-    Json.float_to b (Clock.now () -. s.epoch);
-    List.iter
-      (fun (k, v) ->
-        Buffer.add_string b ",\"";
-        Json.escape_to b k;
-        Buffer.add_string b "\":";
-        Json.to_buffer b v)
-      fields;
-    Buffer.add_string b "}\n";
-    Buffer.output_buffer oc b;
+  if s.on then begin
+    s.emit_fn (Clock.now () -. s.epoch) ev fields;
     s.events <- s.events + 1
+  end
 
 let span_open s ~name ~depth =
-  if s.oc <> None then
+  if s.on then
     emit s "span_open" [ ("name", Json.String name); ("depth", Json.Int depth) ]
 
 let span_close s ~name ~depth ~seconds =
-  if s.oc <> None then
+  if s.on then
     emit s "span_close"
       [
         ("name", Json.String name);
@@ -67,7 +126,7 @@ let span_close s ~name ~depth ~seconds =
       ]
 
 let bb_node s ~solver ~node ~depth ?bound () =
-  if s.oc <> None then
+  if s.on then
     emit s "bb_node"
       [
         ("solver", Json.String solver);
@@ -77,7 +136,7 @@ let bb_node s ~solver ~node ~depth ?bound () =
       ]
 
 let incumbent s ~solver ~node ~objective =
-  if s.oc <> None then
+  if s.on then
     emit s "incumbent"
       [
         ("solver", Json.String solver);
@@ -86,7 +145,7 @@ let incumbent s ~solver ~node ~objective =
       ]
 
 let bound_pruned s ~solver ~node ~bound ~incumbent =
-  if s.oc <> None then
+  if s.on then
     emit s "bound_pruned"
       [
         ("solver", Json.String solver);
@@ -96,7 +155,7 @@ let bound_pruned s ~solver ~node ~bound ~incumbent =
       ]
 
 let simplex_phase s ~phase ~iterations ~outcome =
-  if s.oc <> None then
+  if s.on then
     emit s "simplex_phase"
       [
         ("phase", Json.Int phase);
@@ -105,7 +164,7 @@ let simplex_phase s ~phase ~iterations ~outcome =
       ]
 
 let warm_start s ~dual_feasible ~iterations ~kernel ~outcome =
-  if s.oc <> None then
+  if s.on then
     emit s "warm_start"
       [
         ("dual_feasible", Json.Bool dual_feasible);
@@ -115,7 +174,7 @@ let warm_start s ~dual_feasible ~iterations ~kernel ~outcome =
       ]
 
 let greedy_pick s ~pick ~gain ~covered =
-  if s.oc <> None then
+  if s.on then
     emit s "greedy_pick"
       [
         ("pick", Json.Int pick);
@@ -124,7 +183,7 @@ let greedy_pick s ~pick ~gain ~covered =
       ]
 
 let flow_augmentation s ~amount ~path_cost ~routed =
-  if s.oc <> None then
+  if s.on then
     emit s "flow_augmentation"
       [
         ("amount", Json.Float amount);
@@ -133,7 +192,7 @@ let flow_augmentation s ~amount ~path_cost ~routed =
       ]
 
 let presolve_reduction s ~rows_dropped ~bounds_tightened ~fixed_vars =
-  if s.oc <> None then
+  if s.on then
     emit s "presolve_reduction"
       [
         ("rows_dropped", Json.Int rows_dropped);

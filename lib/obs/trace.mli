@@ -18,13 +18,33 @@ val null : sink
 (** The no-op sink: emits are dropped before any formatting work. *)
 
 val to_channel : out_channel -> sink
+(** A channel-backed sink. Events are formatted into an internal
+    buffer and written out in batches (every 64 events and on
+    {!close}), so per-event syscall pressure does not distort the hot
+    paths being traced. {!events_written} counts emits, not flushes,
+    and stays exact. *)
 
 val open_file : string -> sink
-(** Truncate/create the file and return a sink writing to it. *)
+(** Truncate/create the file and return a {!to_channel} sink on it. *)
+
+val custom :
+  ?close:(unit -> unit) ->
+  (float -> string -> (string * Json.t) list -> unit) ->
+  sink
+(** [custom f] is a sink delivering every event to [f ts ev fields]
+    ([ts] is seconds since the sink was created). Used for in-process
+    consumers such as {!Progress}; [close] runs on {!close}. *)
+
+val fanout : sink list -> sink
+(** Deliver every event to each live (enabled) child with one shared
+    timestamp, so e.g. a file sink and a progress reporter can watch
+    the same solve. Collapses to {!null} (no live children) or to the
+    single live child. Closing the fan-out closes every child; each
+    child's {!events_written} counts its own deliveries. *)
 
 val close : sink -> unit
-(** Flush, and close the underlying channel unless it is stdout or
-    stderr. The null sink is a no-op. *)
+(** Flush buffered events, and close the underlying channel unless it
+    is stdout or stderr. The null sink is a no-op. *)
 
 val enabled : sink -> bool
 

@@ -1,0 +1,157 @@
+type event =
+  | Span_open of { name : string; depth : int }
+  | Span_close of { name : string; depth : int; seconds : float }
+  | Bb_node of { solver : string; node : int; depth : int; bound : float option }
+  | Incumbent of { solver : string; node : int; objective : float }
+  | Bound_pruned of {
+      solver : string;
+      node : int;
+      bound : float option;
+      incumbent : float option;
+    }
+  | Warm_start of {
+      dual_feasible : bool;
+      iterations : int;
+      kernel : string;
+      outcome : string;
+    }
+  | Simplex_phase of { phase : int; iterations : int; outcome : string }
+  | Greedy_pick of { pick : int; gain : float; covered : float }
+  | Flow_augmentation of { amount : float; path_cost : float; routed : float }
+  | Presolve_reduction of {
+      rows_dropped : int;
+      bounds_tightened : int;
+      fixed_vars : int;
+    }
+  | Unknown of string
+
+type record = { ts : float; event : event }
+
+let event_name = function
+  | Span_open _ -> "span_open"
+  | Span_close _ -> "span_close"
+  | Bb_node _ -> "bb_node"
+  | Incumbent _ -> "incumbent"
+  | Bound_pruned _ -> "bound_pruned"
+  | Warm_start _ -> "warm_start"
+  | Simplex_phase _ -> "simplex_phase"
+  | Greedy_pick _ -> "greedy_pick"
+  | Flow_augmentation _ -> "flow_augmentation"
+  | Presolve_reduction _ -> "presolve_reduction"
+  | Unknown ev -> ev
+
+(* Option-monad decoding: a known event missing a required field (or
+   carrying it at the wrong type) degrades to [Unknown] rather than
+   failing the whole read, and extra fields are ignored — the
+   forward-compatibility contract that lets old analyzers read traces
+   from newer writers. A numeric field written as [null] (the writer's
+   rendering of nan/infinities) decodes as [None] where the event
+   models it as optional. *)
+let decode ~ev fields =
+  let ( let* ) = Option.bind in
+  let field k = List.assoc_opt k fields in
+  let str k = Option.bind (field k) Json.as_string in
+  let int k = Option.bind (field k) Json.as_int in
+  let num k = Option.bind (field k) Json.as_float in
+  let bool k = Option.bind (field k) Json.as_bool in
+  (* present-but-null (or absent) numeric fields *)
+  let opt_num k = num k in
+  let decoded =
+    match ev with
+    | "span_open" ->
+      let* name = str "name" in
+      let* depth = int "depth" in
+      Some (Span_open { name; depth })
+    | "span_close" ->
+      let* name = str "name" in
+      let* depth = int "depth" in
+      let* seconds = num "seconds" in
+      Some (Span_close { name; depth; seconds })
+    | "bb_node" ->
+      let* solver = str "solver" in
+      let* node = int "node" in
+      let* depth = int "depth" in
+      Some (Bb_node { solver; node; depth; bound = opt_num "bound" })
+    | "incumbent" ->
+      let* solver = str "solver" in
+      let* node = int "node" in
+      let* objective = num "objective" in
+      Some (Incumbent { solver; node; objective })
+    | "bound_pruned" ->
+      let* solver = str "solver" in
+      let* node = int "node" in
+      Some
+        (Bound_pruned
+           {
+             solver;
+             node;
+             bound = opt_num "bound";
+             incumbent = opt_num "incumbent";
+           })
+    | "warm_start" ->
+      let* dual_feasible = bool "dual_feasible" in
+      let* iterations = int "iterations" in
+      let* kernel = str "kernel" in
+      let* outcome = str "outcome" in
+      Some (Warm_start { dual_feasible; iterations; kernel; outcome })
+    | "simplex_phase" ->
+      let* phase = int "phase" in
+      let* iterations = int "iterations" in
+      let* outcome = str "outcome" in
+      Some (Simplex_phase { phase; iterations; outcome })
+    | "greedy_pick" ->
+      let* pick = int "pick" in
+      let* gain = num "gain" in
+      let* covered = num "covered" in
+      Some (Greedy_pick { pick; gain; covered })
+    | "flow_augmentation" ->
+      let* amount = num "amount" in
+      let* path_cost = num "path_cost" in
+      let* routed = num "routed" in
+      Some (Flow_augmentation { amount; path_cost; routed })
+    | "presolve_reduction" ->
+      let* rows_dropped = int "rows_dropped" in
+      let* bounds_tightened = int "bounds_tightened" in
+      let* fixed_vars = int "fixed_vars" in
+      Some (Presolve_reduction { rows_dropped; bounds_tightened; fixed_vars })
+    | _ -> None
+  in
+  match decoded with Some e -> e | None -> Unknown ev
+
+let of_json j =
+  match Json.member "ev" j with
+  | None -> None
+  | Some ev_field -> (
+    match Json.as_string ev_field with
+    | None -> None
+    | Some ev ->
+      let fields = Option.value (Json.as_obj j) ~default:[] in
+      let ts =
+        Option.value
+          (Option.bind (Json.member "ts" j) Json.as_float)
+          ~default:0.0
+      in
+      Some { ts; event = decode ~ev fields })
+
+type read = { records : record list; malformed : int; truncated : bool }
+
+let read_string s =
+  let results = Json.parse_lines s in
+  let last = List.length results - 1 in
+  let records = ref [] and malformed = ref 0 and truncated = ref false in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok j -> (
+        match of_json j with
+        | Some rec_ -> records := rec_ :: !records
+        | None -> incr malformed)
+      | Error _ ->
+        (* a malformed final line is a truncated write (the process
+           died mid-event), not a corrupt trace *)
+        if i = last then truncated := true else incr malformed)
+    results;
+  { records = List.rev !records; malformed = !malformed; truncated = !truncated }
+
+let read_file path =
+  read_string (In_channel.with_open_bin path In_channel.input_all)

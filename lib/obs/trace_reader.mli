@@ -1,0 +1,65 @@
+(** Typed reader for the JSONL traces {!Trace} writes.
+
+    Decodes the stable event taxonomy with a skip-unknown
+    forward-compatibility contract: an event name this reader does not
+    know — or a known event whose required fields are missing or
+    mistyped — decodes as {!Unknown} instead of failing the read, and
+    extra fields on known events are ignored. Numeric fields the
+    writer rendered as [null] (nan/infinities) decode as [None] where
+    the event models them as optional. *)
+
+type event =
+  | Span_open of { name : string; depth : int }
+  | Span_close of { name : string; depth : int; seconds : float }
+  | Bb_node of { solver : string; node : int; depth : int; bound : float option }
+  | Incumbent of { solver : string; node : int; objective : float }
+  | Bound_pruned of {
+      solver : string;
+      node : int;
+      bound : float option;
+      incumbent : float option;
+    }
+  | Warm_start of {
+      dual_feasible : bool;
+      iterations : int;
+      kernel : string;
+      outcome : string;
+    }
+  | Simplex_phase of { phase : int; iterations : int; outcome : string }
+  | Greedy_pick of { pick : int; gain : float; covered : float }
+  | Flow_augmentation of { amount : float; path_cost : float; routed : float }
+  | Presolve_reduction of {
+      rows_dropped : int;
+      bounds_tightened : int;
+      fixed_vars : int;
+    }
+  | Unknown of string  (** carries the unrecognized event name *)
+
+type record = { ts : float; event : event }
+(** [ts] is seconds since the writing sink was created (0. if the
+    field is absent). *)
+
+val event_name : event -> string
+
+val decode : ev:string -> (string * Json.t) list -> event
+(** Decode one event from its name and fields. Also usable by live
+    consumers fed through {!Trace.custom}, which see events as
+    name + fields without a JSON round-trip. *)
+
+val of_json : Json.t -> record option
+(** [None] when the value has no string ["ev"] field at all (not a
+    trace event); otherwise always produces a record, degrading to
+    {!Unknown} as described above. *)
+
+type read = {
+  records : record list;  (** decoded events, in file order *)
+  malformed : int;
+      (** lines that were not parseable trace events (excluding a
+          truncated final line) *)
+  truncated : bool;
+      (** the final line failed to parse — an interrupted write *)
+}
+
+val read_string : string -> read
+
+val read_file : string -> read

@@ -6,6 +6,7 @@ let () =
       ("lp.simplex_prop", Test_simplex_prop.suite);
       ("lp.mip", Test_mip.suite);
       ("obs", Test_obs.suite);
+      ("obs.reader", Test_obs_reader.suite);
       ("graph", Test_graph.suite);
       ("flow", Test_flow.suite);
       ("cover", Test_cover.suite);

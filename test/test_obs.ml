@@ -243,6 +243,51 @@ let test_span_depths_in_trace () =
   Alcotest.(check int) "inner close depth" 1 (depth_of "inner" "span_close");
   Alcotest.(check int) "outer close depth" 0 (depth_of "outer" "span_close")
 
+let test_span_unwind_two_levels () =
+  (* an exception thrown from a doubly-nested span unwinds through two
+     finish handlers; the depth counter must land back exactly where
+     each enclosing span left it, so a later sibling opens at the same
+     depth the failed subtree did and the outer close stays at 0 *)
+  let r = Metrics.create () in
+  let lines =
+    with_trace_file (fun sink ->
+        Span.run ~metrics:r ~sink "outer" (fun () ->
+            (match
+               Span.run ~metrics:r ~sink "mid" (fun () ->
+                   Span.run ~metrics:r ~sink "deep" (fun () -> failwith "boom"))
+             with
+            | exception Failure _ -> ()
+            | _ -> Alcotest.fail "exception swallowed");
+            Span.run ~metrics:r ~sink "sibling" (fun () -> ())))
+  in
+  let events = List.map parse_json lines in
+  let depth_of name ev =
+    match
+      List.find_opt
+        (fun fields ->
+          List.assoc_opt "ev" fields = Some ("\"" ^ ev ^ "\"")
+          && List.assoc_opt "name" fields = Some ("\"" ^ name ^ "\""))
+        events
+    with
+    | Some fields -> int_of_string (List.assoc "depth" fields)
+    | None -> Alcotest.fail (ev ^ " for " ^ name ^ " not emitted")
+  in
+  Alcotest.(check int) "deep open depth" 2 (depth_of "deep" "span_open");
+  Alcotest.(check int) "deep close depth" 2 (depth_of "deep" "span_close");
+  Alcotest.(check int) "mid close depth" 1 (depth_of "mid" "span_close");
+  Alcotest.(check int) "sibling opens where mid did" 1
+    (depth_of "sibling" "span_open");
+  Alcotest.(check int) "outer close depth" 0 (depth_of "outer" "span_close");
+  (* every span, including the two that unwound, landed in its histogram *)
+  let snap = Metrics.snapshot r in
+  List.iter
+    (fun name ->
+      match Metrics.find snap ("span." ^ name) with
+      | Some (Metrics.Histogram_value { count; _ }) ->
+        Alcotest.(check int) (name ^ " observed") 1 count
+      | _ -> Alcotest.fail ("span." ^ name ^ " missing"))
+    [ "outer"; "mid"; "deep"; "sibling" ]
+
 let test_span_closes_on_raise () =
   let r = Metrics.create () in
   (match Span.run ~metrics:r ~sink:Trace.null "boom" (fun () -> failwith "x") with
@@ -361,6 +406,8 @@ let suite =
     Alcotest.test_case "nested span monotonicity" `Quick test_nested_spans;
     Alcotest.test_case "span depths in trace" `Quick test_span_depths_in_trace;
     Alcotest.test_case "span closes on raise" `Quick test_span_closes_on_raise;
+    Alcotest.test_case "span depth survives two-level unwind" `Quick
+      test_span_unwind_two_levels;
     Alcotest.test_case "json escaping" `Quick test_json_escaping;
     Alcotest.test_case "trace lines parse" `Quick test_trace_lines_parse;
     Alcotest.test_case "null sink emits nothing" `Quick
