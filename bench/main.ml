@@ -722,6 +722,13 @@ let report_doc ~total_seconds phases =
     [
       ("schema", Json.String "monpos-bench/1");
       ("mode", Json.String (if full_mode then "full" else "default"));
+      (* a chaotic run's numbers are fault-schedule artifacts (injected
+         singular pivots, degraded ladder rungs); recording the seed
+         lets --check tolerate-but-report instead of gating on them *)
+      ( "chaos_seed",
+        match Monpos_resilience.Chaos.seed () with
+        | Some s -> Json.Int s
+        | None -> Json.Null );
       ("generated_at_unix", Json.Float (Clock.now ()));
       ("total_seconds", Json.Float total_seconds);
       ("phases", Json.List phases);

@@ -20,7 +20,9 @@ module Sampling = Monpos.Sampling
 module Mecf = Monpos.Mecf
 module Active = Monpos.Active
 module Scenario = Monpos.Scenario
+module Resilient = Monpos.Resilient
 module Pop = Monpos_topo.Pop
+module Topo_file = Monpos_topo.Topo_file
 module Graph = Monpos_graph.Graph
 module Table = Monpos_util.Table
 module Prng = Monpos_util.Prng
@@ -28,7 +30,28 @@ module Obs_trace = Monpos_obs.Trace
 module Obs_metrics = Monpos_obs.Metrics
 module Mip = Monpos_lp.Mip
 module Simplex = Monpos_lp.Simplex
+module Rerror = Monpos_resilience.Error
 open Cmdliner
+
+(* Exit codes (also in the man pages): 2 bad input, 3 degraded result,
+   4 numerical/internal failure — see Monpos_resilience.Error.exit_code. *)
+let exits =
+  Cmd.Exit.info 2
+    ~doc:
+      "on bad input: an unparsable topology/demand file, an unknown \
+       method or sample name, or an infeasible coverage target."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "on a degraded result: a wall-clock deadline expired and the \
+          degradation ladder answered from a rung below proven \
+          optimality (the placement printed is still feasible)."
+  :: Cmd.Exit.info 4 ~doc:"on a numerical failure or internal error."
+  :: Cmd.Exit.defaults
+
+(* Command-line mistakes share the parse-error taxonomy (and its exit
+   code 2); the pseudo-file names the argument. *)
+let bad_input msg =
+  raise (Rerror.Error (Rerror.Parse_error { file = "<args>"; line = 0; msg }))
 
 (* ------------------------------------------------------------------ *)
 (* observability flags, shared by every subcommand                     *)
@@ -85,7 +108,15 @@ let with_obs obs f =
       Obs_trace.close sink)
     (fun () ->
       Obs_trace.set_current sink;
-      let r = f () in
+      (* the typed-error boundary: any Monpos_resilience.Error that
+         escapes a command becomes a one-line message and a documented
+         exit code instead of a backtrace *)
+      let r =
+        try f ()
+        with Rerror.Error e ->
+          Format.eprintf "monitorctl: %s@." (Rerror.to_string e);
+          Rerror.exit_code e
+      in
       (match obs.trace with
       | Some path ->
         Format.printf "trace: %d event(s) written to %s@."
@@ -126,15 +157,43 @@ let solver_term =
     in
     Arg.(value & flag & info [ "dense-kernel" ] ~doc)
   in
-  let make cold no_presolve dense (base : Mip.options) =
+  let time_limit_arg =
+    let doc =
+      "Wall-clock budget in seconds for the MIP search. This is a real \
+       bound — the deadline is polled inside every node LP — and on \
+       expiry the degradation ladder answers from a cheaper rung (exit \
+       code 3) unless $(b,--strict) is set."
+    in
+    Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"SECS" ~doc)
+  in
+  let make cold no_presolve dense time_limit (base : Mip.options) =
     {
       base with
       Mip.warm_start = not cold;
       presolve = not no_presolve;
       kernel = (if dense then Simplex.Dense else Simplex.Sparse_lu);
+      time_limit = Option.value time_limit ~default:base.Mip.time_limit;
     }
   in
-  Term.(const make $ cold_arg $ no_presolve_arg $ dense_kernel_arg)
+  Term.(
+    const make $ cold_arg $ no_presolve_arg $ dense_kernel_arg $ time_limit_arg)
+
+let strict_arg =
+  let doc =
+    "Fail (with a typed error and exit code 2/3/4) instead of degrading: \
+     the MIP-backed methods normally run through the resilience ladder \
+     and fall back to LP rounding or the greedy cover on deadline or \
+     numerical trouble; $(b,--strict) demands the first rung's answer \
+     or nothing."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+(* Print how a ladder solve went and turn its outcome into (value,
+   exit code): a degraded answer is still printed but exits 3 so
+   scripts can tell a proven optimum from a best effort. *)
+let report_outcome name (o : 'a Resilient.outcome) =
+  Format.printf "%s resilience: %a@." name Resilient.pp_outcome o;
+  (o.Resilient.value, if Resilient.degraded o then 3 else 0)
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments                                                    *)
@@ -169,13 +228,43 @@ let sample_arg =
   in
   Arg.(value & opt (some string) None & info [ "sample" ] ~doc)
 
-let load_pop preset seed = function
-  | Some name -> Monpos_topo.Topo_file.load_sample name
-  | None -> Pop.make_preset preset ~seed
+let topo_arg =
+  let doc =
+    "Load the topology from $(docv) (the node/link format of \
+     Topo_file) instead of a generated preset. Parse errors name the \
+     file, line and offending token, and exit 2."
+  in
+  Arg.(value & opt (some string) None & info [ "topo" ] ~docv:"FILE" ~doc)
 
-let load_instance ?sample preset seed =
-  let pop = load_pop preset seed sample in
-  (pop, Instance.of_pop pop ~seed:(seed * 131))
+let demands_arg =
+  let doc =
+    "Load the traffic matrix from $(docv) (one $(b,demand <src> <dst> \
+     <volume>) per line, routed on shortest paths) instead of \
+     generating one. Parse errors name the file, line and offending \
+     token, and exit 2."
+  in
+  Arg.(value & opt (some string) None & info [ "demands" ] ~docv:"FILE" ~doc)
+
+let ok_or_raise = function Ok v -> v | Error e -> raise (Rerror.Error e)
+
+let load_pop preset seed ~topo ~sample =
+  match (topo, sample) with
+  | Some path, _ -> ok_or_raise (Topo_file.parse_file path)
+  | None, Some name ->
+    if not (List.mem_assoc name Topo_file.samples) then
+      bad_input
+        (Printf.sprintf "unknown sample %S (backbone-11|metro-7)" name);
+    Topo_file.load_sample name
+  | None, None -> Pop.make_preset preset ~seed
+
+let load_instance ?sample ?topo ?demands preset seed =
+  let pop = load_pop preset seed ~topo ~sample in
+  let inst =
+    match demands with
+    | Some path -> ok_or_raise (Instance.load_demands pop path)
+    | None -> Instance.of_pop pop ~seed:(seed * 131)
+  in
+  (pop, inst)
 
 (* ------------------------------------------------------------------ *)
 (* topology                                                            *)
@@ -185,9 +274,9 @@ let topology_cmd =
     let doc = "Write a Graphviz rendering (loads as edge thickness)." in
     Arg.(value & opt (some string) None & info [ "dot" ] ~doc)
   in
-  let run obs preset seed sample dot =
+  let run obs preset seed sample topo demands dot =
     with_obs obs @@ fun () ->
-    let pop, inst = load_instance ?sample preset seed in
+    let pop, inst = load_instance ?sample ?topo ?demands preset seed in
     Format.printf "%s (seed %d): %a@." pop.Pop.name seed Instance.pp_summary inst;
     Format.printf "routers: %d (backbone+access), endpoints: %d@."
       (Pop.num_routers pop)
@@ -202,10 +291,12 @@ let topology_cmd =
       Format.printf "dot written to %s@." path);
     0
   in
-  let doc = "Generate a POP topology + traffic matrix and summarize it." in
+  let doc = "Generate or load a POP topology + traffic matrix and summarize it." in
   Cmd.v
-    (Cmd.info "topology" ~doc)
-    Term.(const run $ obs_term $ preset_arg $ seed_arg $ sample_arg $ dot_arg)
+    (Cmd.info "topology" ~doc ~exits)
+    Term.(
+      const run $ obs_term $ preset_arg $ seed_arg $ sample_arg $ topo_arg
+      $ demands_arg $ dot_arg)
 
 (* ------------------------------------------------------------------ *)
 (* passive                                                             *)
@@ -230,27 +321,41 @@ let passive_cmd =
     let doc = "Write a Graphviz rendering with monitored links highlighted." in
     Arg.(value & opt (some string) None & info [ "dot" ] ~doc)
   in
-  let run obs tune preset seed sample k method_ budget installed dot =
+  let run obs tune strict preset seed sample topo demands k method_ budget
+      installed dot =
     with_obs obs @@ fun () ->
-    let _, inst = load_instance ?sample preset seed in
+    let _, inst = load_instance ?sample ?topo ?demands preset seed in
     let options = tune Mip.default_options in
     let parse_edges s =
-      List.map int_of_string (String.split_on_char ',' s)
+      List.map
+        (fun w ->
+          match int_of_string_opt w with
+          | Some e -> e
+          | None -> bad_input (Printf.sprintf "bad link id %S in --installed" w))
+        (String.split_on_char ',' s)
     in
-    let sol =
+    let ladder formulation =
+      if strict then (Passive.solve_mip ~k ~formulation ~options inst, 0)
+      else report_outcome "ppm" (Resilient.solve_ppm ~k ~formulation ~options inst)
+    in
+    let sol, code =
       match (budget, installed) with
-      | Some b, _ -> Passive.budgeted ~budget:b inst
+      | Some b, _ -> (Passive.budgeted ~budget:b inst, 0)
       | None, Some links ->
-        Passive.incremental ~k ~installed:(parse_edges links) inst
+        (Passive.incremental ~k ~installed:(parse_edges links) inst, 0)
       | None, None -> (
         match method_ with
-        | "greedy" -> Passive.greedy ~k inst
-        | "static" -> Passive.greedy_static ~k inst
-        | "exact" -> Passive.solve_exact ~k inst
-        | "mip-lp1" -> Passive.solve_mip ~k ~formulation:`Lp1 ~options inst
-        | "mip-lp2" -> Passive.solve_mip ~k ~formulation:`Lp2 ~options inst
-        | "mecf" -> Mecf.solve_mip ~k ~options inst
-        | other -> failwith (Printf.sprintf "unknown method %S" other))
+        | "greedy" -> (Passive.greedy ~k inst, 0)
+        | "static" -> (Passive.greedy_static ~k inst, 0)
+        | "exact" -> (Passive.solve_exact ~k inst, 0)
+        | "mip-lp1" -> ladder `Lp1
+        | "mip-lp2" -> ladder `Lp2
+        | "mecf" -> (Mecf.solve_mip ~k ~options inst, 0)
+        | other ->
+          bad_input
+            (Printf.sprintf
+               "unknown method %S (greedy|static|exact|mip-lp1|mip-lp2|mecf)"
+               other))
     in
     Format.printf "%a@." Passive.pp sol;
     print_string (Monpos.Report.passive_table inst sol);
@@ -260,14 +365,15 @@ let passive_cmd =
       Out_channel.with_open_text path (fun oc ->
           output_string oc (Monpos.Report.passive_dot inst sol));
       Format.printf "dot written to %s@." path);
-    0
+    code
   in
   let doc = "Place passive monitoring taps (PPM(k), §4)." in
   Cmd.v
-    (Cmd.info "passive" ~doc)
+    (Cmd.info "passive" ~doc ~exits)
     Term.(
-      const run $ obs_term $ solver_term $ preset_arg $ seed_arg $ sample_arg
-      $ coverage_arg $ method_arg $ budget_arg $ installed_arg $ dot_arg)
+      const run $ obs_term $ solver_term $ strict_arg $ preset_arg $ seed_arg
+      $ sample_arg $ topo_arg $ demands_arg $ coverage_arg $ method_arg
+      $ budget_arg $ installed_arg $ dot_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sampling                                                            *)
@@ -281,7 +387,7 @@ let sampling_cmd =
     let doc = "Scale exploitation cost with link load (default uniform)." in
     Arg.(value & flag & info [ "load-scaled" ] ~doc)
   in
-  let run obs tune preset seed k install_cost scaled =
+  let run obs tune strict preset seed k install_cost scaled =
     with_obs obs @@ fun () ->
     let _, inst = load_instance preset seed in
     let costs =
@@ -289,7 +395,11 @@ let sampling_cmd =
       else Sampling.uniform_costs ~install:install_cost ()
     in
     let pb = Sampling.make_problem ~k ~costs inst in
-    let sol = Sampling.solve_milp ~options:(tune Sampling.default_milp_options) pb in
+    let options = tune Sampling.default_milp_options in
+    let sol, code =
+      if strict then (Sampling.solve_milp ~options pb, 0)
+      else report_outcome "ppme" (Resilient.solve_ppme ~options pb)
+    in
     Format.printf "%a@." Sampling.pp sol;
     List.iter
       (fun e ->
@@ -297,14 +407,14 @@ let sampling_cmd =
           (Graph.edge_name inst.Instance.graph e)
           sol.Sampling.rates.(e))
       sol.Sampling.installed;
-    0
+    code
   in
   let doc = "Place sampling devices and choose rates (PPME(h,k), §5)." in
   Cmd.v
-    (Cmd.info "sampling" ~doc)
+    (Cmd.info "sampling" ~doc ~exits)
     Term.(
-      const run $ obs_term $ solver_term $ preset_arg $ seed_arg $ coverage_arg
-      $ install_cost_arg $ scaled_arg)
+      const run $ obs_term $ solver_term $ strict_arg $ preset_arg $ seed_arg
+      $ coverage_arg $ install_cost_arg $ scaled_arg)
 
 (* ------------------------------------------------------------------ *)
 (* active                                                              *)
@@ -318,7 +428,7 @@ let active_cmd =
     let doc = "Placement: thiran, greedy or ilp." in
     Arg.(value & opt string "ilp" & info [ "method"; "m" ] ~doc)
   in
-  let run obs tune preset seed vb method_ =
+  let run obs tune strict preset seed vb method_ =
     with_obs obs @@ fun () ->
     let pop = Pop.make_preset preset ~seed in
     let routers = Array.of_list (Pop.routers pop) in
@@ -338,12 +448,19 @@ let active_cmd =
       0
     end
     else begin
-      let placement =
+      let placement, code =
         match method_ with
-        | "thiran" -> Active.place_thiran probes ~candidates
-        | "greedy" -> Active.place_greedy probes ~candidates
-        | "ilp" -> Active.place_ilp ~options:(tune Mip.default_options) probes ~candidates
-        | other -> failwith (Printf.sprintf "unknown method %S" other)
+        | "thiran" -> (Active.place_thiran probes ~candidates, 0)
+        | "greedy" -> (Active.place_greedy probes ~candidates, 0)
+        | "ilp" ->
+          let options = tune Mip.default_options in
+          if strict then (Active.place_ilp ~options probes ~candidates, 0)
+          else
+            report_outcome "beacons"
+              (Resilient.place_beacons ~options probes ~candidates)
+        | other ->
+          bad_input
+            (Printf.sprintf "unknown method %S (thiran|greedy|ilp)" other)
       in
       Format.printf "%s places %d beacon(s):%s@." placement.Active.method_name
         (List.length placement.Active.beacons)
@@ -353,15 +470,15 @@ let active_cmd =
               placement.Active.beacons));
       Format.printf "placement valid: %b@."
         (Active.validate probes ~beacons:placement.Active.beacons ~candidates);
-      0
+      code
     end
   in
   let doc = "Compute probes and place active beacons (§6)." in
   Cmd.v
-    (Cmd.info "active" ~doc)
+    (Cmd.info "active" ~doc ~exits)
     Term.(
-      const run $ obs_term $ solver_term $ preset_arg $ seed_arg $ vb_arg
-      $ method_arg)
+      const run $ obs_term $ solver_term $ strict_arg $ preset_arg $ seed_arg
+      $ vb_arg $ method_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dynamic                                                             *)
@@ -398,7 +515,7 @@ let dynamic_cmd =
   in
   let doc = "Simulate traffic drift with PPME* re-optimizations (§5.4)." in
   Cmd.v
-    (Cmd.info "dynamic" ~doc)
+    (Cmd.info "dynamic" ~doc ~exits)
     Term.(
       const run $ obs_term $ preset_arg $ seed_arg $ coverage_arg $ steps_arg
       $ sigma_arg $ threshold_arg)
@@ -431,7 +548,7 @@ let campaign_cmd =
   in
   let doc = "Re-route traffic to maximize monitorability (§7 extension)." in
   Cmd.v
-    (Cmd.info "campaign" ~doc)
+    (Cmd.info "campaign" ~doc ~exits)
     Term.(const run $ obs_term $ preset_arg $ seed_arg $ budget_arg $ kpaths_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -485,11 +602,14 @@ let sweep_cmd =
                Table.float_cell ~decimals:1 p.Scenario.ilp_beacons;
              ])
            points)
-    | other -> failwith (Printf.sprintf "unknown figure %S" other));
+    | other ->
+      bad_input
+        (Printf.sprintf "unknown figure %S (fig7|fig8|fig9|fig10|fig11)" other));
     0
   in
   let doc = "Regenerate a paper figure's data series." in
-  Cmd.v (Cmd.info "sweep" ~doc)
+  Cmd.v
+    (Cmd.info "sweep" ~doc ~exits)
     Term.(const run $ obs_term $ figure_arg $ seeds_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -511,7 +631,9 @@ let analyze_cmd =
   let converge_arg =
     let doc =
       "Report branch-and-bound convergence (incumbent/bound trajectory, \
-       gap, prune rate, warm-start outcomes) per solver."
+       gap, prune rate, warm-start outcomes) per solver, plus the run's \
+       resilience events: deadline hits, degradation-ladder descents \
+       and recoveries, chaos injections."
     in
     Arg.(value & flag & info [ "converge" ] ~doc)
   in

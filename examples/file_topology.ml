@@ -22,8 +22,9 @@ let () =
       match Topo_file.parse_file path with
       | Ok pop -> pop
       | Error e ->
-        prerr_endline ("cannot load topology: " ^ e);
-        exit 1)
+        prerr_endline
+          ("cannot load topology: " ^ Monpos_resilience.Error.to_string e);
+        exit (Monpos_resilience.Error.exit_code e))
     | _ ->
       Format.printf "(no file given; using the embedded sample \"backbone-11\")@.";
       Topo_file.load_sample "backbone-11"

@@ -187,7 +187,9 @@ let place_greedy probes ~candidates =
             incr ncovered
           end)
         (probes_covering probes c)
-    | _ -> failwith "Active.place_greedy: some probe has no candidate extremity"
+    | _ ->
+      Monpos_resilience.Error.infeasible
+        "Active.place_greedy: some probe has no candidate extremity"
   done;
   mk_placement ~optimal:false ~method_name:"greedy" !beacons
 
@@ -207,7 +209,8 @@ let place_ilp ?options probes ~candidates =
           (List.sort_uniq compare [ p.endpoint_a; p.endpoint_b ])
       in
       if terms = [] then
-        failwith "Active.place_ilp: probe with no candidate extremity"
+        Monpos_resilience.Error.infeasible
+          "Active.place_ilp: probe with no candidate extremity"
       else Model.add_constr m terms Model.Ge 1.0)
     probes;
   let r = Mip.solve ?options m in
@@ -220,7 +223,7 @@ let place_ilp ?options probes ~candidates =
     in
     mk_placement ~optimal:(r.Mip.status = Mip.Optimal) ~method_name:"ilp" beacons
   | Mip.Optimal, None | Mip.Feasible, None -> assert false
-  | _ -> failwith "Active.place_ilp: solver failed"
+  | _ -> Mip.fail ?options ~stage:"Active.place_ilp" r
 
 type traffic_overhead = {
   messages : int;

@@ -239,4 +239,4 @@ let joint_placement ?k_paths ?(coverage = 1.0) ?(options = default_joint_options
         coverage_before = Instance.coverage_fraction inst monitors;
         coverage_after = Instance.coverage_fraction inst' monitors;
       } )
-  | _ -> failwith "Campaign.joint_placement: no solution found"
+  | _ -> Mip.fail ?options ~stage:"Campaign.joint_placement" r

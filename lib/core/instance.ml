@@ -2,6 +2,8 @@ module Graph = Monpos_graph.Graph
 module Paths = Monpos_graph.Paths
 module Traffic = Monpos_traffic.Traffic
 module Cover = Monpos_cover.Cover
+module Error = Monpos_resilience.Error
+module Chaos = Monpos_resilience.Chaos
 
 type traffic = { t_edges : Graph.edge list; t_volume : float; t_demand : int }
 
@@ -102,6 +104,88 @@ let cover_view t =
     paths
 
 let replace_demands t demands = make t.graph demands
+
+(* Demand files: the traffic-matrix half of the Rocketfuel workflow.
+   One directive per line, [#] starts a comment:
+     demand <src> <dst> <volume>
+   Names refer to the POP's node labels; each demand is routed on the
+   shortest (hop-count) path, matching the single-route traffics of
+   the §4 formulations. *)
+let parse_demands ?(file = "<string>") pop text =
+  let g = pop.Monpos_topo.Pop.graph in
+  let ids = Hashtbl.create 32 in
+  for v = 0 to Graph.num_nodes g - 1 do
+    Hashtbl.replace ids (Graph.label g v) v
+  done;
+  let demands = ref [] in
+  let error = ref None in
+  let fail lineno msg =
+    if !error = None then
+      error := Some (Error.Parse_error { file; line = lineno; msg })
+  in
+  let node lineno n =
+    match Hashtbl.find_opt ids n with
+    | Some v -> Some v
+    | None ->
+      fail lineno (Printf.sprintf "unknown node %S" n);
+      None
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> ()
+      | [ "demand"; a; b; vol ] -> (
+        match (node lineno a, node lineno b) with
+        | Some u, Some v -> (
+          if u = v then fail lineno (Printf.sprintf "self-demand %S" a)
+          else
+            match float_of_string_opt vol with
+            | None -> fail lineno (Printf.sprintf "bad volume %S" vol)
+            | Some volume when volume < 0.0 || not (Float.is_finite volume) ->
+              fail lineno (Printf.sprintf "bad volume %S" vol)
+            | Some volume -> (
+              match Paths.shortest_path g ~weight:(fun _ -> 1.0) u v with
+              | None ->
+                fail lineno
+                  (Printf.sprintf "no route between %S and %S" a b)
+              | Some path ->
+                demands :=
+                  {
+                    Traffic.src = u;
+                    dst = v;
+                    volume;
+                    routes = [ { Traffic.path; volume } ];
+                  }
+                  :: !demands))
+        | _ -> ())
+      | w :: _ -> fail lineno (Printf.sprintf "unknown directive %S" w))
+    lines;
+  match !error with
+  | Some e -> Result.Error e
+  | None -> Ok (make g (Array.of_list (List.rev !demands)))
+
+let load_demands pop path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e ->
+    Result.Error (Error.Parse_error { file = path; line = 0; msg = e })
+  | contents ->
+    let contents =
+      if Chaos.fire ~site:"parse.truncate" ~p:0.2 () then
+        String.sub contents 0 (Chaos.draw ~site:"parse.truncate" (String.length contents))
+      else contents
+    in
+    parse_demands ~file:path pop contents
 
 let pp_summary ppf t =
   Format.fprintf ppf "%d nodes, %d links, %d traffics, volume %.1f"

@@ -57,5 +57,25 @@ val replace_demands : t -> Monpos_traffic.Traffic.matrix -> t
 (** Rebuild the instance around a new matrix on the same graph (used
     by the §5.4 dynamic-traffic loop). *)
 
+val parse_demands :
+  ?file:string ->
+  Monpos_topo.Pop.t ->
+  string ->
+  (t, Monpos_resilience.Error.t) result
+(** Parse a demand file against a topology. One directive per line
+    ([#] starts a comment):
+    {v demand <src> <dst> <volume> v}
+    Names refer to the POP's node labels; each demand is routed on its
+    shortest hop-count path. Errors are located
+    [Parse_error {file; line; msg}] values naming the offending token
+    (unknown node, bad volume, self-demand, disconnected pair,
+    unknown directive); [file] defaults to ["<string>"]. *)
+
+val load_demands :
+  Monpos_topo.Pop.t -> string -> (t, Monpos_resilience.Error.t) result
+(** {!parse_demands} on a file's contents with [~file:path]; IO errors
+    become [Parse_error] with line 0. Under [MONPOS_CHAOS] the
+    ["parse.truncate"] site may feed the parser a truncated read. *)
+
 val pp_summary : Format.formatter -> t -> unit
 (** One-line summary: nodes/links/traffics/volume. *)

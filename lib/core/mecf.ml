@@ -129,7 +129,7 @@ let solve_mip ?(k = 1.0) ?options inst =
       optimal = r.Mip.status = Mip.Optimal;
       method_name = "mecf-mip";
     }
-  | _ -> failwith "Mecf.solve_mip: no solution found"
+  | _ -> Mip.fail ?options ~stage:"Mecf.solve_mip" r
 
 let flow_heuristic ?(k = 1.0) inst =
   Span.run "mecf.flow_heuristic" @@ fun () ->
@@ -164,7 +164,8 @@ let flow_heuristic ?(k = 1.0) inst =
   Mincost.set_supply net l.sink (-.request);
   (match Mincost.solve net with
   | Mincost.Optimal -> ()
-  | Mincost.Infeasible -> failwith "Mecf.flow_heuristic: request unreachable");
+  | Mincost.Infeasible ->
+    Monpos_resilience.Error.infeasible "Mecf.flow_heuristic: request unreachable");
   let selected =
     List.filter
       (fun e -> Mincost.flow net (Hashtbl.find s_arc e) > 1e-9)

@@ -4,6 +4,8 @@ module Model = Monpos_lp.Model
 module Mip = Monpos_lp.Mip
 module Simplex = Monpos_lp.Simplex
 module Span = Monpos_obs.Span
+module Error = Monpos_resilience.Error
+module Deadline = Monpos_resilience.Deadline
 
 type solution = {
   monitors : Graph.edge list;
@@ -55,7 +57,7 @@ let greedy_static ?(k = 1.0) inst =
   let rec go acc = function
     | [] ->
       if !covered_w >= target -. 1e-9 then acc
-      else failwith "Passive.greedy_static: target unreachable"
+      else Error.infeasible "Passive.greedy_static: target unreachable"
     | e :: rest ->
       if !covered_w >= target -. 1e-9 then acc
       else begin
@@ -214,27 +216,48 @@ let solve_mip ?(k = 1.0) ?(formulation = `Lp2) ?options inst =
     mk_solution inst
       ~optimal:(r.Mip.status = Mip.Optimal)
       ~method_name:name (extract_monitors xvar x)
-  | _ -> failwith "Passive.solve_mip: no solution found"
+  | _ -> Mip.fail ?options ~stage:"Passive.solve_mip" r
 
-let lp_bound ?(k = 1.0) ?kernel inst =
+let lp_bound ?(k = 1.0) ?kernel ?deadline inst =
   Span.run "passive.lp_bound" @@ fun () ->
+  (* check before building: constructing LP2 for a large instance is
+     itself a visible fraction of a small budget *)
+  Option.iter (Deadline.check ~phase:"Passive.lp_bound") deadline;
   let m, _ = build_lp2 ~k ~maximize_coverage:false inst in
   let options =
     match kernel with
     | None -> None
     | Some kernel -> Some { Simplex.default_options with Simplex.kernel }
   in
-  let sol = Simplex.solve_model ?options m in
+  let sol = Simplex.solve_model ?options ?deadline m in
   match sol.Simplex.status with
   | Simplex.Optimal -> sol.Simplex.objective
-  | _ -> failwith "Passive.lp_bound: relaxation not solved"
+  | Simplex.Infeasible ->
+    Error.infeasible "Passive.lp_bound: no fractional placement reaches k"
+  | Simplex.Deadline_reached ->
+    Error.deadline_exceeded ~phase:"Passive.lp_bound"
+      ~elapsed:
+        (match deadline with None -> 0.0 | Some d -> Deadline.elapsed d)
+  | _ ->
+    Error.numerical ~stage:"passive.lp_bound" ~detail:"relaxation not solved"
 
-let randomized_rounding ?(k = 1.0) ?(trials = 32) ?(seed = 1) inst =
+let randomized_rounding ?(k = 1.0) ?(trials = 32) ?(seed = 1) ?deadline inst =
   Span.run "passive.randomized_rounding" @@ fun () ->
+  Option.iter (Deadline.check ~phase:"Passive.randomized_rounding") deadline;
   let m, xvar = build_lp2 ~k ~maximize_coverage:false inst in
-  let sol = Simplex.solve_model m in
-  if sol.Simplex.status <> Simplex.Optimal then
-    failwith "Passive.randomized_rounding: relaxation not solved";
+  let sol = Simplex.solve_model ?deadline m in
+  (match sol.Simplex.status with
+  | Simplex.Optimal -> ()
+  | Simplex.Infeasible ->
+    Error.infeasible
+      "Passive.randomized_rounding: no fractional placement reaches k"
+  | Simplex.Deadline_reached ->
+    Error.deadline_exceeded ~phase:"Passive.randomized_rounding"
+      ~elapsed:
+        (match deadline with None -> 0.0 | Some d -> Deadline.elapsed d)
+  | _ ->
+    Error.numerical ~stage:"passive.randomized_rounding"
+      ~detail:"relaxation not solved");
   let fractional =
     Hashtbl.fold
       (fun e v acc -> (e, sol.Simplex.primal.(Model.var_index v)) :: acc)
@@ -255,9 +278,16 @@ let randomized_rounding ?(k = 1.0) ?(trials = 32) ?(seed = 1) inst =
     !keep
   in
   let best = ref None in
-  for _ = 1 to trials do
-    (* escalate the inclusion scale until the sample is feasible *)
-    let rec attempt alpha =
+  let out_of_time () =
+    match deadline with None -> false | Some d -> Deadline.expired d
+  in
+  (try
+     for _ = 1 to trials do
+       (* a sampled-and-pruned placement is already an answer, so on
+          expiry keep the best trial so far instead of failing *)
+       if out_of_time () then raise Exit;
+       (* escalate the inclusion scale until the sample is feasible *)
+       let rec attempt alpha =
       if alpha > 64.0 then List.map fst fractional
       else begin
         let chosen =
@@ -269,14 +299,20 @@ let randomized_rounding ?(k = 1.0) ?(trials = 32) ?(seed = 1) inst =
             fractional
         in
         if Instance.coverage inst chosen >= target -. 1e-9 then chosen
-        else attempt (alpha *. 1.6)
-      end
-    in
-    let chosen = prune (attempt 1.0) in
-    match !best with
-    | Some b when List.length b <= List.length chosen -> ()
-    | _ -> best := Some chosen
-  done;
+         else attempt (alpha *. 1.6)
+       end
+       in
+       let chosen = prune (attempt 1.0) in
+       match !best with
+       | Some b when List.length b <= List.length chosen -> ()
+       | _ -> best := Some chosen
+     done
+   with Exit -> ());
+  (match (!best, deadline) with
+  | None, Some d ->
+    Error.deadline_exceeded ~phase:"Passive.randomized_rounding"
+      ~elapsed:(Deadline.elapsed d)
+  | _ -> ());
   mk_solution inst ~optimal:false ~method_name:"randomized-rounding"
     (Option.get !best)
 
@@ -301,7 +337,7 @@ let incremental ?(k = 1.0) ?options ~installed inst =
         (if inst.Instance.total_volume <= 0.0 then 1.0
          else covered /. inst.Instance.total_volume);
     }
-  | _ -> failwith "Passive.incremental: no solution found"
+  | _ -> Mip.fail ?options ~stage:"Passive.incremental" r
 
 let budgeted ~budget ?options inst =
   Span.run "passive.budgeted" @@ fun () ->
@@ -314,7 +350,7 @@ let budgeted ~budget ?options inst =
     mk_solution inst
       ~optimal:(r.Mip.status = Mip.Optimal)
       ~method_name:"budgeted" (extract_monitors xvar x)
-  | _ -> failwith "Passive.budgeted: no solution found"
+  | _ -> Mip.fail ?options ~stage:"Passive.budgeted" r
 
 let marginal_gains ?(max_budget = 8) ?options inst =
   let limit = min max_budget (List.length (used_edges inst)) in

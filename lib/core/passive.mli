@@ -63,21 +63,35 @@ val solve_mip :
     with [δ_t]. Raises [Failure] when the MIP solver stops without an
     incumbent. *)
 
-val lp_bound : ?k:float -> ?kernel:Monpos_lp.Simplex.kernel -> Instance.t -> float
+val lp_bound :
+  ?k:float ->
+  ?kernel:Monpos_lp.Simplex.kernel ->
+  ?deadline:Monpos_resilience.Deadline.t ->
+  Instance.t ->
+  float
 (** Optimal value of the LP relaxation of Linear program 2: a valid
     lower bound on the minimum device count. [kernel] overrides the
     simplex linear-algebra kernel (default {!Monpos_lp.Simplex.Sparse_lu});
-    the kernel-comparison bench passes [Dense] here. *)
+    the kernel-comparison bench passes [Dense] here. [deadline] is
+    polled inside the simplex; on expiry raises a typed
+    [Deadline_exceeded]. *)
 
 val randomized_rounding :
-  ?k:float -> ?trials:int -> ?seed:int -> Instance.t -> solution
+  ?k:float ->
+  ?trials:int ->
+  ?seed:int ->
+  ?deadline:Monpos_resilience.Deadline.t ->
+  Instance.t ->
+  solution
 (** The flow-based heuristic suggested by §4.3's MECF discussion
     ("randomized rounding or branching algorithms"): solve the LP
     relaxation of Linear program 2, then sample placements by keeping
     each link with probability scaled from its fractional value
     (escalating the scale until feasible), prune redundant picks, and
     return the best of [trials] samples (default 32). Deterministic
-    for a fixed [seed]. *)
+    for a fixed [seed]. [deadline] is polled inside the LP solve (a
+    typed [Deadline_exceeded] if it expires there) and between trials
+    (the best sample so far is returned). *)
 
 val incremental :
   ?k:float ->

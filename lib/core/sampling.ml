@@ -4,6 +4,14 @@ module Mip = Monpos_lp.Mip
 module Simplex = Monpos_lp.Simplex
 module Mincost = Monpos_flow.Mincost
 module Span = Monpos_obs.Span
+module Trace = Monpos_obs.Trace
+module Metrics = Monpos_obs.Metrics
+module Error = Monpos_resilience.Error
+module Chaos = Monpos_resilience.Chaos
+
+let m_fallbacks = lazy (Metrics.counter Metrics.default "resilience.fallbacks")
+
+let m_stale = lazy (Metrics.counter Metrics.default "resilience.stale_ticks")
 
 type costs = {
   install : Graph.edge -> float;
@@ -193,7 +201,7 @@ let solve_milp ?(options = default_milp_options) pb =
   match (r.Mip.status, r.Mip.solution) with
   | (Mip.Optimal | Mip.Feasible), Some x ->
     assemble pb ~rvar ~delta ~optimal:(r.Mip.status = Mip.Optimal) x
-  | _ -> failwith "Sampling.solve_milp: no solution found"
+  | _ -> Mip.fail ?options ~stage:"Sampling.solve_milp" r
 
 let reoptimize pb ~installed =
   Span.run "sampling.reoptimize" @@ fun () ->
@@ -210,7 +218,11 @@ let reoptimize pb ~installed =
       List.fold_left (fun acc e -> acc +. pb.costs.install e) 0.0 usable
     in
     { s with install_cost; total_cost = install_cost +. s.exploit_cost }
-  | _ -> failwith "Sampling.reoptimize: targets unreachable with this placement"
+  | Simplex.Infeasible ->
+    Error.infeasible
+      "Sampling.reoptimize: targets unreachable with this placement"
+  | _ ->
+    Error.numerical ~stage:"sampling.reoptimize" ~detail:"relaxation not solved"
 
 (* Min-cost-flow PPME*: S -> w_e (installed) -> w_p -> w_t -> T.
    Arc (S, w_e) has capacity load(e) and cost coste(e)/load(e);
@@ -280,7 +292,8 @@ let reoptimize_flow pb ~installed =
   (match Mincost.solve net with
   | Mincost.Optimal -> ()
   | Mincost.Infeasible ->
-    failwith "Sampling.reoptimize_flow: targets unreachable with this placement");
+    Error.infeasible
+      "Sampling.reoptimize_flow: targets unreachable with this placement");
   let nedges = Graph.num_edges inst.Instance.graph in
   let rates = Array.make nedges 0.0 in
   List.iter
@@ -329,6 +342,7 @@ type tick = {
   reoptimized : bool;
   fraction_after : float;
   exploit_cost : float;
+  stale : bool;
 }
 
 let exploit_of pb rates =
@@ -343,13 +357,86 @@ let saturate_rates nedges installed =
   List.iter (fun e -> rates.(e) <- 1.0) installed;
   rates
 
+(* The ladder's terminal PPME rung: every installed device at rate
+   1.0. Pure arithmetic, no LP — cannot fail, only under-cover. *)
+let saturated pb ~installed =
+  let inst = pb.instance in
+  let installed = List.sort_uniq compare installed in
+  let rates = saturate_rates (Graph.num_edges inst.Instance.graph) installed in
+  let path_fractions =
+    Array.map
+      (fun tr ->
+        min 1.0
+          (List.fold_left
+             (fun acc e -> acc +. rates.(e))
+             0.0 tr.Instance.t_edges))
+      inst.Instance.traffics
+  in
+  let install_cost =
+    List.fold_left (fun acc e -> acc +. pb.costs.install e) 0.0 installed
+  in
+  let exploit_cost = exploit_of pb rates in
+  let monitored =
+    Monpos_util.Stats.sum
+      (Array.mapi
+         (fun p tr -> tr.Instance.t_volume *. path_fractions.(p))
+         inst.Instance.traffics)
+  in
+  {
+    installed;
+    rates;
+    path_fractions;
+    install_cost;
+    exploit_cost;
+    total_cost = install_cost +. exploit_cost;
+    fraction =
+      (if inst.Instance.total_volume <= 0.0 then 1.0
+       else monitored /. inst.Instance.total_volume);
+    optimal = false;
+  }
+
+(* A re-solve attempt for the control loop. Runs inside a chaos
+   protect scope with its own injection site, so the fault harness can
+   make any individual re-optimization fail and prove the loop serves
+   the previous placement instead of crashing (§5.4's operational
+   requirement). *)
+let try_reoptimize pb ~installed =
+  match
+    Chaos.protect (fun () ->
+        if Chaos.fire ~site:"sampling.reopt_fail" ~p:0.15 () then
+          Error.numerical ~stage:"sampling.reoptimize"
+            ~detail:"injected re-optimization fault"
+        else reoptimize pb ~installed)
+  with
+  | sol -> Ok sol.rates
+  | exception Error.Error e -> (
+    Metrics.incr (Lazy.force m_fallbacks);
+    match e with
+    | Error.Infeasible_model _ ->
+      (* even rate 1.0 everywhere cannot reach the target: saturating
+         is exact, not stale *)
+      Ok (saturate_rates (Graph.num_edges pb.instance.Instance.graph) installed)
+    | e -> Stdlib.Error e)
+
 let run_dynamic pb ~installed ~threshold ~steps ~sigma ~seed =
   let nedges = Graph.num_edges pb.instance.Instance.graph in
   let rng = Monpos_util.Prng.create seed in
+  let sink = Trace.current () in
+  let stale_descent reason =
+    Metrics.incr (Lazy.force m_stale);
+    if Trace.enabled sink then
+      Trace.ladder_descent sink ~solver:"ppme-dynamic" ~from_rung:"reoptimize"
+        ~to_rung:"previous_placement" ~reason
+  in
   let rates =
     ref
-      (try (reoptimize pb ~installed).rates
-       with Failure _ -> saturate_rates nedges installed)
+      (match try_reoptimize pb ~installed with
+      | Ok rates -> rates
+      | Stdlib.Error e ->
+        (* no previous placement to serve yet: saturation is the only
+           safe answer at start-up *)
+        stale_descent (Error.to_string e);
+        saturate_rates nedges installed)
   in
   let demands = ref pb.instance.Instance.demands in
   let ticks = ref [] in
@@ -360,11 +447,19 @@ let run_dynamic pb ~installed ~threshold ~steps ~sigma ~seed =
     let pb' = { pb with instance = inst' } in
     let before = coverage_with_rates pb' ~rates:!rates in
     let reoptimized = before < threshold in
-    if reoptimized then begin
-      rates :=
-        (try (reoptimize pb' ~installed).rates
-         with Failure _ -> saturate_rates nedges installed)
-    end;
+    let stale =
+      reoptimized
+      &&
+      match try_reoptimize pb' ~installed with
+      | Ok fresh ->
+        rates := fresh;
+        false
+      | Stdlib.Error e ->
+        (* keep serving the previous placement with a staleness
+           warning instead of crashing the campaign *)
+        stale_descent (Error.to_string e);
+        true
+    in
     let after = coverage_with_rates pb' ~rates:!rates in
     ticks :=
       {
@@ -373,6 +468,7 @@ let run_dynamic pb ~installed ~threshold ~steps ~sigma ~seed =
         reoptimized;
         fraction_after = after;
         exploit_cost = exploit_of pb' !rates;
+        stale;
       }
       :: !ticks
   done;

@@ -101,6 +101,12 @@ val reoptimize_flow :
     Raises [Failure] when the installed set cannot reach the
     targets. *)
 
+val saturated : problem -> installed:Monpos_graph.Graph.edge list -> solution
+(** Every installed device at rate 1.0 — the degradation ladder's
+    terminal PPME rung. Pure arithmetic (no LP), so it cannot fail;
+    [optimal] is [false] and the achieved [fraction] may fall short of
+    [problem.k] when the placement simply cannot reach it. *)
+
 val coverage_with_rates : problem -> rates:float array -> float
 (** Achieved global fraction [Σ_p min(1, Σ_{e∈p} r_e)·v_p / V] for
     fixed rates — what the operator observes between
@@ -112,6 +118,9 @@ type tick = {
   reoptimized : bool;  (** whether the threshold fired *)
   fraction_after : float;  (** coverage at the end of the step *)
   exploit_cost : float;  (** exploitation cost being paid after the step *)
+  stale : bool;
+      (** the threshold fired but the re-solve failed, so the loop is
+          still serving the previous step's rates (staleness warning) *)
 }
 
 val run_dynamic :
@@ -127,7 +136,14 @@ val run_dynamic :
     fraction falls below [threshold] ([T < k]), sampling rates are
     recomputed by {!reoptimize} on the drifted instance. If even rate
     1.0 everywhere cannot reach [k] after a drift, rates saturate and
-    the tick records the achieved fraction. *)
+    the tick records the achieved fraction.
+
+    The loop never crashes on a failed re-solve: a numerical or
+    deadline failure keeps the previous step's rates in service and
+    marks the tick {!tick.stale} (incrementing the
+    [resilience.stale_ticks] counter and emitting a [ladder_descent]
+    trace event); an infeasible drifted instance saturates every
+    installed device, which is exact rather than stale. *)
 
 val pp : Format.formatter -> solution -> unit
 (** "n devices, cov 91%, cost 34.5 = 30 + 4.5". *)

@@ -2,6 +2,7 @@ module Bitset = Monpos_util.Bitset
 module Graph = Monpos_graph.Graph
 module Trace = Monpos_obs.Trace
 module Metrics = Monpos_obs.Metrics
+module Error = Monpos_resilience.Error
 
 let m_nodes = lazy (Metrics.counter Metrics.default "cover.nodes")
 
@@ -67,7 +68,7 @@ let greedy ?target inst =
         best_gain := g
       end
     done;
-    if !best = -1 then failwith "Cover.greedy: target unreachable"
+    if !best = -1 then Error.infeasible "Cover.greedy: target unreachable"
     else begin
       chosen := !best :: !chosen;
       List.iter (fun u -> Bitset.add covered u) inst.sets.(!best);
@@ -184,7 +185,7 @@ let exact_core ?(node_limit = 20_000_000) inst target ~full_cover =
       (try
          let g = greedy ~target inst in
          Some (if full_cover then polish_full_cover inst set_bits g else g)
-       with Failure _ -> None)
+       with Error.Error (Error.Infeasible_model _) -> None)
   in
   let best_card =
     ref (match !best_sol with Some s -> List.length s | None -> max_int)
@@ -373,7 +374,7 @@ let exact_core ?(node_limit = 20_000_000) inst target ~full_cover =
   match !best_sol with
   | Some s ->
     { chosen = s; proven_optimal = not !truncated; nodes = !node_count }
-  | None -> failwith "Cover.exact: target unreachable"
+  | None -> Error.infeasible "Cover.exact: target unreachable"
 
 (* Dominance reductions. Column (set) dominance is always valid: a set
    whose items are a subset of another set's can be swapped out of any
@@ -410,7 +411,9 @@ let exact_detailed ?target ?node_limit inst =
       inst.sets;
     (* an item covered by no alive set makes the full cover unreachable *)
     Array.iter
-      (fun c -> if Bitset.is_empty c then failwith "Cover.exact: target unreachable")
+      (fun c ->
+        if Bitset.is_empty c then
+          Error.infeasible "Cover.exact: target unreachable")
       item_cover;
     for i = 0 to inst.num_items - 1 do
       if item_keep.(i) then

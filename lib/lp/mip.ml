@@ -1,6 +1,8 @@
 module Trace = Monpos_obs.Trace
 module Metrics = Monpos_obs.Metrics
-module Clock = Monpos_obs.Clock
+module Error = Monpos_resilience.Error
+module Deadline = Monpos_resilience.Deadline
+module Chaos = Monpos_resilience.Chaos
 
 (* module-scope instrument handles: registration is idempotent and
    handles survive Metrics.reset, so hot paths pay no lookup *)
@@ -50,6 +52,7 @@ type result = {
   bound : float;
   nodes : int;
   gap : float;
+  deadline_hit : bool;
 }
 
 type node = {
@@ -74,12 +77,24 @@ let solve ?(options = default_options) model =
   let sink = Trace.current () in
   Metrics.incr (Lazy.force m_solves);
   let minimize = Model.direction model = Model.Minimize in
+  (* The wall-clock budget becomes a Deadline threaded through the
+     whole solve — root presolve included, and every node (and diving)
+     LP polls it — so neither a long probing phase nor a single large
+     relaxation can overrun [time_limit] unboundedly. Chaos may
+     compress the budget to a tenth to exercise the deadline paths. *)
+  let budget =
+    if Chaos.fire ~site:"deadline.compress" ~p:0.25 () then
+      options.time_limit *. 0.1
+    else options.time_limit
+  in
+  let deadline = Deadline.of_budget budget in
+  let deadline_stop = ref false in
   (* Root presolve: every reduction is exact and preserves variable
      indices, so the search below can pretend the reduced model is the
      original. Nodes inherit the tightened bounds. *)
   let model, presolved_infeasible =
     if options.presolve then begin
-      let reduced, info = Presolve.reduce model in
+      let reduced, info = Presolve.reduce ~deadline model in
       if info.Presolve.infeasible then (model, true) else (reduced, false)
     end
     else (model, false)
@@ -93,6 +108,7 @@ let solve ?(options = default_options) model =
       bound = (if minimize then infinity else neg_infinity);
       nodes = 0;
       gap = infinity;
+      deadline_hit = false;
     }
   else begin
   let problem = Simplex.of_model model in
@@ -238,7 +254,7 @@ let solve ?(options = default_options) model =
         | None ->
           (* integral: re-solve once to get the continuous completion *)
           let sol =
-            Simplex.solve ~lower ~upper ?basis:(warm basis)
+            Simplex.solve ~lower ~upper ?basis:(warm basis) ~deadline
               ~options:lp_options problem
           in
           if sol.Simplex.status = Simplex.Optimal then
@@ -249,7 +265,7 @@ let solve ?(options = default_options) model =
             lower.(v) <- value;
             upper.(v) <- value;
             let sol =
-              Simplex.solve ~lower ~upper ?basis:(warm basis)
+              Simplex.solve ~lower ~upper ?basis:(warm basis) ~deadline
                 ~options:lp_options problem
             in
             if sol.Simplex.status = Simplex.Optimal then Some sol
@@ -284,7 +300,6 @@ let solve ?(options = default_options) model =
       start_basis = None;
     }
   in
-  let start = Clock.now () in
   let best_open_bound = ref neg_infinity in
   let root_unbounded = ref false in
   let infeasible_root = ref true in
@@ -298,10 +313,8 @@ let solve ?(options = default_options) model =
     match Monpos_util.Heap.pop_min queue with
     | None -> continue := false
     | Some (parent_bound, node) ->
-      if
-        !nodes >= options.max_nodes
-        || Clock.now () -. start > options.time_limit
-      then begin
+      if !nodes >= options.max_nodes || Deadline.expired deadline then begin
+        if Deadline.expired deadline then deadline_stop := true;
         stopped_at_limit := true;
         best_open_bound := parent_bound;
         continue := false
@@ -328,7 +341,7 @@ let solve ?(options = default_options) model =
         let sol =
           Simplex.solve ~lower:node.lower ~upper:node.upper
             ?basis:(if options.warm_start then node.start_basis else None)
-            ~options:lp_options problem
+            ~deadline ~options:lp_options problem
         in
         match sol.Simplex.status with
         | Simplex.Infeasible -> ()
@@ -338,6 +351,12 @@ let solve ?(options = default_options) model =
              keeping it open in the bound accounting *)
           best_open_bound := min !best_open_bound parent_bound;
           stopped_at_limit := true
+        | Simplex.Deadline_reached ->
+          (* same pessimistic accounting; the outer loop notices the
+             expired deadline when it pops the next node *)
+          best_open_bound := min !best_open_bound parent_bound;
+          stopped_at_limit := true;
+          deadline_stop := true
         | Simplex.Unbounded ->
           infeasible_root := false;
           if node.depth = 0 then begin
@@ -347,6 +366,19 @@ let solve ?(options = default_options) model =
         | Simplex.Optimal -> (
           infeasible_root := false;
           let raw_score = to_score sol.Simplex.objective in
+          (* NaN guard: a poisoned node objective would silently rank
+             the subtree as best-possible in the heap and corrupt every
+             bound downstream, so it is a typed numerical failure
+             instead. Chaos can poison the score here to prove the
+             guard (and the ladder above it) works. *)
+          let raw_score =
+            if Chaos.fire ~site:"mip.nan_cost" ~p:0.05 () then Float.nan
+            else raw_score
+          in
+          if Float.is_nan raw_score then
+            Error.numerical ~stage:"mip.node_lp"
+              ~detail:
+                (Printf.sprintf "NaN relaxation objective at node %d" !nodes);
           record_pseudocost node raw_score;
           let score = sharpen raw_score in
           if
@@ -431,6 +463,14 @@ let solve ?(options = default_options) model =
         else if !infeasible_root then Infeasible
         else Infeasible
   in
+  if !deadline_stop then begin
+    if Trace.enabled sink then
+      Trace.deadline_hit sink ~phase:"mip" ~elapsed:(Deadline.elapsed deadline)
+        ~budget;
+    if options.log then
+      Printf.eprintf "[mip] deadline hit after %.3fs (budget %.3fs)\n%!"
+        (Deadline.elapsed deadline) budget
+  end;
   {
     status;
     objective = (match !incumbent with Some (s, _) -> of_score s | None -> nan);
@@ -438,14 +478,28 @@ let solve ?(options = default_options) model =
     bound = of_score bound_score;
     nodes = !nodes;
     gap = (if status = Optimal then 0.0 else gap);
+    deadline_hit = !deadline_stop;
   }
   end
+
+(* Shared by every caller that needs a typed error out of a result
+   that carries no usable solution: infeasibility and unboundedness
+   are properties of the model, a deadline stop is a deadline error,
+   anything else (node budget, iteration limits) is internal. *)
+let fail ?options ~stage r =
+  match r.status with
+  | Infeasible -> Error.infeasible (stage ^ ": no feasible solution exists")
+  | Unbounded -> Error.numerical ~stage ~detail:"relaxation unbounded"
+  | _ when r.deadline_hit ->
+    let limit = (Option.value options ~default:default_options).time_limit in
+    Error.deadline_exceeded ~phase:stage ~elapsed:limit
+  | _ ->
+    Error.internal
+      (Printf.sprintf "%s: solver stopped without a solution after %d nodes"
+         stage r.nodes)
 
 let solve_or_fail ?options model =
   let r = solve ?options model in
   match (r.status, r.solution) with
   | Optimal, Some x -> (x, r.objective)
-  | _ ->
-    failwith
-      (Printf.sprintf "Mip.solve_or_fail: no proven optimum (status after %d nodes)"
-         r.nodes)
+  | _ -> fail ?options ~stage:"Mip.solve_or_fail" r

@@ -28,7 +28,10 @@ type options = {
   max_nodes : int;  (** branch-and-bound node budget (default 200000) *)
   time_limit : float;
       (** wall-clock seconds budget, measured against the monotonic
-          {!Monpos_obs.Clock} (default 120.) *)
+          {!Monpos_obs.Clock} (default 120.). Enforced as a
+          {!Monpos_resilience.Deadline} threaded into every node and
+          diving LP, where the simplex polls it every 32 pivots — so
+          the bound holds even when a single node LP is large. *)
   gap_tolerance : float;
       (** stop when the relative incumbent/bound gap is below this
           (default 1e-9, i.e. prove optimality) *)
@@ -75,6 +78,10 @@ type result = {
       (** best proven bound on the optimum, in the model's direction *)
   nodes : int;  (** nodes processed *)
   gap : float;  (** final relative gap; [0.] when proved optimal *)
+  deadline_hit : bool;
+      (** the wall-clock [time_limit] expired (between nodes or inside
+          a node LP) — distinguishes a time-bounded stop from a
+          node-budget stop for the degradation ladder *)
 }
 
 val solve : ?options:options -> Model.t -> result
@@ -82,7 +89,18 @@ val solve : ?options:options -> Model.t -> result
     [Integer]/[Binary] variables is enforced; [Continuous] variables
     are free to take fractional values. *)
 
+val fail : ?options:options -> stage:string -> result -> 'a
+(** Raise the {!Monpos_resilience.Error.Error} that best describes why
+    [result] carries no usable solution: [Infeasible_model] /
+    [Numerical] for infeasible and unbounded models,
+    [Deadline_exceeded] when {!result.deadline_hit} is set, [Internal]
+    for limit stops. [options] only supplies the budget quoted in the
+    deadline error (defaults to {!default_options}). *)
+
 val solve_or_fail : ?options:options -> Model.t -> float array * float
-(** Convenience for callers that require an optimal solution:
-    returns (assignment, objective) and raises [Failure] when the
-    solver stops without proving optimality. *)
+(** Convenience for callers that require an optimal solution: returns
+    (assignment, objective) and raises {!Monpos_resilience.Error.Error}
+    when the solver stops without proving optimality —
+    [Infeasible_model] when no integer point exists,
+    [Deadline_exceeded] when the wall clock ran out, [Numerical] on an
+    unbounded relaxation, [Internal] otherwise. *)

@@ -25,8 +25,14 @@ let activity_bounds lb ub terms =
       else (lo +. (c *. ub.(v)), hi +. (c *. lb.(v))))
     (0.0, 0.0) terms
 
-let reduce model =
+module Deadline = Monpos_resilience.Deadline
+
+let reduce ?(deadline = Deadline.none) model =
   let n = Model.num_vars model in
+  (* Polled between passes and probes: reductions applied before the
+     budget runs out stay exact, so expiry just means "stop reducing
+     here and hand the model over as-is". *)
+  let out_of_time () = Deadline.expired deadline in
   let lb = Array.init n (fun v -> Model.var_lb model (Model.var_of_index model v)) in
   let ub = Array.init n (fun v -> Model.var_ub model (Model.var_of_index model v)) in
   let kind = Array.init n (fun v -> Model.var_kind model (Model.var_of_index model v)) in
@@ -164,7 +170,8 @@ let reduce model =
   in
   let fixed_point () =
     let passes = ref 0 in
-    while pass () && !passes < 10 && not !infeasible do
+    while pass () && !passes < 10 && (not !infeasible) && not (out_of_time ())
+    do
       incr passes
     done
   in
@@ -181,7 +188,11 @@ let reduce model =
       (fun v -> kind.(v) = Model.Binary)
       (List.init n (fun v -> v))
   in
-  if (not !infeasible) && binaries <> [] && List.length binaries <= 512 then begin
+  if
+    (not !infeasible) && binaries <> []
+    && List.length binaries <= 512
+    && not (out_of_time ())
+  then begin
     let probe_infeasible v value =
       let plb = Array.copy lb and pub = Array.copy ub in
       plb.(v) <- value;
@@ -210,11 +221,13 @@ let reduce model =
     in
     let rounds = ref 0 in
     let progress = ref true in
-    while !progress && !rounds < 3 && not !infeasible do
+    while !progress && !rounds < 3 && (not !infeasible) && not (out_of_time ())
+    do
       progress := false;
       List.iter
         (fun v ->
-          if (not !infeasible) && ub.(v) -. lb.(v) > tol then
+          if (not !infeasible) && ub.(v) -. lb.(v) > tol && not (out_of_time ())
+          then
             if probe_infeasible v 0.0 then begin
               (* v = 0 kills the model, so v = 1 in every solution *)
               tighten v 1.0 infinity;
@@ -237,7 +250,21 @@ let reduce model =
   let fixed_vars = ref 0 in
   for v = 0 to n - 1 do
     let lb_v = lb.(v) and ub_v = ub.(v) in
-    let lb_v, ub_v = if lb_v > ub_v then (lb_v, lb_v) (* infeasible flagged *) else (lb_v, ub_v) in
+    let lb_v, ub_v =
+      if lb_v > ub_v then
+        (* crossed bounds mean the model is infeasible (already
+           flagged); collapse to a point the variable kind can
+           represent so the rebuilt model stays well-formed — a
+           binary whose lb was tightened past 1 must not reach
+           [Model.add_var] with lb > 1 *)
+        let p =
+          match kind.(v) with
+          | Model.Binary -> min 1.0 (max 0.0 lb_v)
+          | Model.Continuous | Model.Integer -> lb_v
+        in
+        (p, p)
+      else (lb_v, ub_v)
+    in
     if abs_float (ub_v -. lb_v) < tol then incr fixed_vars;
     ignore
       (Model.add_var reduced

@@ -25,10 +25,15 @@ type info = {
           that case *)
 }
 
-val reduce : Model.t -> Model.t * info
+val reduce :
+  ?deadline:Monpos_resilience.Deadline.t -> Model.t -> Model.t * info
 (** Build the reduced model (a fresh model; the input is not
     mutated). Iterates the reductions to a fixed point (bounded
-    passes). *)
+    passes). [deadline] (default: none) is polled between passes and
+    between probes: on expiry the remaining reductions are skipped and
+    the model is handed over with whatever was tightened so far —
+    every applied reduction is still exact, so a time-boxed presolve
+    never changes the optimum. *)
 
 val restore : original:Model.t -> float array -> float array
 (** Lift a solution of the reduced model back: since indices are

@@ -33,8 +33,13 @@
 module Trace = Monpos_obs.Trace
 module Metrics = Monpos_obs.Metrics
 module Span = Monpos_obs.Span
+module Deadline = Monpos_resilience.Deadline
+module Chaos = Monpos_resilience.Chaos
 
 let m_solves = lazy (Metrics.counter Metrics.default "simplex.solves")
+
+let m_recoveries =
+  lazy (Metrics.counter Metrics.default "resilience.recoveries")
 
 let m_iterations = lazy (Metrics.counter Metrics.default "simplex.iterations")
 
@@ -83,7 +88,12 @@ type problem = {
   maximize : bool;
 }
 
-type status = Optimal | Infeasible | Unbounded | Iteration_limit
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+  | Deadline_reached
 
 type basis = int array
 
@@ -167,6 +177,7 @@ type state = {
   y : Sparse_vec.t; (* BTRAN result, indexed by constraint row *)
   work : Sparse_vec.t; (* kernel right-hand-side scratch *)
   rho : Sparse_vec.t; (* dual phase pricing row of B^-1 *)
+  deadline : Deadline.t;
   mutable iters : int;
   mutable degenerate_run : int;
   mutable bland : bool;
@@ -563,6 +574,19 @@ let apply_step st j dir t leave =
 (* One simplex phase; [phase1] selects the infeasibility objective.
    Returns [`Done] (phase-1 feasible / phase-2 optimal), [`Infeasible],
    [`Unbounded] or [`Iteration_limit]. *)
+(* Deadline polling stride: a clock read every 32 pivots bounds the
+   overrun past the budget to whatever 31 pivots cost, without the
+   hot loops paying a syscall-ish read per iteration. *)
+let deadline_due st = st.iters land 31 = 0 && Deadline.expired st.deadline
+
+(* Fault-injection point for the numerical-recovery ladder: a
+   singular basis out of nowhere, as if the factorization had
+   drifted. Unscoped (fires wherever a chaos seed is installed)
+   because the recovery below is internal to [solve] and
+   answer-preserving. *)
+let chaos_singular st =
+  st.iters > 0 && Chaos.fire ~scoped:false ~site:"lu.singular" ~p:0.002 ()
+
 let run_phase st ~phase1 ~max_iterations =
   let continue = ref true in
   let result = ref `Done in
@@ -571,7 +595,12 @@ let run_phase st ~phase1 ~max_iterations =
       result := `Iteration_limit;
       continue := false
     end
+    else if deadline_due st then begin
+      result := `Deadline;
+      continue := false
+    end
     else begin
+      if chaos_singular st then raise Singular_basis;
       if st.iters > 0 && need_refactor st then refactorize st;
       let inf = total_infeasibility st in
       if phase1 && inf <= feas_tol then begin
@@ -722,7 +751,12 @@ let run_dual_phase st ~max_iterations =
       result := `Iteration_limit;
       continue := false
     end
+    else if deadline_due st then begin
+      result := `Deadline;
+      continue := false
+    end
     else begin
+      if chaos_singular st then raise Singular_basis;
       if st.iters > 0 && need_refactor st then refactorize st;
       let r_best = ref (-1) and viol_best = ref feas_tol in
       for r = 0 to m - 1 do
@@ -813,7 +847,8 @@ let run_dual_phase st ~max_iterations =
 
 let default_iterations p = 20_000 + (60 * (p.n + p.m))
 
-let solve ?max_iterations ?lower ?upper ?basis ?(options = default_options) p =
+let solve ?max_iterations ?lower ?upper ?basis ?(deadline = Deadline.none)
+    ?(options = default_options) p =
   let max_iterations =
     match max_iterations with Some k -> k | None -> default_iterations p
   in
@@ -867,6 +902,7 @@ let solve ?max_iterations ?lower ?upper ?basis ?(options = default_options) p =
         y = Sparse_vec.create m;
         work = Sparse_vec.create m;
         rho = Sparse_vec.create m;
+        deadline;
         iters = 0;
         degenerate_run = 0;
         bland = false;
@@ -982,7 +1018,8 @@ let solve ?max_iterations ?lower ?upper ?basis ?(options = default_options) p =
             | `Done -> if phase = 1 then "feasible" else "optimal"
             | `Infeasible -> "infeasible"
             | `Unbounded -> "unbounded"
-            | `Iteration_limit -> "iteration_limit")
+            | `Iteration_limit -> "iteration_limit"
+            | `Deadline -> "deadline")
     in
     let run () =
       (* dual phase first when the warm basis allows it; the primal
@@ -1004,7 +1041,8 @@ let solve ?max_iterations ?lower ?upper ?basis ?(options = default_options) p =
               | `Done -> "reoptimal"
               | `No_pivot -> "infeasible_guess"
               | `Numerical -> "primal_fallback"
-              | `Iteration_limit -> "iteration_limit")
+              | `Iteration_limit -> "iteration_limit"
+              | `Deadline -> "deadline")
       end;
       let r1 =
         if total_infeasibility st > feas_tol then begin
@@ -1017,6 +1055,7 @@ let solve ?max_iterations ?lower ?upper ?basis ?(options = default_options) p =
       let phase1_iters = st.iters in
       match r1 with
       | `Infeasible -> finish Infeasible
+      | `Deadline -> finish Deadline_reached
       | `Unbounded ->
         (* phase 1 cannot be unbounded: its objective is bounded below
            by zero, and every improving direction hits an infeasible
@@ -1032,7 +1071,8 @@ let solve ?max_iterations ?lower ?upper ?basis ?(options = default_options) p =
         | `Done -> finish Optimal
         | `Unbounded -> finish Unbounded
         | `Infeasible -> finish Infeasible
-        | `Iteration_limit -> finish Iteration_limit)
+        | `Iteration_limit -> finish Iteration_limit
+        | `Deadline -> finish Deadline_reached)
     in
     (* numerical recovery: a singular basis (accumulated factorization
        drift or a degenerate pivot sequence) restarts from the slack
@@ -1041,7 +1081,7 @@ let solve ?max_iterations ?lower ?upper ?basis ?(options = default_options) p =
     let sol =
       match run () with
       | sol -> sol
-      | exception Singular_basis -> (
+      | exception Singular_basis ->
         st.bland <- true;
         st.degenerate_run <- 0;
         st.refactor_override <-
@@ -1049,14 +1089,23 @@ let solve ?max_iterations ?lower ?upper ?basis ?(options = default_options) p =
             (match st.refactor_override with
             | Some k -> min k 64
             | None -> 64);
-        reset_to_slack_basis ();
-        match run () with
-        | sol -> sol
-        | exception Singular_basis -> finish Iteration_limit)
+        (* the restart must not itself be sabotaged by an injected
+           fault, so chaos is suppressed for its whole duration *)
+        Chaos.suppress (fun () ->
+            reset_to_slack_basis ();
+            match run () with
+            | sol ->
+              Metrics.incr (Lazy.force m_recoveries);
+              if Trace.enabled sink then
+                Trace.recovery sink ~stage:"simplex"
+                  ~detail:"singular basis: cold restart under Bland's rule";
+              sol
+            | exception Singular_basis -> finish Iteration_limit)
     in
     Metrics.incr (Lazy.force m_solves);
     Metrics.add (Lazy.force m_iterations) sol.iterations;
     sol
   end
 
-let solve_model ?max_iterations ?options m = solve ?max_iterations ?options (of_model m)
+let solve_model ?max_iterations ?deadline ?options m =
+  solve ?max_iterations ?deadline ?options (of_model m)

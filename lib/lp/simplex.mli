@@ -43,6 +43,10 @@ type status =
   | Infeasible  (** phase 1 ended with positive infeasibility *)
   | Unbounded  (** an improving ray was found in phase 2 *)
   | Iteration_limit  (** gave up after [max_iterations] pivots *)
+  | Deadline_reached
+      (** the caller's {!Monpos_resilience.Deadline} expired mid-solve;
+          the returned basis and values are a consistent snapshot of
+          wherever the pivoting stopped *)
 
 type kernel =
   | Dense  (** explicit dense inverse, O(m^2) per pivot — reference *)
@@ -100,6 +104,7 @@ val solve :
   ?lower:float array ->
   ?upper:float array ->
   ?basis:basis ->
+  ?deadline:Monpos_resilience.Deadline.t ->
   ?options:options ->
   problem ->
   solution
@@ -112,10 +117,19 @@ val solve :
     or singular basis degrades to a cold solve — never to a different
     answer. Warm-start bases are installed through the same kernel
     factorization as any other basis. [options] selects the kernel and
-    refactorization cadence ({!default_options} otherwise). Default
+    refactorization cadence ({!default_options} otherwise). [deadline]
+    (default: none) is polled every 32 pivots in both the primal and
+    dual phases; on expiry the solve stops with {!Deadline_reached}
+    instead of running the node LP to completion, which is what makes
+    {!Mip.options.time_limit} a real wall-clock bound. Default
     iteration budget scales with the instance size. *)
 
-val solve_model : ?max_iterations:int -> ?options:options -> Model.t -> solution
+val solve_model :
+  ?max_iterations:int ->
+  ?deadline:Monpos_resilience.Deadline.t ->
+  ?options:options ->
+  Model.t ->
+  solution
 (** [solve_model m] is [solve (of_model m)]. *)
 
 val num_rows : problem -> int

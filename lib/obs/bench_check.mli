@@ -20,7 +20,16 @@ type finding = {
 
 type report = {
   compared : int;  (** metric pairs examined *)
-  findings : finding list;  (** threshold violations, in phase order *)
+  findings : finding list;
+      (** gating threshold violations, in phase order *)
+  tolerated : finding list;
+      (** threshold violations in a run made under [MONPOS_CHAOS]:
+          injected faults and degraded-rung outcomes legitimately
+          shift timings and solution-quality numbers, so these are
+          reported but do not gate *)
+  chaos_seed : int option;
+      (** the current report's ["chaos_seed"] field, when the run was
+          chaotic *)
   missing_phases : string list;
 }
 

@@ -31,7 +31,18 @@ type solver = {
   last_ts : float;
 }
 
-type t = { solvers : solver list; events : int }
+type resilience = {
+  descents : (float * string * string * string * string) list;
+  recoveries : (float * string * string) list;
+  deadline_hits : (float * string * float * float option) list;
+  chaos_injections : (string * int) list;
+}
+
+type t = { solvers : solver list; events : int; resilience : resilience }
+
+let no_resilience r =
+  r.descents = [] && r.recoveries = [] && r.deadline_hits = []
+  && r.chaos_injections = []
 
 let gap_of ~incumbent ~bound =
   match (incumbent, bound) with
@@ -100,6 +111,10 @@ let of_records records =
       :: st.s_trajectory
   in
   let events = ref 0 in
+  let descents = ref [] in
+  let recoveries = ref [] in
+  let deadline_hits = ref [] in
+  let chaos = ref [] in
   List.iter
     (fun (r : Trace_reader.record) ->
       incr events;
@@ -153,6 +168,19 @@ let of_records records =
                    if p = phase then (p, n + 1, it + iterations) else (p, n, it))
                  st.s_phases
              else (phase, 1, iterations) :: st.s_phases))
+      | Trace_reader.Ladder_descent { solver; from_rung; to_rung; reason } ->
+        descents := (ts, solver, from_rung, to_rung, reason) :: !descents
+      | Trace_reader.Recovery { stage; detail } ->
+        recoveries := (ts, stage, detail) :: !recoveries
+      | Trace_reader.Deadline_hit { phase; elapsed; budget } ->
+        deadline_hits := (ts, phase, elapsed, budget) :: !deadline_hits
+      | Trace_reader.Chaos_inject { site } ->
+        chaos :=
+          (if List.mem_assoc site !chaos then
+             List.map
+               (fun (s, c) -> if s = site then (s, c + 1) else (s, c))
+               !chaos
+           else (site, 1) :: !chaos)
       | _ -> ())
     records;
   let solvers =
@@ -177,7 +205,15 @@ let of_records records =
         })
       !order
   in
-  { solvers; events = !events }
+  let resilience =
+    {
+      descents = List.rev !descents;
+      recoveries = List.rev !recoveries;
+      deadline_hits = List.rev !deadline_hits;
+      chaos_injections = List.rev !chaos;
+    }
+  in
+  { solvers; events = !events; resilience }
 
 let opt_cell = function
   | None -> "-"
@@ -251,6 +287,37 @@ let render t =
                      Printf.sprintf "phase %d x%d (%d iteration(s))" p n it)
                    s.simplex_phases))))
     t.solvers;
+  (let r = t.resilience in
+   if not (no_resilience r) then begin
+     Buffer.add_string b "resilience:\n";
+     List.iter
+       (fun (ts, solver, from_rung, to_rung, reason) ->
+         Buffer.add_string b
+           (Printf.sprintf "  %.4f ladder descent [%s] %s -> %s: %s\n" ts
+              solver from_rung to_rung reason))
+       r.descents;
+     List.iter
+       (fun (ts, stage, detail) ->
+         Buffer.add_string b
+           (Printf.sprintf "  %.4f recovery [%s] %s\n" ts stage detail))
+       r.recoveries;
+     List.iter
+       (fun (ts, phase, elapsed, budget) ->
+         Buffer.add_string b
+           (Printf.sprintf "  %.4f deadline hit in %s after %.3fs%s\n" ts phase
+              elapsed
+              (match budget with
+              | Some bu -> Printf.sprintf " (budget %.3fs)" bu
+              | None -> "")))
+       r.deadline_hits;
+     if r.chaos_injections <> [] then
+       Buffer.add_string b
+         (Printf.sprintf "  chaos injections: %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun (site, c) -> Printf.sprintf "%s x%d" site c)
+                  r.chaos_injections)))
+   end);
   Buffer.contents b
 
 let to_json t =
@@ -258,6 +325,51 @@ let to_json t =
   Json.Obj
     [
       ("events", Json.Int t.events);
+      ( "resilience",
+        Json.Obj
+          [
+            ( "descents",
+              Json.List
+                (List.map
+                   (fun (ts, solver, from_rung, to_rung, reason) ->
+                     Json.Obj
+                       [
+                         ("ts", Json.Float ts);
+                         ("solver", Json.String solver);
+                         ("from_rung", Json.String from_rung);
+                         ("to_rung", Json.String to_rung);
+                         ("reason", Json.String reason);
+                       ])
+                   t.resilience.descents) );
+            ( "recoveries",
+              Json.List
+                (List.map
+                   (fun (ts, stage, detail) ->
+                     Json.Obj
+                       [
+                         ("ts", Json.Float ts);
+                         ("stage", Json.String stage);
+                         ("detail", Json.String detail);
+                       ])
+                   t.resilience.recoveries) );
+            ( "deadline_hits",
+              Json.List
+                (List.map
+                   (fun (ts, phase, elapsed, budget) ->
+                     Json.Obj
+                       [
+                         ("ts", Json.Float ts);
+                         ("phase", Json.String phase);
+                         ("elapsed", Json.Float elapsed);
+                         ("budget", opt budget);
+                       ])
+                   t.resilience.deadline_hits) );
+            ( "chaos_injections",
+              Json.Obj
+                (List.map
+                   (fun (site, c) -> (site, Json.Int c))
+                   t.resilience.chaos_injections) );
+          ] );
       ( "solvers",
         Json.List
           (List.map

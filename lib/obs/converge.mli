@@ -38,7 +38,23 @@ type solver = {
   last_ts : float;
 }
 
-type t = { solvers : solver list; events : int }
+type resilience = {
+  descents : (float * string * string * string * string) list;
+      (** (ts, solver, from_rung, to_rung, reason) [ladder_descent]
+          events, in trace order *)
+  recoveries : (float * string * string) list;
+      (** (ts, stage, detail) [recovery] events *)
+  deadline_hits : (float * string * float * float option) list;
+      (** (ts, phase, elapsed, budget) [deadline_hit] events *)
+  chaos_injections : (string * int) list;
+      (** per-site [chaos_inject] counts, first-seen order *)
+}
+(** The resilience story of a run: which wall-clock budgets expired,
+    where the degradation ladder descended and recovered, and which
+    chaos sites fired. Aggregated globally (these events are not tied
+    to a branch-and-bound solver). *)
+
+type t = { solvers : solver list; events : int; resilience : resilience }
 
 val of_records : Trace_reader.record list -> t
 

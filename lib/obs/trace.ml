@@ -191,6 +191,30 @@ let flow_augmentation s ~amount ~path_cost ~routed =
         ("routed", Json.Float routed);
       ]
 
+let ladder_descent s ~solver ~from_rung ~to_rung ~reason =
+  if s.on then
+    emit s "ladder_descent"
+      [
+        ("solver", Json.String solver);
+        ("from_rung", Json.String from_rung);
+        ("to_rung", Json.String to_rung);
+        ("reason", Json.String reason);
+      ]
+
+let recovery s ~stage ~detail =
+  if s.on then
+    emit s "recovery"
+      [ ("stage", Json.String stage); ("detail", Json.String detail) ]
+
+let deadline_hit s ~phase ~elapsed ~budget =
+  if s.on then
+    emit s "deadline_hit"
+      [
+        ("phase", Json.String phase);
+        ("elapsed", Json.Float elapsed);
+        ("budget", Json.Float budget);
+      ]
+
 let presolve_reduction s ~rows_dropped ~bounds_tightened ~fixed_vars =
   if s.on then
     emit s "presolve_reduction"

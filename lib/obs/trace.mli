@@ -103,5 +103,18 @@ val greedy_pick : sink -> pick:int -> gain:float -> covered:float -> unit
 val flow_augmentation :
   sink -> amount:float -> path_cost:float -> routed:float -> unit
 
+val ladder_descent :
+  sink -> solver:string -> from_rung:string -> to_rung:string -> reason:string -> unit
+(** The degradation ladder gave up on one rung and fell to the next
+    (e.g. ["mip_optimal"] to ["lp_rounding"] because of a deadline). *)
+
+val recovery : sink -> stage:string -> detail:string -> unit
+(** A solver recovered internally from a fault (singular basis cold
+    restart, ladder rung answering after a descent). *)
+
+val deadline_hit : sink -> phase:string -> elapsed:float -> budget:float -> unit
+(** A wall-clock deadline expired inside [phase] after [elapsed] of a
+    [budget]-second allowance. *)
+
 val presolve_reduction :
   sink -> rows_dropped:int -> bounds_tightened:int -> fixed_vars:int -> unit

@@ -23,6 +23,15 @@ type event =
       bounds_tightened : int;
       fixed_vars : int;
     }
+  | Ladder_descent of {
+      solver : string;
+      from_rung : string;
+      to_rung : string;
+      reason : string;
+    }
+  | Recovery of { stage : string; detail : string }
+  | Deadline_hit of { phase : string; elapsed : float; budget : float option }
+  | Chaos_inject of { site : string }
   | Unknown of string
 
 type record = { ts : float; event : event }
@@ -38,6 +47,10 @@ let event_name = function
   | Greedy_pick _ -> "greedy_pick"
   | Flow_augmentation _ -> "flow_augmentation"
   | Presolve_reduction _ -> "presolve_reduction"
+  | Ladder_descent _ -> "ladder_descent"
+  | Recovery _ -> "recovery"
+  | Deadline_hit _ -> "deadline_hit"
+  | Chaos_inject _ -> "chaos_inject"
   | Unknown ev -> ev
 
 (* Option-monad decoding: a known event missing a required field (or
@@ -114,6 +127,23 @@ let decode ~ev fields =
       let* bounds_tightened = int "bounds_tightened" in
       let* fixed_vars = int "fixed_vars" in
       Some (Presolve_reduction { rows_dropped; bounds_tightened; fixed_vars })
+    | "ladder_descent" ->
+      let* solver = str "solver" in
+      let* from_rung = str "from_rung" in
+      let* to_rung = str "to_rung" in
+      let* reason = str "reason" in
+      Some (Ladder_descent { solver; from_rung; to_rung; reason })
+    | "recovery" ->
+      let* stage = str "stage" in
+      let* detail = str "detail" in
+      Some (Recovery { stage; detail })
+    | "deadline_hit" ->
+      let* phase = str "phase" in
+      let* elapsed = num "elapsed" in
+      Some (Deadline_hit { phase; elapsed; budget = opt_num "budget" })
+    | "chaos_inject" ->
+      let* site = str "site" in
+      Some (Chaos_inject { site })
     | _ -> None
   in
   match decoded with Some e -> e | None -> Unknown ev

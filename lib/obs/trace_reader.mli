@@ -33,6 +33,18 @@ type event =
       bounds_tightened : int;
       fixed_vars : int;
     }
+  | Ladder_descent of {
+      solver : string;
+      from_rung : string;
+      to_rung : string;
+      reason : string;
+    }  (** the degradation ladder fell one rung *)
+  | Recovery of { stage : string; detail : string }
+      (** a solver recovered internally from a fault *)
+  | Deadline_hit of { phase : string; elapsed : float; budget : float option }
+      (** a wall-clock budget expired inside [phase] *)
+  | Chaos_inject of { site : string }
+      (** the fault-injection harness fired at [site] *)
   | Unknown of string  (** carries the unrecognized event name *)
 
 type record = { ts : float; event : event }

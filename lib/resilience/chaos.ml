@@ -1,0 +1,71 @@
+open Monpos_util
+open Monpos_obs
+
+let parse_env () =
+  match Sys.getenv_opt "MONPOS_CHAOS" with
+  | None | Some "" -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+let seed_ref = ref (parse_env ())
+
+let streams : (string, Prng.t) Hashtbl.t = Hashtbl.create 16
+
+let seed () = !seed_ref
+
+let set_seed s =
+  seed_ref := s;
+  Hashtbl.reset streams
+
+let active () = !seed_ref <> None
+
+let depth = ref 0
+
+let suppressed = ref 0
+
+let protect f =
+  incr depth;
+  Fun.protect ~finally:(fun () -> decr depth) f
+
+let suppress f =
+  incr suppressed;
+  Fun.protect ~finally:(fun () -> decr suppressed) f
+
+(* FNV-1a over the site name: stable across builds, unlike
+   [Hashtbl.hash], so a given (seed, site) pair replays the same
+   fault schedule everywhere. *)
+let site_hash site =
+  let h = ref 0x3b29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    site;
+  !h land max_int
+
+let stream ~site =
+  match Hashtbl.find_opt streams site with
+  | Some g -> g
+  | None ->
+    let s = Option.value !seed_ref ~default:0 in
+    let g = Prng.create (s lxor site_hash site) in
+    Hashtbl.add streams site g;
+    g
+
+let m_injections = lazy (Metrics.counter Metrics.default "chaos.injections")
+
+let armed ~scoped =
+  !suppressed = 0 && active () && ((not scoped) || !depth > 0)
+
+let fire ?(scoped = true) ~site ~p () =
+  armed ~scoped
+  &&
+  let hit = Prng.float (stream ~site) 1.0 < p in
+  if hit then begin
+    Metrics.incr (Lazy.force m_injections);
+    let s = Trace.current () in
+    if Trace.enabled s then
+      Trace.emit s "chaos_inject" [ ("site", Json.String site) ]
+  end;
+  hit
+
+let draw ~site n = if n <= 0 || not (active ()) then 0 else Prng.int (stream ~site) n

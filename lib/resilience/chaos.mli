@@ -1,0 +1,53 @@
+(** Seeded fault-injection harness.
+
+    Setting [MONPOS_CHAOS=<seed>] (or calling {!set_seed}) arms a
+    deterministic per-site fault lottery at the solver's kernel seams:
+    singular pivots in LU factorization, NaN objectives at MIP nodes,
+    compressed deadlines, truncated instance reads. Every recovery
+    path in the resilience layer then becomes executable in tests and
+    CI rather than theoretical.
+
+    Sites are {e scoped} by default: they only fire inside a
+    {!protect} region, which the degradation ladder wraps around each
+    rung. Code that has not declared a recovery boundary is never
+    perturbed, so a full [dune runtest] stays green under chaos while
+    the resilience suites exercise real faults. The one exception is
+    the singular-pivot site, which fires unscoped because the simplex
+    recovers from it internally (and wraps that recovery in
+    {!suppress} so an injected fault cannot also sabotage its own
+    repair).
+
+    Draws are deterministic per [(seed, site)] pair: the same seed
+    replays the same faults in the same order, which is what the
+    chaos property tests assert. *)
+
+val seed : unit -> int option
+(** Current seed; initialized from [MONPOS_CHAOS] at startup. *)
+
+val set_seed : int option -> unit
+(** Install (or clear) the seed and reset every site's stream, so a
+    subsequent run replays deterministically. *)
+
+val active : unit -> bool
+(** A seed is installed. *)
+
+val protect : (unit -> 'a) -> 'a
+(** Run [f] with scoped sites armed. Nests. *)
+
+val suppress : (unit -> 'a) -> 'a
+(** Run [f] with every site disarmed, overriding {!protect}. Used
+    around recovery code so injected faults cannot cascade. *)
+
+val fire : ?scoped:bool -> site:string -> p:float -> unit -> bool
+(** [fire ~site ~p ()] draws from [site]'s stream and returns [true]
+    with probability [p] when armed ([scoped:false] sites need only a
+    seed; the default needs an enclosing {!protect} too). A firing
+    site increments the [chaos.injections] counter and emits a
+    [chaos_inject] trace event. When disarmed, returns [false]
+    without drawing, so chaos-off runs are bit-identical to builds
+    without the harness. *)
+
+val draw : site:string -> int -> int
+(** [draw ~site n] is uniform in [0, n) from [site]'s stream (0 when
+    no seed is installed). Used by sites that need a fault location,
+    e.g. where to truncate an instance read. *)

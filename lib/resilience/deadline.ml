@@ -1,0 +1,23 @@
+open Monpos_obs
+
+type t = { start : float; limit : float }
+
+let none = { start = 0.0; limit = infinity }
+
+let of_budget seconds =
+  if Float.is_finite seconds then
+    let now = Clock.now () in
+    { start = now; limit = now +. Float.max 0.0 seconds }
+  else none
+
+let is_none t = t.limit = infinity
+
+let expired t = t.limit < infinity && Clock.now () >= t.limit
+
+let elapsed t = if is_none t then 0.0 else Clock.now () -. t.start
+
+let remaining t = if is_none t then infinity else t.limit -. Clock.now ()
+
+let check t ~phase =
+  if expired t then
+    Error.deadline_exceeded ~phase ~elapsed:(Clock.now () -. t.start)

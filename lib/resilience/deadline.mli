@@ -1,0 +1,35 @@
+(** Wall-clock deadlines threaded through the solver stack.
+
+    A deadline is created once at the entry point that owns the
+    budget ([Mip.solve] from [options.time_limit], [monitorctl] from a
+    CLI flag) and passed by value down to the hot loops — simplex
+    iterations, LU refactorization — which poll it with {!expired} at
+    a coarse stride so the check costs one clock read every few dozen
+    pivots. Unlike the old node-boundary check in [Mip], a single
+    large node LP can no longer overrun the budget unboundedly. *)
+
+type t
+
+val none : t
+(** Never expires. [expired none] is [false] forever; using it costs
+    the same branch as a live deadline. *)
+
+val of_budget : float -> t
+(** [of_budget seconds] expires [seconds] of wall clock from now.
+    A non-finite budget yields {!none}; a zero (or negative) budget
+    is expired from the start. *)
+
+val is_none : t -> bool
+
+val expired : t -> bool
+
+val elapsed : t -> float
+(** Wall-clock seconds since the deadline was created ([0.] for
+    {!none}). *)
+
+val remaining : t -> float
+(** Seconds until expiry; [infinity] for {!none}, negative once
+    expired. *)
+
+val check : t -> phase:string -> unit
+(** Raise [Error (Deadline_exceeded {phase; elapsed})] if expired. *)

@@ -1,0 +1,40 @@
+type t =
+  | Parse_error of { file : string; line : int; msg : string }
+  | Numerical of { stage : string; detail : string }
+  | Deadline_exceeded of { phase : string; elapsed : float }
+  | Infeasible_model of { what : string }
+  | Internal of string
+
+exception Error of t
+
+let parse_error ~file ~line msg = raise (Error (Parse_error { file; line; msg }))
+
+let numerical ~stage ~detail = raise (Error (Numerical { stage; detail }))
+
+let deadline_exceeded ~phase ~elapsed =
+  raise (Error (Deadline_exceeded { phase; elapsed }))
+
+let infeasible what = raise (Error (Infeasible_model { what }))
+
+let internal msg = raise (Error (Internal msg))
+
+let to_string = function
+  | Parse_error { file; line; msg } ->
+    if line > 0 then Printf.sprintf "parse error: %s, line %d: %s" file line msg
+    else Printf.sprintf "parse error: %s: %s" file msg
+  | Numerical { stage; detail } ->
+    Printf.sprintf "numerical failure in %s: %s" stage detail
+  | Deadline_exceeded { phase; elapsed } ->
+    Printf.sprintf "deadline exceeded in %s after %.3fs" phase elapsed
+  | Infeasible_model { what } -> Printf.sprintf "infeasible model: %s" what
+  | Internal msg -> Printf.sprintf "internal error: %s" msg
+
+let exit_code = function
+  | Parse_error _ | Infeasible_model _ -> 2
+  | Deadline_exceeded _ -> 3
+  | Numerical _ | Internal _ -> 4
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Monpos_resilience.Error.Error: " ^ to_string e)
+    | _ -> None)

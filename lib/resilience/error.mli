@@ -1,0 +1,51 @@
+(** Typed error taxonomy for the solver stack.
+
+    Every failure the library can surface to a caller is one of these
+    variants; the bare [failwith]/[invalid_arg] sites in the solvers
+    and parsers raise {!Error} instead, so callers (the degradation
+    ladder, [monitorctl]'s top level, tests) can pattern-match on the
+    failure class rather than scrape message strings.
+
+    The taxonomy maps onto [monitorctl]'s documented exit codes:
+    bad input is 2 ([Parse_error], [Infeasible_model]), a blown
+    deadline or a degraded result is 3 ([Deadline_exceeded]), and a
+    solver-internal fault is 4 ([Numerical], [Internal]). *)
+
+type t =
+  | Parse_error of { file : string; line : int; msg : string }
+      (** Malformed input: [file] and 1-based [line] locate the fault,
+          [msg] names the offending token. [line = 0] marks faults
+          that precede line structure (an unreadable file, a bad CLI
+          argument). *)
+  | Numerical of { stage : string; detail : string }
+      (** Numerical breakdown the kernels could not recover from:
+          singular bases after cold-restart, NaN objectives, loss of
+          feasibility during reoptimization. *)
+  | Deadline_exceeded of { phase : string; elapsed : float }
+      (** A {!Deadline} expired inside [phase] after [elapsed]
+          seconds of wall clock. *)
+  | Infeasible_model of { what : string }
+      (** The model admits no feasible point (e.g. a coverage target
+          unreachable even with every device installed). *)
+  | Internal of string
+      (** Invariant violation inside the library — always a bug. *)
+
+exception Error of t
+
+val parse_error : file:string -> line:int -> string -> 'a
+(** Raise {!Error} with a located [Parse_error]. *)
+
+val numerical : stage:string -> detail:string -> 'a
+
+val deadline_exceeded : phase:string -> elapsed:float -> 'a
+
+val infeasible : string -> 'a
+
+val internal : string -> 'a
+
+val to_string : t -> string
+(** One-line human-readable rendering (no backtrace). *)
+
+val exit_code : t -> int
+(** Documented process exit code for the class: 2 bad input,
+    3 deadline, 4 internal/numerical. *)

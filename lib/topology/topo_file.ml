@@ -1,4 +1,6 @@
 module Graph = Monpos_graph.Graph
+module Error = Monpos_resilience.Error
+module Chaos = Monpos_resilience.Chaos
 
 let role_of_string = function
   | "backbone" -> Some Pop.Backbone
@@ -13,7 +15,7 @@ let string_of_role = function
   | Pop.Customer -> "customer"
   | Pop.Peer -> "peer"
 
-let parse text =
+let parse ?(file = "<string>") text =
   let g = Graph.create () in
   let roles = ref [] in
   let ids = Hashtbl.create 32 in
@@ -21,7 +23,7 @@ let parse text =
   let error = ref None in
   let fail lineno msg =
     if !error = None then
-      error := Some (Printf.sprintf "line %d: %s" lineno msg)
+      error := Some (Error.Parse_error { file; line = lineno; msg })
   in
   let lines = String.split_on_char '\n' text in
   List.iteri
@@ -58,7 +60,7 @@ let parse text =
       | w :: _ -> fail lineno (Printf.sprintf "unknown directive %S" w))
     lines;
   match !error with
-  | Some e -> Error e
+  | Some e -> Result.Error e
   | None ->
     let roles = Array.of_list (List.rev !roles) in
     (* endpoints must be degree-1 leaves for Pop invariants *)
@@ -69,19 +71,34 @@ let parse text =
         | Pop.Customer | Pop.Peer ->
           if Graph.degree g v <> 1 then
             ok :=
-              Error
-                (Printf.sprintf "endpoint %S must have exactly one link"
-                   (Graph.label g v))
+              Result.Error
+                (Error.Parse_error
+                   {
+                     file;
+                     line = 0;
+                     msg =
+                       Printf.sprintf "endpoint %S must have exactly one link"
+                         (Graph.label g v);
+                   })
         | Pop.Backbone | Pop.Access -> ())
       roles;
     (match !ok with
-    | Error e -> Error e
+    | Result.Error e -> Result.Error e
     | Ok () -> Ok { Pop.graph = g; roles; name = !name })
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with
-  | exception Sys_error e -> Error e
-  | contents -> parse contents
+  | exception Sys_error e ->
+    Result.Error (Error.Parse_error { file = path; line = 0; msg = e })
+  | contents ->
+    (* chaos: simulate a short read (partial download, interrupted
+       copy) so callers exercise the located parse-error path *)
+    let contents =
+      if Chaos.fire ~site:"parse.truncate" ~p:0.2 () then
+        String.sub contents 0 (Chaos.draw ~site:"parse.truncate" (String.length contents))
+      else contents
+    in
+    parse ~file:path contents
 
 let to_string (pop : Pop.t) =
   let buf = Buffer.create 512 in
@@ -180,7 +197,8 @@ let load_sample name =
   match List.assoc_opt name samples with
   | None -> invalid_arg (Printf.sprintf "Topo_file.load_sample: unknown %S" name)
   | Some text -> (
-    match parse text with
+    match parse ~file:("<sample:" ^ name ^ ">") text with
     | Ok pop -> pop
-    | Error e ->
-      invalid_arg (Printf.sprintf "Topo_file.load_sample: %s: %s" name e))
+    | Result.Error e ->
+      invalid_arg
+        (Printf.sprintf "Topo_file.load_sample: %s: %s" name (Error.to_string e)))

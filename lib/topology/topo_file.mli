@@ -13,14 +13,20 @@
     v}
     Node order defines node ids; links refer to declared nodes. *)
 
-val parse : string -> (Pop.t, string) result
-(** Parse a topology from its textual representation. Errors carry a
-    line number and reason. The resulting {!Pop.t} has name "file"
-    unless a [name <string>] directive appears. *)
+val parse :
+  ?file:string -> string -> (Pop.t, Monpos_resilience.Error.t) result
+(** Parse a topology from its textual representation. Errors are
+    located [Parse_error {file; line; msg}] values whose message names
+    the offending token; [file] defaults to ["<string>"] and labels
+    the error, the input is always the string argument. The resulting
+    {!Pop.t} has name "file" unless a [name <string>] directive
+    appears. *)
 
-val parse_file : string -> (Pop.t, string) result
-(** {!parse} on a file's contents; IO errors are reported in the
-    [Error] case. *)
+val parse_file : string -> (Pop.t, Monpos_resilience.Error.t) result
+(** {!parse} on a file's contents with [~file:path]; IO errors become
+    [Parse_error] with line 0. Under [MONPOS_CHAOS] the
+    ["parse.truncate"] site may feed the parser a truncated read to
+    exercise the error path. *)
 
 val to_string : Pop.t -> string
 (** Serialize a POP back to the format (round-trips with {!parse} up

@@ -18,5 +18,6 @@ let () =
       ("mecf", Test_mecf.suite);
       ("sampling", Test_sampling.suite);
       ("active", Test_active.suite);
+      ("resilience", Test_resilience.suite);
       ("scenario", Test_scenario.suite);
     ]

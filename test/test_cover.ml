@@ -63,8 +63,14 @@ let test_partial_cover () =
 
 let test_unreachable_target () =
   let inst = Cover.make ~num_items:2 [| [ 0 ] |] in
-  Alcotest.check_raises "greedy fails" (Failure "Cover.greedy: target unreachable")
-    (fun () -> ignore (Cover.greedy inst))
+  Alcotest.(check bool) "greedy raises Infeasible_model" true
+    (try
+       ignore (Cover.greedy inst);
+       false
+     with
+    | Monpos_resilience.Error.Error (Monpos_resilience.Error.Infeasible_model _)
+      ->
+      true)
 
 let test_guarantee_value () =
   let inst = mk [| [ 0; 1; 2 ]; [ 0 ] |] in
@@ -107,7 +113,10 @@ let prop_exact_matches_brute_force =
         try
           ignore (Cover.exact ?target inst);
           false
-        with Failure _ -> true)
+        with
+        | Monpos_resilience.Error.Error
+            (Monpos_resilience.Error.Infeasible_model _) ->
+          true)
       | Some bf ->
         let e = Cover.exact ?target inst in
         List.length e = List.length bf && Cover.is_cover ?target inst e)

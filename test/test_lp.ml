@@ -11,6 +11,7 @@ let status_name = function
   | Simplex.Infeasible -> "infeasible"
   | Simplex.Unbounded -> "unbounded"
   | Simplex.Iteration_limit -> "iteration_limit"
+  | Simplex.Deadline_reached -> "deadline_reached"
 
 let check_status expected got =
   Alcotest.(check string) "status" (status_name expected) (status_name got)
@@ -323,7 +324,9 @@ let prop_duality_certificates =
       let sol = Simplex.solve_model m in
       match sol.Simplex.status with
       | Simplex.Infeasible -> true (* nothing to certify *)
-      | Simplex.Unbounded | Simplex.Iteration_limit -> false
+      | Simplex.Unbounded | Simplex.Iteration_limit
+      | Simplex.Deadline_reached ->
+        false
       | Simplex.Optimal ->
         let x = sol.Simplex.primal in
         let y = sol.Simplex.duals in
@@ -422,7 +425,8 @@ let prop_certificates_both_directions =
       let sol = Simplex.solve_model m in
       match sol.Simplex.status with
       | Simplex.Infeasible -> true (* nothing to certify *)
-      | Simplex.Unbounded | Simplex.Iteration_limit ->
+      | Simplex.Unbounded | Simplex.Iteration_limit
+      | Simplex.Deadline_reached ->
         false (* impossible: boxed variables, satisfiable Ge rows *)
       | Simplex.Optimal ->
         let sgn = if maximize then -1.0 else 1.0 in

@@ -359,11 +359,13 @@ let test_buffered_sink () =
 (* ------------------------------------------------------------------ *)
 (* bench regression gate *)
 
-let bench_doc ?(mode = "default") phases =
+let bench_doc ?(mode = "default") ?chaos_seed phases =
   Json.Obj
     [
       ("schema", Json.String "monpos-bench/1");
       ("mode", Json.String mode);
+      ( "chaos_seed",
+        match chaos_seed with Some s -> Json.Int s | None -> Json.Null );
       ( "phases",
         Json.List
           (List.map
@@ -441,9 +443,28 @@ let test_bench_check () =
   (match Bench_check.compare_reports ~baseline ~current:(Json.Obj [ ("bogus", Json.Int 1) ]) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "schemaless report accepted");
-  match Bench_check.compare_reports ~baseline ~current:(bench_doc ~mode:"full" []) with
+  (match Bench_check.compare_reports ~baseline ~current:(bench_doc ~mode:"full" []) with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "cross-mode comparison accepted"
+  | Ok _ -> Alcotest.fail "cross-mode comparison accepted");
+  (* a chaotic current run: violations are reported but tolerated *)
+  let chaotic =
+    bench_doc ~chaos_seed:7
+      [
+        ("warmstart", 1.4, [ ("pivots", 150.0); ("speedup", 2.0) ]);
+        ("kernelscale", 2.0, [ ("devices", 7.0) ]);
+      ]
+  in
+  match Bench_check.compare_reports ~baseline ~current:chaotic with
+  | Ok r ->
+    Alcotest.(check int) "chaos: nothing gates" 0 (List.length r.Bench_check.findings);
+    Alcotest.(check (list (pair string string)))
+      "chaos: drifts tolerated"
+      [ ("warmstart", "extras.pivots"); ("kernelscale", "extras.devices") ]
+      (List.map (fun f -> (f.Bench_check.phase, f.Bench_check.key)) r.Bench_check.tolerated);
+    Alcotest.(check (option int)) "chaos seed surfaced" (Some 7) r.Bench_check.chaos_seed;
+    Alcotest.(check bool) "render mentions TOLERATED" true
+      (Astring.String.is_infix ~affix:"TOLERATED" (Bench_check.render r))
+  | Error e -> Alcotest.fail e
 
 (* ------------------------------------------------------------------ *)
 (* end to end: a real solve, traced, then analyzed — the analyzers

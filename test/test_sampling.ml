@@ -121,7 +121,10 @@ let test_reoptimize_infeasible () =
     (try
        ignore (Sampling.reoptimize pb ~installed:[ 3 ]);
        false
-     with Failure _ -> true)
+     with
+    | Monpos_resilience.Error.Error (Monpos_resilience.Error.Infeasible_model _)
+      ->
+      true)
 
 let test_reoptimize_cost_not_above_milp () =
   (* PPME* on the MILP's own placement can only reduce or match the
@@ -183,7 +186,10 @@ let test_reoptimize_flow_infeasible () =
     (try
        ignore (Sampling.reoptimize_flow pb ~installed:[ 3 ]);
        false
-     with Failure _ -> true)
+     with
+    | Monpos_resilience.Error.Error (Monpos_resilience.Error.Infeasible_model _)
+      ->
+      true)
 
 let test_coverage_with_rates () =
   let inst = Instance.figure3 () in

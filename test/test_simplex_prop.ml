@@ -38,6 +38,7 @@ let status_name = function
   | Simplex.Infeasible -> "infeasible"
   | Simplex.Unbounded -> "unbounded"
   | Simplex.Iteration_limit -> "iteration_limit"
+  | Simplex.Deadline_reached -> "deadline_reached"
 
 (* random LP: 2-6 structural variables of every bound shape, 1-5 rows
    of every sense, signed coefficients and objective *)

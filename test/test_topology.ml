@@ -145,12 +145,13 @@ let prop_pop_generation_valid =
       && Graph.num_edges pop.Pop.graph = router_links + endpoints)
 
 module Topo_file = Monpos_topo.Topo_file
+module Rerror = Monpos_resilience.Error
 
 let test_parse_samples () =
   List.iter
     (fun (name, text) ->
       match Topo_file.parse text with
-      | Error e -> Alcotest.fail (name ^ ": " ^ e)
+      | Error e -> Alcotest.fail (name ^ ": " ^ Rerror.to_string e)
       | Ok pop ->
         Alcotest.(check bool) (name ^ " connected") true
           (Paths.is_connected pop.Pop.graph);
@@ -169,7 +170,7 @@ let test_load_sample_counts () =
 let test_round_trip () =
   let pop = Pop.make_preset `Pop10 ~seed:4 in
   match Topo_file.parse (Topo_file.to_string pop) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rerror.to_string e)
   | Ok pop' ->
     Alcotest.(check int) "nodes" (Graph.num_nodes pop.Pop.graph)
       (Graph.num_nodes pop'.Pop.graph);
@@ -186,13 +187,17 @@ let test_round_trip () =
 
 let test_parse_errors () =
   let check_err text fragment =
-    match Topo_file.parse text with
+    match Topo_file.parse ~file:"bad.topo" text with
     | Ok _ -> Alcotest.fail ("expected error for: " ^ text)
-    | Error e ->
+    | Error (Rerror.Parse_error { file; line; msg } as e) ->
+      Alcotest.(check string) "error names the input" "bad.topo" file;
+      Alcotest.(check bool) "line located" true (line >= 0);
       Alcotest.(check bool)
-        (Printf.sprintf "error %S mentions %S" e fragment)
+        (Printf.sprintf "error %S mentions %S" (Rerror.to_string e) fragment)
         true
-        (Astring.String.is_infix ~affix:fragment e)
+        (Astring.String.is_infix ~affix:fragment msg)
+    | Error e ->
+      Alcotest.fail ("expected a parse error, got " ^ Rerror.to_string e)
   in
   check_err "node a wizard
 " "unknown role";
@@ -222,7 +227,7 @@ node b backbone
 link a b
 " in
   match Topo_file.parse text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Rerror.to_string e)
   | Ok pop ->
     Alcotest.(check string) "name" "t" pop.Pop.name;
     Alcotest.(check int) "edges" 1 (Graph.num_edges pop.Pop.graph)
