@@ -431,14 +431,19 @@ let warmstart () =
     | Some (Metrics.Counter_value v) -> v
     | _ -> 0
   in
+  let labeled snap name labels =
+    match Metrics.find ~labels snap name with
+    | Some (Metrics.Counter_value v) -> v
+    | _ -> 0
+  in
   (* Each sub-run gets its own freshly reset registry window so the
      pivot counters are attributable to that configuration alone. *)
   let measure f =
     Metrics.reset Metrics.default;
     let (), secs = wall f in
     let snap = Metrics.snapshot Metrics.default in
-    ( counter snap "simplex.iterations",
-      counter snap "simplex.dual_iterations",
+    ( Metrics.sum_counter snap "simplex.iterations",
+      labeled snap "simplex.iterations" [ ("phase", "dual") ],
       counter snap "mip.nodes",
       counter snap "simplex.warm_starts",
       secs )
@@ -546,11 +551,7 @@ let warmstart () =
    optima; only the basis representation changes. *)
 let kernelscale () =
   section "Simplex kernels — dense explicit inverse vs sparse LU + eta file";
-  let counter snap name =
-    match Metrics.find snap name with
-    | Some (Metrics.Counter_value v) -> v
-    | _ -> 0
-  in
+  let counter = Metrics.sum_counter in
   let hist_mean snap name =
     match Metrics.find snap name with
     | Some (Metrics.Histogram_value { count; sum; _ }) when count > 0 ->
@@ -729,6 +730,13 @@ let report_doc ~total_seconds phases =
         match Monpos_resilience.Chaos.seed () with
         | Some s -> Json.Int s
         | None -> Json.Null );
+      (* the run manifest joins this report with traces and snapshots
+         from the same invocation (monitorctl diff --bench reads it) *)
+      ( "run",
+        Monpos_obs.Runinfo.to_json
+          (Monpos_obs.Runinfo.capture
+             ?chaos_seed:(Monpos_resilience.Chaos.seed ())
+             ()) );
       ("generated_at_unix", Json.Float (Clock.now ()));
       ("total_seconds", Json.Float total_seconds);
       ("phases", Json.List phases);

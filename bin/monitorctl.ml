@@ -56,7 +56,12 @@ let bad_input msg =
 (* ------------------------------------------------------------------ *)
 (* observability flags, shared by every subcommand                     *)
 
-type obs = { trace : string option; metrics : bool; progress : bool }
+type obs = {
+  trace : string option;
+  metrics : bool;
+  progress : bool;
+  prom_out : string option;
+}
 
 let obs_term =
   let trace_arg =
@@ -81,52 +86,84 @@ let obs_term =
     in
     Arg.(value & flag & info [ "progress" ] ~doc)
   in
-  let make trace metrics progress = { trace; metrics; progress } in
-  Term.(const make $ trace_arg $ metrics_arg $ progress_arg)
+  let prom_out_arg =
+    let doc =
+      "After the command, write the metrics registry to $(docv) in \
+       Prometheus text exposition format (0.0.4) for file-based \
+       scraping (node_exporter textfile collector, CI artifacts)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "prom-out" ] ~docv:"FILE" ~doc)
+  in
+  let make trace metrics progress prom_out =
+    { trace; metrics; progress; prom_out }
+  in
+  Term.(const make $ trace_arg $ metrics_arg $ progress_arg $ prom_out_arg)
+
+let write_prom_snapshot path =
+  (try
+     Out_channel.with_open_text path (fun oc ->
+         output_string oc
+           (Monpos_obs.Prom.to_prometheus
+              (Obs_metrics.snapshot Obs_metrics.default)))
+   with Sys_error msg -> Rerror.io_error ~path msg);
+  Format.printf "prometheus snapshot written to %s@." path
 
 (* Install the trace sink around the command body, close it afterwards
-   and render the metrics table when requested. --trace and --progress
-   each contribute a sink; both at once fan out. *)
+   and render the metrics table / Prometheus snapshot when requested.
+   --trace and --progress each contribute a sink; both at once fan
+   out. The whole body runs inside the typed-error boundary: any
+   Monpos_resilience.Error that escapes — including the Io_error we
+   raise for an unopenable --trace or --prom-out destination — becomes
+   a one-line message and a documented exit code instead of a
+   backtrace. *)
 let with_obs obs f =
-  match
-    match obs.trace with
-    | None -> Ok Obs_trace.null
-    | Some path -> ( try Ok (Obs_trace.open_file path) with Sys_error msg -> Error msg)
-  with
-  | Error msg ->
-    Format.eprintf "monitorctl: cannot open trace file: %s@." msg;
-    2
-  | Ok file_sink ->
-  let sink =
-    if obs.progress then
-      Obs_trace.fanout [ file_sink; Monpos_obs.Progress.sink () ]
-    else file_sink
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      Obs_trace.set_current Obs_trace.null;
-      Obs_trace.close sink)
-    (fun () ->
-      Obs_trace.set_current sink;
-      (* the typed-error boundary: any Monpos_resilience.Error that
-         escapes a command becomes a one-line message and a documented
-         exit code instead of a backtrace *)
-      let r =
-        try f ()
-        with Rerror.Error e ->
-          Format.eprintf "monitorctl: %s@." (Rerror.to_string e);
-          Rerror.exit_code e
-      in
-      (match obs.trace with
-      | Some path ->
-        Format.printf "trace: %d event(s) written to %s@."
-          (Obs_trace.events_written file_sink)
-          path
-      | None -> ());
-      if obs.metrics then
-        print_string
-          (Obs_metrics.render_table (Obs_metrics.snapshot Obs_metrics.default));
-      r)
+  try
+    let file_sink =
+      match obs.trace with
+      | None -> Obs_trace.null
+      | Some path -> (
+        try Obs_trace.open_file path
+        with Sys_error msg -> Rerror.io_error ~path msg)
+    in
+    let sink =
+      if obs.progress then
+        Obs_trace.fanout [ file_sink; Monpos_obs.Progress.sink () ]
+      else file_sink
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs_trace.set_current Obs_trace.null;
+        Obs_trace.close sink)
+      (fun () ->
+        Obs_trace.set_current sink;
+        (* every traced run opens with its manifest, so offline tooling
+           (analyze, diff) can join artifacts from the same run *)
+        Monpos_obs.Runinfo.emit sink
+          (Monpos_obs.Runinfo.capture
+             ?chaos_seed:(Monpos_resilience.Chaos.seed ())
+             ());
+        let r =
+          try f ()
+          with Rerror.Error e ->
+            Format.eprintf "monitorctl: %s@." (Rerror.to_string e);
+            Rerror.exit_code e
+        in
+        (match obs.trace with
+        | Some path ->
+          Format.printf "trace: %d event(s) written to %s@."
+            (Obs_trace.events_written file_sink)
+            path
+        | None -> ());
+        if obs.metrics then
+          print_string
+            (Obs_metrics.render_table
+               (Obs_metrics.snapshot Obs_metrics.default));
+        Option.iter write_prom_snapshot obs.prom_out;
+        r)
+  with Rerror.Error e ->
+    Format.eprintf "monitorctl: %s@." (Rerror.to_string e);
+    Rerror.exit_code e
 
 (* ------------------------------------------------------------------ *)
 (* solver flags, shared by the MIP-backed subcommands                  *)
@@ -690,6 +727,147 @@ let analyze_cmd =
     Term.(const run $ file_arg $ profile_arg $ converge_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
+(* metrics-serve                                                       *)
+
+let metrics_serve_cmd =
+  let module Prom = Monpos_obs.Prom in
+  let listen_arg =
+    let doc =
+      "Bind address, $(b,ADDR:PORT). ADDR may be an IP, a hostname or \
+       empty/$(b,*) for any interface; port 0 picks an ephemeral port \
+       (printed on startup)."
+    in
+    Arg.(
+      value
+      & opt string "127.0.0.1:9464"
+      & info [ "listen" ] ~docv:"ADDR:PORT" ~doc)
+  in
+  let requests_arg =
+    let doc =
+      "Answer $(docv) requests and exit (smoke tests); default: serve \
+       forever."
+    in
+    Arg.(value & opt (some int) None & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let no_warmup_arg =
+    let doc =
+      "Skip the warm-up PPM solve; the first scrapes then see an \
+       almost-empty registry."
+    in
+    Arg.(value & flag & info [ "no-warmup" ] ~doc)
+  in
+  let run obs preset seed k listen requests no_warmup =
+    with_obs obs @@ fun () ->
+    if not no_warmup then begin
+      (* populate the registry with labeled solver series so a scrape
+         shows real families, not an empty page *)
+      let _, inst = load_instance preset seed in
+      let o = Resilient.solve_ppm ~k inst in
+      Format.printf "warm-up ppm solve: rung %s@." o.Resilient.rung
+    end;
+    let fd =
+      try Prom.listen listen with
+      | Invalid_argument msg -> bad_input msg
+      | Unix.Unix_error (err, _, _) ->
+        Rerror.io_error ~path:listen (Unix.error_message err)
+    in
+    Format.printf "serving /metrics on port %d%s@." (Prom.bound_port fd)
+      (match requests with
+      | Some n -> Printf.sprintf " for %d request(s)" n
+      | None -> "");
+    Prom.serve ?max_requests:requests ~registry:Obs_metrics.default fd;
+    0
+  in
+  let doc =
+    "Serve the metrics registry as a Prometheus scrape endpoint \
+     (text exposition format 0.0.4, plain Unix sockets)."
+  in
+  Cmd.v
+    (Cmd.info "metrics-serve" ~doc ~exits)
+    Term.(
+      const run $ obs_term $ preset_arg $ seed_arg $ coverage_arg $ listen_arg
+      $ requests_arg $ no_warmup_arg)
+
+(* ------------------------------------------------------------------ *)
+(* diff                                                                *)
+
+let diff_cmd =
+  let module Reader = Monpos_obs.Trace_reader in
+  let module Diff = Monpos_obs.Diff in
+  let module Json = Monpos_obs.Json in
+  let module Bench_check = Monpos_obs.Bench_check in
+  let a_arg =
+    let doc = "Baseline run: a $(b,--trace) JSONL file, or a bench report with $(b,--bench)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc)
+  in
+  let b_arg =
+    let doc = "Current run, same format as $(docv)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc)
+  in
+  let bench_arg =
+    let doc =
+      "Compare two bench reports (BENCH_monpos.json, schema \
+       monpos-bench/1) with the bench regression gate instead of two \
+       traces."
+    in
+    Arg.(value & flag & info [ "bench" ] ~doc)
+  in
+  let read_trace path =
+    match Reader.read_file path with
+    | exception Sys_error msg -> Rerror.io_error ~path msg
+    | r -> r
+  in
+  let read_json path =
+    let text =
+      try In_channel.with_open_text path In_channel.input_all
+      with Sys_error msg -> Rerror.io_error ~path msg
+    in
+    match Json.parse text with
+    | Ok j -> j
+    | Error msg ->
+      raise (Rerror.Error (Rerror.Parse_error { file = path; line = 0; msg }))
+  in
+  let run a b bench =
+    try
+      if bench then begin
+        match
+          Bench_check.compare_reports ~baseline:(read_json a)
+            ~current:(read_json b)
+        with
+        | Error msg ->
+          Format.eprintf "monitorctl: incomparable bench reports: %s@." msg;
+          2
+        | Ok report ->
+          print_string (Bench_check.render report);
+          if report.Bench_check.findings <> [] then 1 else 0
+      end
+      else begin
+        let report = Diff.of_traces ~a:(read_trace a) ~b:(read_trace b) in
+        print_string (Diff.render report);
+        if report.Diff.regressions > 0 then 1 else 0
+      end
+    with Rerror.Error e ->
+      Format.eprintf "monitorctl: %s@." (Rerror.to_string e);
+      Rerror.exit_code e
+  in
+  let doc =
+    "Diff two recorded runs (traces or bench reports): wall time, \
+     pivots, nodes and allocation per span/solver, gated by the bench \
+     regression thresholds."
+  in
+  let exits =
+    Cmd.Exit.info 1
+      ~doc:
+        "when the comparison finds a gating regression (chaos-run \
+         violations are reported but tolerated)."
+    :: Cmd.Exit.info 2 ~doc:"on an unreadable or incomparable input file."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc ~exits)
+    Term.(const run $ a_arg $ b_arg $ bench_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -710,4 +888,6 @@ let () =
             campaign_cmd;
             sweep_cmd;
             analyze_cmd;
+            metrics_serve_cmd;
+            diff_cmd;
           ]))

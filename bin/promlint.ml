@@ -1,0 +1,26 @@
+(* promlint — promtool-style checker for Prometheus text exposition
+   (format 0.0.4), as written by monitorctl --prom-out and
+   metrics-serve. Reads the file named on the command line (or stdin),
+   runs Monpos_obs.Prom.lint, and prints one line-numbered error per
+   problem.
+
+   Exit codes: 0 clean, 1 lint errors, 2 unreadable input. *)
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let label = Option.value path ~default:"<stdin>" in
+  let text =
+    match path with
+    | None -> In_channel.input_all In_channel.stdin
+    | Some p -> (
+      try In_channel.with_open_text p In_channel.input_all
+      with Sys_error msg ->
+        Printf.eprintf "promlint: %s\n" msg;
+        exit 2)
+  in
+  match Monpos_obs.Prom.lint text with
+  | Ok () -> Printf.printf "%s: OK\n" label
+  | Error errs ->
+    List.iter (fun e -> Printf.eprintf "%s: %s\n" label e) errs;
+    Printf.eprintf "%s: %d problem(s)\n" label (List.length errs);
+    exit 1

@@ -5,9 +5,17 @@ module Chaos = Monpos_resilience.Chaos
 module Deadline = Monpos_resilience.Deadline
 module Mip = Monpos_lp.Mip
 
-let m_fallbacks = lazy (Metrics.counter Metrics.default "resilience.fallbacks")
+(* labeled by the solver whose ladder descended/recovered; descents
+   are rare, so per-event registry lookups cost nothing measurable *)
+let m_fallbacks solver =
+  Metrics.counter
+    ~labels:[ ("solver", solver) ]
+    Metrics.default "resilience.fallbacks"
 
-let m_recoveries = lazy (Metrics.counter Metrics.default "resilience.recoveries")
+let m_recoveries solver =
+  Metrics.counter
+    ~labels:[ ("solver", solver) ]
+    Metrics.default "resilience.recoveries"
 
 type descent = { from_rung : string; to_rung : string; reason : string }
 
@@ -43,7 +51,7 @@ let run_ladder ~solver rungs =
     (match descents with
     | [] -> ()
     | _ ->
-      Metrics.incr (Lazy.force m_recoveries);
+      Metrics.incr (m_recoveries solver);
       if Trace.enabled sink then
         Trace.recovery sink ~stage:solver
           ~detail:
@@ -61,7 +69,7 @@ let run_ladder ~solver rungs =
         raise (Error.Error e)
       | exception Error.Error e ->
         let reason = Error.to_string e in
-        Metrics.incr (Lazy.force m_fallbacks);
+        Metrics.incr (m_fallbacks solver);
         if Trace.enabled sink then
           Trace.ladder_descent sink ~solver ~from_rung:label
             ~to_rung:next_label ~reason;

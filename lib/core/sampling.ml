@@ -9,9 +9,17 @@ module Metrics = Monpos_obs.Metrics
 module Error = Monpos_resilience.Error
 module Chaos = Monpos_resilience.Chaos
 
-let m_fallbacks = lazy (Metrics.counter Metrics.default "resilience.fallbacks")
+let m_fallbacks =
+  lazy
+    (Metrics.counter
+       ~labels:[ ("solver", "ppme-dynamic") ]
+       Metrics.default "resilience.fallbacks")
 
-let m_stale = lazy (Metrics.counter Metrics.default "resilience.stale_ticks")
+let m_stale =
+  lazy
+    (Metrics.counter
+       ~labels:[ ("solver", "ppme-dynamic") ]
+       Metrics.default "resilience.stale_ticks")
 
 type costs = {
   install : Graph.edge -> float;

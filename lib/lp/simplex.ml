@@ -36,18 +36,28 @@ module Span = Monpos_obs.Span
 module Deadline = Monpos_resilience.Deadline
 module Chaos = Monpos_resilience.Chaos
 
-let m_solves = lazy (Metrics.counter Metrics.default "simplex.solves")
-
+(* pivot work is one metric family split by phase label; summing the
+   label sets recovers the historical total *)
 let m_recoveries =
-  lazy (Metrics.counter Metrics.default "resilience.recoveries")
+  lazy
+    (Metrics.counter
+       ~labels:[ ("solver", "simplex") ]
+       Metrics.default "resilience.recoveries")
 
-let m_iterations = lazy (Metrics.counter Metrics.default "simplex.iterations")
+let m_primal_iterations =
+  lazy
+    (Metrics.counter
+       ~labels:[ ("phase", "primal") ]
+       Metrics.default "simplex.iterations")
 
 let m_warm_starts =
   lazy (Metrics.counter Metrics.default "simplex.warm_starts")
 
 let m_dual_iterations =
-  lazy (Metrics.counter Metrics.default "simplex.dual_iterations")
+  lazy
+    (Metrics.counter
+       ~labels:[ ("phase", "dual") ]
+       Metrics.default "simplex.iterations")
 
 let m_refactorizations =
   lazy (Metrics.counter Metrics.default "simplex.refactorizations")
@@ -1102,8 +1112,15 @@ let solve ?max_iterations ?lower ?upper ?basis ?(deadline = Deadline.none)
               sol
             | exception Singular_basis -> finish Iteration_limit)
     in
-    Metrics.incr (Lazy.force m_solves);
-    Metrics.add (Lazy.force m_iterations) sol.iterations;
+    (* the solve count is labeled by the kernel the solve actually ran
+       on; registration is idempotent, so this lookup is a mutexed
+       hashtable hit once per solve, not per pivot *)
+    Metrics.incr
+      (Metrics.counter
+         ~labels:[ ("kernel", kernel_name st) ]
+         Metrics.default "simplex.solves");
+    Metrics.add (Lazy.force m_primal_iterations)
+      (sol.iterations - sol.dual_iterations);
     sol
   end
 

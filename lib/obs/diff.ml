@@ -1,0 +1,216 @@
+(* Cross-run trace diffing: join two JSONL traces by span name and
+   solver, compare wall time, pivot/node work and allocation under the
+   same metric-class thresholds as the bench regression gate
+   (Bench_check), and render verdicts with its OK / REGRESSED
+   conventions. The bench-report flavor of [monitorctl diff] reuses
+   Bench_check directly; this module handles the trace flavor. *)
+
+type row = {
+  key : string;
+  a : float;
+  b : float option; (* None: the metric disappeared from run B *)
+  limit : string; (* threshold description; "" when within bounds *)
+  regressed : bool;
+}
+
+type report = {
+  rows : row list;
+  compared : int;
+  regressions : int; (* gating count; 0 when tolerated under chaos *)
+  tolerated : int;
+  notes : string list;
+}
+
+(* thresholds: wall times follow the bench gate (noisy, one-sided);
+   counts are deterministic under fixed seeds; allocation is stable
+   but jitters with GC timing, so it gets its own one-sided band *)
+let time_rel = 0.50
+
+let time_abs = 0.1
+
+let exact_rel = 0.01
+
+let alloc_rel = 0.10
+
+let alloc_abs_words = 16384.0
+
+type klass = Time | Alloc | Exact
+
+let classify key =
+  if Filename.check_suffix key ".seconds" then Time
+  else if Filename.check_suffix key ".alloc_words" then Alloc
+  else Exact
+
+let judge key a b =
+  match b with
+  | None -> Some "missing"
+  | Some b -> (
+    match classify key with
+    | Time ->
+      if b > (a *. (1.0 +. time_rel)) +. time_abs then
+        Some (Printf.sprintf "<= %+.0f%% + %.1fs" (100.0 *. time_rel) time_abs)
+      else None
+    | Alloc ->
+      if b > (a *. (1.0 +. alloc_rel)) +. alloc_abs_words then
+        Some
+          (Printf.sprintf "<= %+.0f%% + %.0f words" (100.0 *. alloc_rel)
+             alloc_abs_words)
+      else None
+    | Exact ->
+      if Float.abs (b -. a) > exact_rel *. Float.max 1.0 (Float.abs a) then
+        Some (Printf.sprintf "within %.0f%%" (100.0 *. exact_rel))
+      else None)
+
+(* ------------------------------------------------------------------ *)
+(* metric extraction from one decoded trace *)
+
+type run_summary = {
+  metrics : (string * float) list; (* ordered *)
+  manifest : string option; (* rendered run_info line *)
+  chaos_seed : int option;
+  truncated : bool;
+}
+
+let summarize (read : Trace_reader.read) =
+  let records = read.Trace_reader.records in
+  let profile = Profile.of_records records in
+  let metrics = ref [] in
+  let put key v = metrics := (key, v) :: !metrics in
+  List.iter
+    (fun (name, (calls, total_s, _self)) ->
+      put (Printf.sprintf "span.%s.seconds" name) total_s;
+      put (Printf.sprintf "span.%s.calls" name) (float_of_int calls))
+    (Profile.totals profile);
+  List.iter
+    (fun (name, words) ->
+      if words > 0.0 then put (Printf.sprintf "span.%s.alloc_words" name) words)
+    (Profile.alloc_totals profile);
+  (* solver work counters straight off the event stream *)
+  let nodes = Hashtbl.create 4 in
+  let node_order = ref [] in
+  let pivots = ref 0 in
+  let manifest = ref None in
+  let chaos_seed = ref None in
+  List.iter
+    (fun (r : Trace_reader.record) ->
+      match r.Trace_reader.event with
+      | Trace_reader.Bb_node { solver; _ } ->
+        (match Hashtbl.find_opt nodes solver with
+        | Some n -> Hashtbl.replace nodes solver (n + 1)
+        | None ->
+          node_order := solver :: !node_order;
+          Hashtbl.add nodes solver 1)
+      | Trace_reader.Simplex_phase { iterations; _ }
+      | Trace_reader.Warm_start { iterations; _ } ->
+        pivots := !pivots + iterations
+      | Trace_reader.Run_info { run_id; git_rev; hostname; chaos_seed = cs; _ }
+        ->
+        chaos_seed := cs;
+        manifest :=
+          Some
+            (Printf.sprintf "%s rev=%s host=%s%s" run_id
+               (Option.value ~default:"?" git_rev)
+               (Option.value ~default:"?" hostname)
+               (match cs with
+               | Some s -> Printf.sprintf " chaos_seed=%d" s
+               | None -> ""))
+      | _ -> ())
+    records;
+  List.iter
+    (fun solver ->
+      put
+        (Printf.sprintf "solver.%s.nodes" solver)
+        (float_of_int (Hashtbl.find nodes solver)))
+    (List.rev !node_order);
+  if !pivots > 0 then put "simplex.pivots" (float_of_int !pivots);
+  {
+    metrics = List.rev !metrics;
+    manifest = !manifest;
+    chaos_seed = !chaos_seed;
+    truncated = read.Trace_reader.truncated;
+  }
+
+let of_traces ~a ~b =
+  let sa = summarize a and sb = summarize b in
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt in
+  (match sa.manifest with Some m -> note "run A: %s" m | None -> ());
+  (match sb.manifest with Some m -> note "run B: %s" m | None -> ());
+  if sa.truncated then note "run A trace is truncated";
+  if sb.truncated then note "run B trace is truncated";
+  let rows =
+    List.map
+      (fun (key, va) ->
+        let vb = List.assoc_opt key sb.metrics in
+        match judge key va vb with
+        | Some limit -> { key; a = va; b = vb; limit; regressed = true }
+        | None -> { key; a = va; b = vb; limit = ""; regressed = false })
+      sa.metrics
+  in
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key sa.metrics) then
+        note "metric only in run B: %s" key)
+    sb.metrics;
+  let regressed = List.length (List.filter (fun r -> r.regressed) rows) in
+  let chaotic = sa.chaos_seed <> None || sb.chaos_seed <> None in
+  if chaotic && regressed > 0 then
+    note
+      "threshold violations TOLERATED: at least one run took injected chaos \
+       faults";
+  {
+    rows;
+    compared = List.length rows;
+    regressions = (if chaotic then 0 else regressed);
+    tolerated = (if chaotic then regressed else 0);
+    notes = List.rev !notes;
+  }
+
+let render r =
+  let buf = Buffer.create 1024 in
+  List.iter (fun n -> Buffer.add_string buf (n ^ "\n")) r.notes;
+  let fmt_val v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.6g" v
+  in
+  let rows_out =
+    List.map
+      (fun row ->
+        let delta =
+          match row.b with
+          | None -> "-"
+          | Some b ->
+            if row.a = 0.0 then (if b = 0.0 then "+0.0%" else "new")
+            else Printf.sprintf "%+.1f%%" (100.0 *. (b -. row.a) /. row.a)
+        in
+        [
+          (if row.regressed then "!!" else "OK");
+          row.key;
+          fmt_val row.a;
+          (match row.b with Some b -> fmt_val b | None -> "(missing)");
+          delta;
+          row.limit;
+        ])
+      r.rows
+  in
+  Buffer.add_string buf
+    (Monpos_util.Table.render
+       ~header:[ ""; "metric"; "run A"; "run B"; "delta"; "limit" ]
+       rows_out);
+  let regressed_total = r.regressions + r.tolerated in
+  if regressed_total = 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "trace diff: %d metric(s) within thresholds: OK\n"
+         r.compared)
+  else if r.regressions = 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "trace diff: %d of %d metric(s) outside thresholds TOLERATED (chaos \
+          run)\n"
+         regressed_total r.compared)
+  else
+    Buffer.add_string buf
+      (Printf.sprintf "trace diff: %d of %d metric(s) REGRESSED\n"
+         r.regressions r.compared);
+  Buffer.contents buf

@@ -14,40 +14,124 @@ type instrument =
   | I_gauge of gauge
   | I_histogram of histogram
 
+type labels = (string * string) list
+
+type series = { name : string; labels : labels }
+
+(* The canonical series key interns a (name, labels) pair as one
+   string: the bare name, or name{k="v",...} with label values escaped
+   the way the Prometheus exposition format does. Registration builds
+   the key once; the registry hashtable is keyed by it, so a cached
+   instrument handle never pays the rendering again and hot-path
+   increments stay allocation-free. *)
+let escape_label_value b v =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v
+
+let series_key { name; labels } =
+  match labels with
+  | [] -> name
+  | _ ->
+    let b = Buffer.create (String.length name + 16) in
+    Buffer.add_string b name;
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b k;
+        Buffer.add_string b "=\"";
+        escape_label_value b v;
+        Buffer.add_char b '"')
+      labels;
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+let valid_label_name n =
+  n <> ""
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       n
+
+let check_labels name labels =
+  let rec dup = function
+    | [] -> None
+    | (k, _) :: rest ->
+      if List.mem_assoc k rest then Some k else dup rest
+  in
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then
+        invalid_arg
+          (Printf.sprintf "Metrics: bad label name %S on metric %S" k name))
+    labels;
+  match dup labels with
+  | Some k ->
+    invalid_arg
+      (Printf.sprintf "Metrics: duplicate label %S on metric %S" k name)
+  | None -> ()
+
 type t = {
-  tbl : (string, instrument) Hashtbl.t;
-  mutable order : string list; (* reversed registration order *)
+  tbl : (string, instrument) Hashtbl.t; (* keyed by series_key *)
+  kinds : (string, string) Hashtbl.t; (* metric name -> kind, across series *)
+  mutable order : series list; (* reversed registration order *)
+  lock : Mutex.t;
+      (* guards [tbl], [kinds] and [order]; instrument handles returned
+         by registration are updated lock-free (single-field writes) *)
 }
 
-let create () = { tbl = Hashtbl.create 32; order = [] }
+let create () =
+  {
+    tbl = Hashtbl.create 32;
+    kinds = Hashtbl.create 32;
+    order = [];
+    lock = Mutex.create ();
+  }
 
 let default = create ()
-
-let register t name make match_existing =
-  match Hashtbl.find_opt t.tbl name with
-  | Some existing -> match_existing existing
-  | None ->
-    let i = make () in
-    Hashtbl.replace t.tbl name i;
-    t.order <- name :: t.order;
-    i
 
 let kind_error name =
   invalid_arg
     (Printf.sprintf "Metrics: %S is already registered with another kind" name)
 
-let counter t name =
+(* Registration is idempotent per (name, labels) series and enforces
+   one kind per metric name across every label set — the Prometheus
+   data model, where a family's TYPE line covers all its series. *)
+let register t ~name ~labels ~kind make match_existing =
+  check_labels name labels;
+  let series = { name; labels } in
+  let key = series_key series in
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some existing -> match_existing existing
+      | None ->
+        (match Hashtbl.find_opt t.kinds name with
+        | Some k when k <> kind -> kind_error name
+        | _ -> ());
+        let i = make () in
+        Hashtbl.replace t.tbl key i;
+        Hashtbl.replace t.kinds name kind;
+        t.order <- series :: t.order;
+        i)
+
+let counter ?(labels = []) t name =
   match
-    register t name
+    register t ~name ~labels ~kind:"counter"
       (fun () -> I_counter { c = 0 })
       (function I_counter _ as i -> i | _ -> kind_error name)
   with
   | I_counter c -> c
   | _ -> assert false
 
-let gauge t name =
+let gauge ?(labels = []) t name =
   match
-    register t name
+    register t ~name ~labels ~kind:"gauge"
       (fun () -> I_gauge { g = 0.0 })
       (function I_gauge _ as i -> i | _ -> kind_error name)
   with
@@ -57,7 +141,7 @@ let gauge t name =
 let default_buckets =
   [| 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0; 10.0; 30.0 |]
 
-let histogram ?(buckets = default_buckets) t name =
+let histogram ?(buckets = default_buckets) ?(labels = []) t name =
   if Array.length buckets = 0 then invalid_arg "Metrics.histogram: no buckets";
   Array.iteri
     (fun i b ->
@@ -65,7 +149,7 @@ let histogram ?(buckets = default_buckets) t name =
         invalid_arg "Metrics.histogram: buckets must be ascending")
     buckets;
   match
-    register t name
+    register t ~name ~labels ~kind:"histogram"
       (fun () ->
         I_histogram
           {
@@ -107,40 +191,53 @@ type entry =
       sum : float;
     }
 
-type snapshot = (string * entry) list
+type snapshot = (series * entry) list
 
 let snapshot t =
-  List.rev_map
-    (fun name ->
-      let entry =
-        match Hashtbl.find t.tbl name with
-        | I_counter c -> Counter_value c.c
-        | I_gauge g -> Gauge_value g.g
-        | I_histogram h ->
-          Histogram_value
-            {
-              upper = Array.copy h.upper;
-              counts = Array.copy h.counts;
-              count = h.h_count;
-              sum = h.h_sum;
-            }
-      in
-      (name, entry))
-    t.order
+  Mutex.protect t.lock (fun () ->
+      List.rev_map
+        (fun series ->
+          let entry =
+            match Hashtbl.find t.tbl (series_key series) with
+            | I_counter c -> Counter_value c.c
+            | I_gauge g -> Gauge_value g.g
+            | I_histogram h ->
+              Histogram_value
+                {
+                  upper = Array.copy h.upper;
+                  counts = Array.copy h.counts;
+                  count = h.h_count;
+                  sum = h.h_sum;
+                }
+          in
+          (series, entry))
+        t.order)
 
 let reset t =
-  Hashtbl.iter
-    (fun _ i ->
-      match i with
-      | I_counter c -> c.c <- 0
-      | I_gauge g -> g.g <- 0.0
-      | I_histogram h ->
-        Array.fill h.counts 0 (Array.length h.counts) 0;
-        h.h_count <- 0;
-        h.h_sum <- 0.0)
-    t.tbl
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | I_counter c -> c.c <- 0
+          | I_gauge g -> g.g <- 0.0
+          | I_histogram h ->
+            Array.fill h.counts 0 (Array.length h.counts) 0;
+            h.h_count <- 0;
+            h.h_sum <- 0.0)
+        t.tbl)
 
-let find snap name = List.assoc_opt name snap
+let find ?(labels = []) snap name =
+  List.find_map
+    (fun (s, e) -> if s.name = name && s.labels = labels then Some e else None)
+    snap
+
+let sum_counter snap name =
+  List.fold_left
+    (fun acc (s, e) ->
+      match e with
+      | Counter_value v when s.name = name -> acc + v
+      | _ -> acc)
+    0 snap
 
 (* Percentile estimates via linear interpolation within buckets; an
    estimate landing in the unbounded overflow bucket can only be
@@ -156,7 +253,8 @@ let percentile_cell ~upper ~counts p =
 let render_table snap =
   let rows =
     List.map
-      (fun (name, entry) ->
+      (fun (series, entry) ->
+        let name = series_key series in
         match entry with
         | Counter_value c -> [ name; "counter"; string_of_int c ]
         | Gauge_value g -> [ name; "gauge"; Printf.sprintf "%g" g ]
@@ -181,7 +279,7 @@ let render_table snap =
 let to_json snap =
   Json.Obj
     (List.map
-       (fun (name, entry) ->
+       (fun (series, entry) ->
          let v =
            match entry with
            | Counter_value c -> Json.Int c
@@ -214,5 +312,5 @@ let to_json snap =
                  ("buckets", Json.List buckets);
                ]
          in
-         (name, v))
+         (series_key series, v))
        snap)

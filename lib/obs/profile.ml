@@ -10,6 +10,7 @@ type node = {
   mutable calls : int;
   mutable total : float; (* sum of the span's recorded seconds *)
   mutable self : float; (* total minus time attributed to children *)
+  mutable alloc_words : float; (* words allocated (minor + major - promoted) *)
   mutable children : node list; (* reverse insertion order *)
 }
 
@@ -35,7 +36,16 @@ let of_records records =
     match List.find_opt (fun n -> n.name = name) !siblings with
     | Some n -> n
     | None ->
-      let n = { name; calls = 0; total = 0.0; self = 0.0; children = [] } in
+      let n =
+        {
+          name;
+          calls = 0;
+          total = 0.0;
+          self = 0.0;
+          alloc_words = 0.0;
+          children = [];
+        }
+      in
       siblings := n :: !siblings;
       n
   in
@@ -59,7 +69,7 @@ let of_records records =
     in
     stack := { agg; open_depth = depth; child_secs = 0.0 } :: !stack
   in
-  let leave name depth seconds =
+  let leave name depth seconds gc =
     (* unwind past any nested spans that never closed *)
     while
       match !stack with
@@ -74,6 +84,13 @@ let of_records records =
       f.agg.calls <- f.agg.calls + 1;
       f.agg.total <- f.agg.total +. seconds;
       f.agg.self <- f.agg.self +. Float.max 0.0 (seconds -. f.child_secs);
+      (match gc with
+      | Some g ->
+        f.agg.alloc_words <-
+          f.agg.alloc_words
+          +. Float.max 0.0
+               Trace.(g.minor_words +. g.major_words -. g.promoted_words)
+      | None -> ());
       stack := rest;
       (match rest with
       | parent :: _ -> parent.child_secs <- parent.child_secs +. seconds
@@ -84,8 +101,8 @@ let of_records records =
     (fun (r : Trace_reader.record) ->
       match r.Trace_reader.event with
       | Trace_reader.Span_open { name; depth } -> enter name depth
-      | Trace_reader.Span_close { name; depth; seconds } ->
-        leave name depth seconds
+      | Trace_reader.Span_close { name; depth; seconds; gc } ->
+        leave name depth seconds gc
       | _ -> ())
     records;
   unmatched := !unmatched + List.length !stack;
@@ -108,8 +125,35 @@ let totals t =
   List.iter visit t.roots;
   List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
 
+(* flat per-name allocated words, same merge as [totals] *)
+let alloc_totals t =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  let rec visit n =
+    (match Hashtbl.find_opt tbl n.name with
+    | Some words -> Hashtbl.replace tbl n.name (words +. n.alloc_words)
+    | None ->
+      order := n.name :: !order;
+      Hashtbl.add tbl n.name n.alloc_words);
+    List.iter visit n.children
+  in
+  List.iter visit t.roots;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+
 let grand_total t =
   List.fold_left (fun acc n -> acc +. n.total) 0.0 t.roots
+
+(* OCaml words are 8 bytes on every platform this runs on; traces are
+   cross-machine artifacts, so pin the factor rather than asking
+   Sys.word_size of the analyzing host. *)
+let bytes_of_words w = 8.0 *. w
+
+let human_bytes bytes =
+  if bytes < 1024.0 then Printf.sprintf "%.0fB" bytes
+  else if bytes < 1024.0 *. 1024.0 then Printf.sprintf "%.1fKiB" (bytes /. 1024.0)
+  else if bytes < 1024.0 *. 1024.0 *. 1024.0 then
+    Printf.sprintf "%.1fMiB" (bytes /. (1024.0 *. 1024.0))
+  else Printf.sprintf "%.2fGiB" (bytes /. (1024.0 *. 1024.0 *. 1024.0))
 
 let render t =
   let b = Buffer.create 1024 in
@@ -118,9 +162,11 @@ let render t =
   let sorted ns = List.sort (fun a c -> compare c.total a.total) ns in
   let rec emit indent n =
     Buffer.add_string b
-      (Printf.sprintf "%5.1f%% %9.3fms  self %9.3fms  %6d call%s  %s%s\n"
+      (Printf.sprintf
+         "%5.1f%% %9.3fms  self %9.3fms  %6d call%s  alloc %10s  %s%s\n"
          (pct n.total) (1e3 *. n.total) (1e3 *. n.self) n.calls
          (if n.calls = 1 then " " else "s")
+         (human_bytes (bytes_of_words n.alloc_words))
          indent n.name);
     List.iter (emit (indent ^ "  ")) (sorted n.children)
   in
@@ -141,9 +187,11 @@ let to_json t =
         ("calls", Json.Int n.calls);
         ("total_s", Json.Float n.total);
         ("self_s", Json.Float n.self);
+        ("alloc_words", Json.Float n.alloc_words);
         ("children", Json.List (List.map node_json n.children));
       ]
   in
+  let allocs = alloc_totals t in
   Json.Obj
     [
       ("roots", Json.List (List.map node_json t.roots));
@@ -157,6 +205,10 @@ let to_json t =
                      ("calls", Json.Int calls);
                      ("total_s", Json.Float total);
                      ("self_s", Json.Float self);
+                     ( "alloc_words",
+                       Json.Float
+                         (Option.value ~default:0.0 (List.assoc_opt name allocs))
+                     );
                    ] ))
              (totals t)) );
       ("unmatched", Json.Int t.unmatched);

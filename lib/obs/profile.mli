@@ -12,6 +12,9 @@ type node = {
   mutable calls : int;
   mutable total : float;  (** summed seconds from [span_close] events *)
   mutable self : float;  (** [total] minus direct children's totals *)
+  mutable alloc_words : float;
+      (** words allocated (minor + major - promoted) summed from the
+          close events' GC deltas; 0 for traces without GC accounting *)
   mutable children : node list;  (** first-seen order *)
 }
 
@@ -29,13 +32,24 @@ val totals : t -> (string * (int * float * float)) list
 (** Flat per-name aggregation merging all paths:
     [(name, (calls, total_s, self_s))] in first-seen order. A name's
     [total_s] equals the sum the writer recorded into the
-    [span.<name>] histogram for the same run. *)
+    [span.seconds] histogram labeled with that span for the same
+    run. *)
+
+val alloc_totals : t -> (string * float) list
+(** Flat per-name allocated words, merging paths like {!totals}. *)
 
 val grand_total : t -> float
 (** Summed seconds of the root spans (the traced wall time). *)
 
+val human_bytes : float -> string
+(** [123B] / [1.2KiB] / [3.4MiB] / [5.67GiB]. *)
+
+val bytes_of_words : float -> float
+(** Words to bytes at 8 bytes/word (traces are 64-bit artifacts). *)
+
 val render : t -> string
 (** Flamegraph-style indented text tree, children sorted by total
-    time, with percentages of {!grand_total}. *)
+    time, with percentages of {!grand_total} and per-node allocation
+    next to wall time. *)
 
 val to_json : t -> Json.t

@@ -1,11 +1,15 @@
 (* Throttled in-place progress reporter, fed live through a
    Trace.custom sink (typically fanned out next to a file sink).
-   Renders "\r nodes .. incumbent .. gap .. elapsed" onto one terminal
-   line at most every [interval] seconds, padding to a fixed width so
-   a shorter line fully overwrites a longer one. *)
+   On a terminal it renders "\r nodes .. incumbent .. gap .. elapsed"
+   onto one line at most every [interval] seconds, padding to a fixed
+   width so a shorter line fully overwrites a longer one. When the
+   output is not a tty (a pipe, a CI log) carriage returns would smear
+   every repaint onto one unreadable mega-line, so it falls back to
+   whole newline-terminated lines at a coarser throttle. *)
 
 type state = {
   oc : out_channel;
+  tty : bool;
   interval : float;
   mutable solver : string;
   mutable nodes : int;
@@ -39,19 +43,39 @@ let width = 78
 
 let repaint st =
   let s = line st in
-  let s =
-    if String.length s >= width then String.sub s 0 width
-    else s ^ String.make (width - String.length s) ' '
-  in
-  output_char st.oc '\r';
-  output_string st.oc s;
+  if st.tty then begin
+    let s =
+      if String.length s >= width then String.sub s 0 width
+      else s ^ String.make (width - String.length s) ' '
+    in
+    output_char st.oc '\r';
+    output_string st.oc s
+  end
+  else begin
+    output_string st.oc s;
+    output_char st.oc '\n'
+  end;
   flush st.oc;
   st.rendered <- true
 
-let sink ?(interval = 0.1) ?(oc = stderr) () =
+(* one line per second is plenty for a log file; a terminal can take
+   the default 10 Hz repaint *)
+let non_tty_interval = 1.0
+
+let is_tty oc =
+  try Unix.isatty (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> false
+
+let sink ?interval ?(oc = stderr) ?tty () =
+  let tty = match tty with Some b -> b | None -> is_tty oc in
+  let interval =
+    match interval with
+    | Some i -> i
+    | None -> if tty then 0.1 else non_tty_interval
+  in
   let st =
     {
       oc;
+      tty;
       interval;
       solver = "";
       nodes = 0;
@@ -86,7 +110,9 @@ let sink ?(interval = 0.1) ?(oc = stderr) () =
   let close () =
     if st.rendered || st.nodes > 0 then begin
       repaint st;
-      output_char st.oc '\n';
+      (* the tty repaint leaves the cursor mid-line; the fallback lines
+         already end in a newline *)
+      if st.tty then output_char st.oc '\n';
       flush st.oc
     end
   in

@@ -7,7 +7,14 @@
     seconds. Meant to be {!Trace.fanout}'d next to a file sink so a
     long solve can be watched while its full trace is recorded.
     Closing the sink repaints one final time and terminates the line
-    with a newline. *)
+    with a newline.
 
-val sink : ?interval:float -> ?oc:out_channel -> unit -> Trace.sink
-(** [interval] defaults to 0.1s; [oc] defaults to [stderr]. *)
+    When the channel is not a terminal (detected with [Unix.isatty],
+    overridable with [?tty]) the in-place repaint would smear raw
+    carriage returns into logs, so the sink instead emits whole
+    newline-terminated progress lines at a coarser default throttle
+    (one per second). *)
+
+val sink : ?interval:float -> ?oc:out_channel -> ?tty:bool -> unit -> Trace.sink
+(** [interval] defaults to 0.1s on a tty and 1s otherwise; [oc]
+    defaults to [stderr]; [tty] defaults to [Unix.isatty oc]. *)

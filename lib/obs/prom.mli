@@ -1,0 +1,41 @@
+(** Prometheus text exposition (format 0.0.4) and a scrape endpoint.
+
+    {!to_prometheus} renders a {!Metrics.snapshot} with HELP/TYPE
+    lines per family, escaped label values, counters suffixed
+    [_total], and cumulative [_bucket]/[_sum]/[_count] histogram
+    series. {!lint} is a promtool-style checker used by tests and CI
+    to keep the writer honest. {!listen}/{!serve} answer scrapes over
+    raw [Unix] sockets with no HTTP dependency. *)
+
+val sanitize_name : ?namespace:string -> string -> string
+(** Map a registry name ("simplex.iterations") to a legal Prometheus
+    name ("monpos_simplex_iterations"): invalid characters become
+    ['_'] and [namespace] (default ["monpos"]) is prefixed. *)
+
+val to_prometheus : ?namespace:string -> Metrics.snapshot -> string
+(** The full exposition, families in registration order. *)
+
+val lint : string -> (unit, string list) result
+(** Check an exposition: well-formed sample/HELP/TYPE lines, label
+    escaping, every sample preceded by its family's TYPE, no duplicate
+    series, cumulative histogram buckets, trailing newline. Errors are
+    human-readable and line-numbered. *)
+
+(** {1 Scrape endpoint} *)
+
+val listen : string -> Unix.file_descr
+(** [listen "ADDR:PORT"] binds and listens a TCP socket. [ADDR] may be
+    an IP, a hostname, ["localhost"], or [""]/["*"] for any; port [0]
+    asks the kernel for an ephemeral port (see {!bound_port}). Raises
+    [Invalid_argument] on unparseable specs and [Unix.Unix_error] on
+    bind failures. *)
+
+val bound_port : Unix.file_descr -> int
+(** The actual bound port (useful after [listen "127.0.0.1:0"]). *)
+
+val serve :
+  ?max_requests:int -> ?namespace:string -> registry:Metrics.t -> Unix.file_descr -> unit
+(** Single-threaded accept loop: answers [GET /metrics] (and [/]) with
+    a fresh snapshot of [registry], [404] elsewhere. Runs forever
+    unless [max_requests] bounds it (used by tests and smoke jobs).
+    Ignores [SIGPIPE] so dropped scrapes do not kill the process. *)

@@ -1,11 +1,16 @@
 let nesting = ref 0
 
+(* Allocation histograms are in words; log-spaced bounds from 100
+   words (~1 small closure) to 1e9 (~8 GB on 64-bit). *)
+let alloc_buckets = [| 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+
 let time ?metrics ?sink name f =
   let sink = match sink with Some s -> s | None -> Trace.current () in
   let registry = match metrics with Some m -> m | None -> Metrics.default in
   let depth = !nesting in
   Trace.span_open sink ~name ~depth;
   nesting := depth + 1;
+  let g0 = Gc.quick_stat () in
   let t0 = Clock.now () in
   let finish () =
     (* Restore rather than decrement: if a nested span raised partway
@@ -17,8 +22,27 @@ let time ?metrics ?sink name f =
        unwound exceptionally. *)
     nesting := depth;
     let dt = Clock.elapsed t0 in
-    Trace.span_close sink ~name ~depth ~seconds:dt;
-    Metrics.observe (Metrics.histogram registry ("span." ^ name)) dt;
+    let g1 = Gc.quick_stat () in
+    let gc =
+      {
+        Trace.minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+        major_words = g1.Gc.major_words -. g0.Gc.major_words;
+        promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+        major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+        top_heap_words = g1.Gc.top_heap_words - g0.Gc.top_heap_words;
+      }
+    in
+    Trace.span_close sink ~name ~depth ~gc ~seconds:dt ();
+    let labels = [ ("span", name) ] in
+    Metrics.observe (Metrics.histogram ~labels registry "span.seconds") dt;
+    Metrics.observe
+      (Metrics.histogram ~buckets:alloc_buckets ~labels registry
+         "alloc.minor_words")
+      gc.Trace.minor_words;
+    Metrics.observe
+      (Metrics.histogram ~buckets:alloc_buckets ~labels registry
+         "alloc.major_words")
+      gc.Trace.major_words;
     dt
   in
   match f () with

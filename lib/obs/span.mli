@@ -1,17 +1,20 @@
-(** Nested wall-clock span timers.
+(** Nested wall-clock span timers with GC accounting.
 
     A span times a region of code against {!Clock}, emits
     [span_open]/[span_close] trace events on the ambient (or given)
-    sink, and records the elapsed seconds into a
-    [span.<name>] histogram of the (default or given) registry.
-    Spans nest: the emitted events carry the nesting depth, and an
-    enclosing span's elapsed time always dominates its children's. *)
+    sink, and records into the (default or given) registry: elapsed
+    seconds into the [span.seconds] histogram and [Gc.quick_stat]
+    allocation deltas into [alloc.minor_words] / [alloc.major_words]
+    histograms (in words), each labeled [span=<name>]. The close event
+    carries the full {!Trace.gc_delta}. Spans nest: the emitted events
+    carry the nesting depth, and an enclosing span's elapsed time and
+    allocation always dominate its children's. *)
 
 val time :
   ?metrics:Metrics.t -> ?sink:Trace.sink -> string -> (unit -> 'a) -> 'a * float
 (** [time name f] runs [f] inside a span and returns its result with
     the elapsed wall-clock seconds. The close event and histogram
-    observation happen even when [f] raises. *)
+    observations happen even when [f] raises. *)
 
 val run : ?metrics:Metrics.t -> ?sink:Trace.sink -> string -> (unit -> 'a) -> 'a
 (** {!time} without the elapsed seconds. *)

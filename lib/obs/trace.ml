@@ -23,10 +23,14 @@ let null =
 (* Channel sinks buffer formatted events and write them out in batches:
    one [output] syscall per [flush_every] events instead of one per
    event, so tracing stops distorting the hot paths it observes.
-   [events_written] stays exact — it counts emits, not flushes. *)
+   [events_written] stays exact — it counts emits, not flushes. A
+   mutex serialises the shared Buffer/pending state so spawned domains
+   can emit into the same sink without interleaving half-formatted
+   lines. *)
 let flush_every = 64
 
 let to_channel oc =
+  let lock = Mutex.create () in
   let buf = Buffer.create 8192 in
   let pending = ref 0 in
   let flush_buf () =
@@ -41,24 +45,26 @@ let to_channel oc =
     pending := 0
   in
   let emit_fn ts ev fields =
-    Buffer.add_string buf "{\"ev\":\"";
-    Json.escape_to buf ev;
-    Buffer.add_string buf "\",\"ts\":";
-    Json.float_to buf ts;
-    List.iter
-      (fun (k, v) ->
-        Buffer.add_string buf ",\"";
-        Json.escape_to buf k;
-        Buffer.add_string buf "\":";
-        Json.to_buffer buf v)
-      fields;
-    Buffer.add_string buf "}\n";
-    incr pending;
-    if !pending >= flush_every then flush_buf ()
+    Mutex.protect lock (fun () ->
+        Buffer.add_string buf "{\"ev\":\"";
+        Json.escape_to buf ev;
+        Buffer.add_string buf "\",\"ts\":";
+        Json.float_to buf ts;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string buf ",\"";
+            Json.escape_to buf k;
+            Buffer.add_string buf "\":";
+            Json.to_buffer buf v)
+          fields;
+        Buffer.add_string buf "}\n";
+        incr pending;
+        if !pending >= flush_every then flush_buf ())
   in
   let close_fn () =
-    flush_buf ();
-    if oc == stdout || oc == stderr then flush oc else close_out oc
+    Mutex.protect lock (fun () ->
+        flush_buf ();
+        if oc == stdout || oc == stderr then flush oc else close_out oc)
   in
   { on = true; epoch = Clock.now (); emit_fn; close_fn; events = 0 }
 
@@ -106,24 +112,51 @@ let with_current s f =
   ambient := s;
   Fun.protect ~finally:(fun () -> ambient := saved) f
 
+(* Events from spawned domains carry a ["domain"] field so offline
+   analysis can separate interleaved per-domain streams; events from
+   the initial domain stay unchanged (and pay only the
+   [is_main_domain] check). *)
 let emit s ev fields =
   if s.on then begin
+    let fields =
+      if Domain.is_main_domain () then fields
+      else fields @ [ ("domain", Json.Int (Domain.self () :> int)) ]
+    in
     s.emit_fn (Clock.now () -. s.epoch) ev fields;
     s.events <- s.events + 1
   end
+
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  major_collections : int;
+  top_heap_words : int;
+}
 
 let span_open s ~name ~depth =
   if s.on then
     emit s "span_open" [ ("name", Json.String name); ("depth", Json.Int depth) ]
 
-let span_close s ~name ~depth ~seconds =
+let span_close s ~name ~depth ?gc ~seconds () =
   if s.on then
     emit s "span_close"
-      [
-        ("name", Json.String name);
-        ("depth", Json.Int depth);
-        ("seconds", Json.Float seconds);
-      ]
+      ([
+         ("name", Json.String name);
+         ("depth", Json.Int depth);
+         ("seconds", Json.Float seconds);
+       ]
+      @
+      match gc with
+      | None -> []
+      | Some g ->
+        [
+          ("minor_words", Json.Float g.minor_words);
+          ("major_words", Json.Float g.major_words);
+          ("promoted_words", Json.Float g.promoted_words);
+          ("major_collections", Json.Int g.major_collections);
+          ("top_heap_words", Json.Int g.top_heap_words);
+        ])
 
 let bb_node s ~solver ~node ~depth ?bound () =
   if s.on then

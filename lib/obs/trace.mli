@@ -64,11 +64,29 @@ val with_current : sink -> (unit -> 'a) -> 'a
 
 val emit : sink -> string -> (string * Json.t) list -> unit
 (** [emit sink ev fields] writes one JSONL event. The typed helpers
-    below are the stable event taxonomy; prefer them. *)
+    below are the stable event taxonomy; prefer them. Events emitted
+    from a domain other than the initial one carry an extra ["domain"]
+    field with the emitting domain's id. *)
+
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  major_collections : int;
+  top_heap_words : int;
+}
+(** [Gc.quick_stat] deltas over a span: words allocated on the minor
+    and major heaps, words promoted, major collections run, and growth
+    of the major heap's high-water mark. All fields are differences of
+    monotone GC counters, so they are non-negative. *)
 
 val span_open : sink -> name:string -> depth:int -> unit
 
-val span_close : sink -> name:string -> depth:int -> seconds:float -> unit
+val span_close :
+  sink -> name:string -> depth:int -> ?gc:gc_delta -> seconds:float -> unit -> unit
+(** [gc], when present, adds the span's allocation accounting as
+    [minor_words]/[major_words]/[promoted_words]/[major_collections]/
+    [top_heap_words] fields on the event. *)
 
 val bb_node :
   sink -> solver:string -> node:int -> depth:int -> ?bound:float -> unit -> unit

@@ -1,6 +1,11 @@
 type event =
   | Span_open of { name : string; depth : int }
-  | Span_close of { name : string; depth : int; seconds : float }
+  | Span_close of {
+      name : string;
+      depth : int;
+      seconds : float;
+      gc : Trace.gc_delta option;
+    }
   | Bb_node of { solver : string; node : int; depth : int; bound : float option }
   | Incumbent of { solver : string; node : int; objective : float }
   | Bound_pruned of {
@@ -32,6 +37,14 @@ type event =
   | Recovery of { stage : string; detail : string }
   | Deadline_hit of { phase : string; elapsed : float; budget : float option }
   | Chaos_inject of { site : string }
+  | Run_info of {
+      run_id : string;
+      git_rev : string option;
+      ocaml_version : string option;
+      hostname : string option;
+      chaos_seed : int option;
+      argv : string list;
+    }
   | Unknown of string
 
 type record = { ts : float; event : event }
@@ -51,6 +64,7 @@ let event_name = function
   | Recovery _ -> "recovery"
   | Deadline_hit _ -> "deadline_hit"
   | Chaos_inject _ -> "chaos_inject"
+  | Run_info _ -> "run_info"
   | Unknown ev -> ev
 
 (* Option-monad decoding: a known event missing a required field (or
@@ -79,7 +93,32 @@ let decode ~ev fields =
       let* name = str "name" in
       let* depth = int "depth" in
       let* seconds = num "seconds" in
-      Some (Span_close { name; depth; seconds })
+      (* the gc accounting is all-or-nothing: traces from writers
+         predating it decode with [gc = None] *)
+      let gc =
+        match
+          ( num "minor_words",
+            num "major_words",
+            num "promoted_words",
+            int "major_collections",
+            int "top_heap_words" )
+        with
+        | ( Some minor_words,
+            Some major_words,
+            Some promoted_words,
+            Some major_collections,
+            Some top_heap_words ) ->
+          Some
+            {
+              Trace.minor_words;
+              major_words;
+              promoted_words;
+              major_collections;
+              top_heap_words;
+            }
+        | _ -> None
+      in
+      Some (Span_close { name; depth; seconds; gc })
     | "bb_node" ->
       let* solver = str "solver" in
       let* node = int "node" in
@@ -144,6 +183,23 @@ let decode ~ev fields =
     | "chaos_inject" ->
       let* site = str "site" in
       Some (Chaos_inject { site })
+    | "run_info" ->
+      let* run_id = str "run_id" in
+      let argv =
+        match Option.bind (field "argv") Json.as_list with
+        | None -> []
+        | Some items -> List.filter_map Json.as_string items
+      in
+      Some
+        (Run_info
+           {
+             run_id;
+             git_rev = str "git_rev";
+             ocaml_version = str "ocaml_version";
+             hostname = str "hostname";
+             chaos_seed = int "chaos_seed";
+             argv;
+           })
     | _ -> None
   in
   match decoded with Some e -> e | None -> Unknown ev

@@ -10,7 +10,14 @@
 
 type event =
   | Span_open of { name : string; depth : int }
-  | Span_close of { name : string; depth : int; seconds : float }
+  | Span_close of {
+      name : string;
+      depth : int;
+      seconds : float;
+      gc : Trace.gc_delta option;
+          (** allocation accounting; [None] for traces written before
+              GC sampling existed *)
+    }
   | Bb_node of { solver : string; node : int; depth : int; bound : float option }
   | Incumbent of { solver : string; node : int; objective : float }
   | Bound_pruned of {
@@ -45,6 +52,14 @@ type event =
       (** a wall-clock budget expired inside [phase] *)
   | Chaos_inject of { site : string }
       (** the fault-injection harness fired at [site] *)
+  | Run_info of {
+      run_id : string;
+      git_rev : string option;
+      ocaml_version : string option;
+      hostname : string option;
+      chaos_seed : int option;
+      argv : string list;
+    }  (** the run manifest stamped at the head of every traced run *)
   | Unknown of string  (** carries the unrecognized event name *)
 
 type record = { ts : float; event : event }

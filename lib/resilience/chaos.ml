@@ -51,7 +51,10 @@ let stream ~site =
     Hashtbl.add streams site g;
     g
 
-let m_injections = lazy (Metrics.counter Metrics.default "chaos.injections")
+(* labeled per site; injections are rare enough that the per-fire
+   registry lookup is noise *)
+let m_injections site =
+  Metrics.counter ~labels:[ ("site", site) ] Metrics.default "chaos.injections"
 
 let armed ~scoped =
   !suppressed = 0 && active () && ((not scoped) || !depth > 0)
@@ -61,7 +64,7 @@ let fire ?(scoped = true) ~site ~p () =
   &&
   let hit = Prng.float (stream ~site) 1.0 < p in
   if hit then begin
-    Metrics.incr (Lazy.force m_injections);
+    Metrics.incr (m_injections site);
     let s = Trace.current () in
     if Trace.enabled s then
       Trace.emit s "chaos_inject" [ ("site", Json.String site) ]

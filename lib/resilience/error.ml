@@ -3,6 +3,7 @@ type t =
   | Numerical of { stage : string; detail : string }
   | Deadline_exceeded of { phase : string; elapsed : float }
   | Infeasible_model of { what : string }
+  | Io_error of { path : string; detail : string }
   | Internal of string
 
 exception Error of t
@@ -16,6 +17,8 @@ let deadline_exceeded ~phase ~elapsed =
 
 let infeasible what = raise (Error (Infeasible_model { what }))
 
+let io_error ~path detail = raise (Error (Io_error { path; detail }))
+
 let internal msg = raise (Error (Internal msg))
 
 let to_string = function
@@ -27,10 +30,11 @@ let to_string = function
   | Deadline_exceeded { phase; elapsed } ->
     Printf.sprintf "deadline exceeded in %s after %.3fs" phase elapsed
   | Infeasible_model { what } -> Printf.sprintf "infeasible model: %s" what
+  | Io_error { path; detail } -> Printf.sprintf "cannot access %s: %s" path detail
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 let exit_code = function
-  | Parse_error _ | Infeasible_model _ -> 2
+  | Parse_error _ | Infeasible_model _ | Io_error _ -> 2
   | Deadline_exceeded _ -> 3
   | Numerical _ | Internal _ -> 4
 

@@ -7,7 +7,7 @@
     failure class rather than scrape message strings.
 
     The taxonomy maps onto [monitorctl]'s documented exit codes:
-    bad input is 2 ([Parse_error], [Infeasible_model]), a blown
+    bad input is 2 ([Parse_error], [Infeasible_model], [Io_error]), a blown
     deadline or a degraded result is 3 ([Deadline_exceeded]), and a
     solver-internal fault is 4 ([Numerical], [Internal]). *)
 
@@ -27,6 +27,10 @@ type t =
   | Infeasible_model of { what : string }
       (** The model admits no feasible point (e.g. a coverage target
           unreachable even with every device installed). *)
+  | Io_error of { path : string; detail : string }
+      (** A file the caller named could not be opened or written (a
+          trace destination, a metrics snapshot) — operator-fixable,
+          so it shares exit code 2 with the parse errors. *)
   | Internal of string
       (** Invariant violation inside the library — always a bug. *)
 
@@ -40,6 +44,9 @@ val numerical : stage:string -> detail:string -> 'a
 val deadline_exceeded : phase:string -> elapsed:float -> 'a
 
 val infeasible : string -> 'a
+
+val io_error : path:string -> string -> 'a
+(** Raise {!Error} with an [Io_error] for [path]. *)
 
 val internal : string -> 'a
 

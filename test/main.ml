@@ -7,6 +7,8 @@ let () =
       ("lp.mip", Test_mip.suite);
       ("obs", Test_obs.suite);
       ("obs.reader", Test_obs_reader.suite);
+      ("obs.prom", Test_prom.suite);
+      ("obs.diff", Test_diff.suite);
       ("graph", Test_graph.suite);
       ("flow", Test_flow.suite);
       ("cover", Test_cover.suite);

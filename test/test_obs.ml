@@ -189,7 +189,8 @@ let test_snapshot_order_and_json () =
   Metrics.set (Metrics.gauge r "a.first") 2.0;
   let snap = Metrics.snapshot r in
   Alcotest.(check (list string))
-    "registration order" [ "b.second"; "a.first" ] (List.map fst snap);
+    "registration order" [ "b.second"; "a.first" ]
+    (List.map (fun (s, _) -> Metrics.series_key s) snap);
   Alcotest.(check string)
     "json" {|{"b.second":1,"a.first":2}|}
     (Json.to_string (Metrics.to_json snap))
@@ -213,10 +214,10 @@ let test_nested_spans () =
   let snap = Metrics.snapshot r in
   List.iter
     (fun name ->
-      match Metrics.find snap ("span." ^ name) with
+      match Metrics.find ~labels:[ ("span", name) ] snap "span.seconds" with
       | Some (Metrics.Histogram_value { count; _ }) ->
         Alcotest.(check int) (name ^ " observed") 1 count
-      | _ -> Alcotest.fail ("span." ^ name ^ " missing"))
+      | _ -> Alcotest.fail ("span.seconds{" ^ name ^ "} missing"))
     [ "outer"; "inner" ]
 
 let test_span_depths_in_trace () =
@@ -282,10 +283,10 @@ let test_span_unwind_two_levels () =
   let snap = Metrics.snapshot r in
   List.iter
     (fun name ->
-      match Metrics.find snap ("span." ^ name) with
+      match Metrics.find ~labels:[ ("span", name) ] snap "span.seconds" with
       | Some (Metrics.Histogram_value { count; _ }) ->
         Alcotest.(check int) (name ^ " observed") 1 count
-      | _ -> Alcotest.fail ("span." ^ name ^ " missing"))
+      | _ -> Alcotest.fail ("span.seconds{" ^ name ^ "} missing"))
     [ "outer"; "mid"; "deep"; "sibling" ]
 
 let test_span_closes_on_raise () =
@@ -293,10 +294,13 @@ let test_span_closes_on_raise () =
   (match Span.run ~metrics:r ~sink:Trace.null "boom" (fun () -> failwith "x") with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "exception swallowed");
-  match Metrics.find (Metrics.snapshot r) "span.boom" with
+  match
+    Metrics.find ~labels:[ ("span", "boom") ] (Metrics.snapshot r)
+      "span.seconds"
+  with
   | Some (Metrics.Histogram_value { count; _ }) ->
     Alcotest.(check int) "closed despite raise" 1 count
-  | _ -> Alcotest.fail "span.boom missing"
+  | _ -> Alcotest.fail "span.seconds{boom} missing"
 
 (* ------------------------------------------------------------------ *)
 (* json writer *)
@@ -353,7 +357,7 @@ let test_null_sink_emits_nothing () =
   Trace.bb_node s ~solver:"mip" ~node:1 ~depth:0 ~bound:1.0 ();
   Trace.incumbent s ~solver:"mip" ~node:1 ~objective:0.0;
   Trace.span_open s ~name:"x" ~depth:0;
-  Trace.span_close s ~name:"x" ~depth:0 ~seconds:0.0;
+  Trace.span_close s ~name:"x" ~depth:0 ~seconds:0.0 ();
   Trace.emit s "custom" [];
   Alcotest.(check int) "nothing written" 0 (Trace.events_written s);
   (* the ambient default is the null sink *)

@@ -186,10 +186,10 @@ let test_profile_tree () =
       [
         (0.0, Reader.Span_open { name = "outer"; depth = 0 });
         (0.1, Reader.Span_open { name = "inner"; depth = 1 });
-        (1.1, Reader.Span_close { name = "inner"; depth = 1; seconds = 1.0 });
+        (1.1, Reader.Span_close { name = "inner"; depth = 1; seconds = 1.0; gc = None });
         (1.2, Reader.Span_open { name = "inner"; depth = 1 });
-        (2.2, Reader.Span_close { name = "inner"; depth = 1; seconds = 1.0 });
-        (5.0, Reader.Span_close { name = "outer"; depth = 0; seconds = 5.0 });
+        (2.2, Reader.Span_close { name = "inner"; depth = 1; seconds = 1.0; gc = None });
+        (5.0, Reader.Span_close { name = "outer"; depth = 0; seconds = 5.0; gc = None });
       ]
   in
   let p = Profile.of_records records in
@@ -507,20 +507,113 @@ let test_analyze_roundtrip_pop10 () =
       (match mip.Converge.final_incumbent with
       | Some v -> check_float "final incumbent = device count" (float_of_int sol.Passive.count) v
       | None -> Alcotest.fail "no incumbent in trace");
-      (* profile: per-name totals equal the span.<name> histogram sums
-         bit for bit (same additions in the same order) *)
+      (* profile: per-name totals equal the span.seconds{span=name}
+         histogram sums bit for bit (same additions in the same order) *)
       let p = Profile.of_records r.Reader.records in
       Alcotest.(check int) "all spans paired" 0 p.Profile.unmatched;
       let totals = Profile.totals p in
       Alcotest.(check bool) "spans present" true (totals <> []);
       List.iter
         (fun (name, (calls, total_s, _self)) ->
-          match Metrics.find snap ("span." ^ name) with
+          match Metrics.find ~labels:[ ("span", name) ] snap "span.seconds" with
           | Some (Metrics.Histogram_value { count; sum; _ }) ->
             Alcotest.(check int) (name ^ " calls") count calls;
             check_exact (name ^ " seconds") sum total_s
-          | _ -> Alcotest.fail ("span." ^ name ^ " histogram missing"))
+          | _ -> Alcotest.fail ("span.seconds{" ^ name ^ "} histogram missing"))
         totals)
+
+(* ------------------------------------------------------------------ *)
+(* run manifests *)
+
+let test_run_info_roundtrip () =
+  let module Runinfo = Monpos_obs.Runinfo in
+  let manifest =
+    {
+      Runinfo.run_id = "run-test-1";
+      git_rev = Some "abc123";
+      ocaml_version = "5.1.1";
+      hostname = "boxen";
+      chaos_seed = Some 42;
+      argv = [ "monitorctl"; "passive"; "--trace"; "t.jsonl" ];
+    }
+  in
+  let s = trace_to_string (fun sink -> Runinfo.emit sink manifest) in
+  match (Reader.read_string s).Reader.records with
+  | [ { Reader.event = Reader.Run_info r; _ } ] ->
+    Alcotest.(check string) "run_id" "run-test-1" r.run_id;
+    Alcotest.(check (option string)) "git_rev" (Some "abc123") r.git_rev;
+    Alcotest.(check (option string)) "ocaml" (Some "5.1.1") r.ocaml_version;
+    Alcotest.(check (option string)) "hostname" (Some "boxen") r.hostname;
+    Alcotest.(check (option int)) "chaos_seed" (Some 42) r.chaos_seed;
+    Alcotest.(check (list string)) "argv" manifest.Runinfo.argv r.argv
+  | evs ->
+    Alcotest.failf "expected one run_info, got %d record(s)" (List.length evs)
+
+let test_run_info_capture_defaults () =
+  let module Runinfo = Monpos_obs.Runinfo in
+  let m = Runinfo.capture () in
+  Alcotest.(check string) "ocaml version" Sys.ocaml_version m.Runinfo.ocaml_version;
+  Alcotest.(check bool) "run id non-empty" true (m.Runinfo.run_id <> "");
+  Alcotest.(check (option int)) "no chaos seed" None m.Runinfo.chaos_seed;
+  let m2 = Runinfo.capture () in
+  Alcotest.(check bool) "ids unique per capture" true
+    (m.Runinfo.run_id <> m2.Runinfo.run_id)
+
+(* ------------------------------------------------------------------ *)
+(* GC accounting on spans *)
+
+let test_span_gc_deltas () =
+  let s =
+    trace_to_string (fun sink ->
+        Trace.with_current sink (fun () ->
+            Span.run "outer" (fun () ->
+                let junk =
+                  Span.run "inner" (fun () -> Array.init 50_000 string_of_int)
+                in
+                ignore (Sys.opaque_identity junk))))
+  in
+  let closes =
+    List.filter_map
+      (fun r ->
+        match r.Reader.event with
+        | Reader.Span_close { name; gc; _ } -> Some (name, gc)
+        | _ -> None)
+      (Reader.read_string s).Reader.records
+  in
+  let gc_of name =
+    match List.assoc_opt name closes with
+    | Some (Some gc) -> gc
+    | Some None -> Alcotest.failf "span %s closed without gc fields" name
+    | None -> Alcotest.failf "span %s has no close event" name
+  in
+  let inner = gc_of "inner" and outer = gc_of "outer" in
+  let non_negative name (gc : Trace.gc_delta) =
+    Alcotest.(check bool) (name ^ " minor >= 0") true (gc.Trace.minor_words >= 0.0);
+    Alcotest.(check bool) (name ^ " major >= 0") true (gc.Trace.major_words >= 0.0);
+    Alcotest.(check bool) (name ^ " promoted >= 0") true
+      (gc.Trace.promoted_words >= 0.0);
+    Alcotest.(check bool) (name ^ " majors >= 0") true
+      (gc.Trace.major_collections >= 0);
+    Alcotest.(check bool) (name ^ " top heap >= 0") true
+      (gc.Trace.top_heap_words >= 0)
+  in
+  non_negative "inner" inner;
+  non_negative "outer" outer;
+  (* the deltas are differences of monotone GC counters, so an
+     enclosing span dominates its children *)
+  Alcotest.(check bool) "inner allocated something" true
+    (inner.Trace.minor_words +. inner.Trace.major_words > 0.0);
+  Alcotest.(check bool) "outer minor >= inner minor" true
+    (outer.Trace.minor_words >= inner.Trace.minor_words);
+  Alcotest.(check bool) "outer major >= inner major" true
+    (outer.Trace.major_words >= inner.Trace.major_words);
+  (* and the profile surfaces them as per-span allocation totals *)
+  let p = Profile.of_records (Reader.read_string s).Reader.records in
+  let alloc = Profile.alloc_totals p in
+  Alcotest.(check bool) "profile reports outer alloc" true
+    (match List.assoc_opt "outer" alloc with
+    | Some w -> w > 0.0
+    | None -> false)
 
 let suite =
   [
@@ -542,4 +635,8 @@ let suite =
     Alcotest.test_case "bench regression gate" `Quick test_bench_check;
     Alcotest.test_case "analyze round trip on pop10" `Quick
       test_analyze_roundtrip_pop10;
+    Alcotest.test_case "run_info round trip" `Quick test_run_info_roundtrip;
+    Alcotest.test_case "run_info capture defaults" `Quick
+      test_run_info_capture_defaults;
+    Alcotest.test_case "span gc deltas" `Quick test_span_gc_deltas;
   ]
