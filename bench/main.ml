@@ -7,8 +7,10 @@
                                               # cold vs warm-started MIP solves
      dune exec bench/main.exe -- --compare-kernel
                                               # dense vs sparse-LU simplex kernels
+     dune exec bench/main.exe -- --compare-flow
+                                              # PPME* LP vs flow kernels (cold/warm)
    Experiments: fig3 fig7 fig8 fig9 fig10 fig11 dynamic warmstart
-   kernelscale sampling campaign ablation micro
+   kernelscale flowscale sampling campaign ablation micro
 
    Set MONPOS_BENCH_FULL=1 for paper-scale runs (20 seeds everywhere,
    full sweeps, larger branch-and-bound budgets). The default
@@ -31,6 +33,7 @@ module Prng = Monpos_util.Prng
 module Clock = Monpos_obs.Clock
 module Metrics = Monpos_obs.Metrics
 module Json = Monpos_obs.Json
+module Mincost = Monpos_flow.Mincost
 
 let full_mode =
   match Sys.getenv_opt "MONPOS_BENCH_FULL" with
@@ -651,6 +654,170 @@ let kernelscale () =
     note "!! sparse kernel NOT faster on the largest instance (%s)"
       !largest_label
 
+(* Flow-kernel scaling (also reachable as --compare-flow): replay the
+   same sequence of §5.4 drift ticks through every PPME* engine — the
+   LP relaxation, the SSP min-cost-flow kernel, a cold network simplex
+   (network rebuilt per tick) and a warm one (single persistent
+   network, spanning-tree basis carried across ticks) — and compare
+   wall time plus pivot counts. The three flow kernels must agree on
+   the exploitation cost; the LP sits at or above it (the flow model
+   relaxes the one-rate-per-device coupling). *)
+let flowscale () =
+  section "PPME* kernels — LP vs SSP vs network simplex (cold/warm)";
+  let nticks = if full_mode then 12 else 6 in
+  let endpoints g count =
+    let nodes = Array.init (Graph.num_nodes g) (fun i -> i) in
+    Prng.shuffle (Prng.create 17) nodes;
+    Array.to_list (Array.sub nodes 0 (min count (Array.length nodes)))
+  in
+  let instance g count =
+    let matrix = Traffic.generate g ~endpoints:(endpoints g count) ~seed:41 in
+    Instance.make g matrix
+  in
+  let cases =
+    let waxman n = Synthetic.waxman ~n ~alpha:0.22 ~beta:0.35 ~seed:5 in
+    [
+      ("waxman60", instance (waxman 60) 12);
+      ("waxman100", instance (waxman 100) 18);
+      ("waxman140", instance (waxman 140) 24);
+      ("grid7x7", instance (Synthetic.grid 7 7) 14);
+      ("grid10x10", instance (Synthetic.grid 10 10) 20);
+    ]
+    @
+    if full_mode then [ ("waxman200", instance (waxman 200) 30) ]
+    else []
+  in
+  let largest_ok = ref true in
+  let largest_label = ref "" in
+  let largest_links = ref (-1) in
+  let agree_all = ref true in
+  let rows =
+    List.map
+      (fun (label, inst) ->
+        let pb = Sampling.make_problem ~k:0.9 inst in
+        (* devices everywhere a packet flows: always feasible, even
+           after drift, so every engine solves every tick *)
+        let installed =
+          List.filter
+            (fun e -> inst.Instance.loads.(e) > 0.0)
+            (List.init (Graph.num_edges inst.Instance.graph) Fun.id)
+        in
+        (* one drifted-problem sequence shared by all engines *)
+        let problems =
+          let acc = ref [ pb ] in
+          let demands = ref inst.Instance.demands in
+          for i = 1 to nticks do
+            demands := Traffic.drift !demands ~seed:(997 * i) ~sigma:0.15;
+            acc :=
+              { pb with Sampling.instance = Instance.replace_demands inst !demands }
+              :: !acc
+          done;
+          List.rev !acc
+        in
+        let time_ticks (solve : Sampling.problem -> Sampling.solution) =
+          Metrics.reset Metrics.default;
+          let costs = ref [] in
+          let (), secs =
+            wall (fun () ->
+                List.iter
+                  (fun p -> costs := (solve p).Sampling.exploit_cost :: !costs)
+                  problems)
+          in
+          (List.rev !costs, secs, Metrics.snapshot Metrics.default)
+        in
+        let lp_costs, secs_lp, _ =
+          time_ticks (fun p -> Sampling.reoptimize p ~installed)
+        in
+        let ssp_costs, secs_ssp, _ =
+          time_ticks (fun p ->
+              Sampling.reoptimize_flow ~algo:Mincost.Ssp p ~installed)
+        in
+        let cold_costs, secs_cold, snap_cold =
+          time_ticks (fun p ->
+              Sampling.reoptimize_flow ~algo:Mincost.Net_simplex p ~installed)
+        in
+        let warm_costs, secs_warm, snap_warm =
+          let rp = ref None in
+          time_ticks (fun p ->
+              let r =
+                match !rp with
+                | Some r -> r
+                | None ->
+                  let r =
+                    Sampling.reopt_create ~algo:Mincost.Net_simplex p ~installed
+                  in
+                  rp := Some r;
+                  r
+              in
+              Sampling.reopt_solve r p)
+        in
+        let pivots_cold = Metrics.sum_counter snap_cold "flow.pivots" in
+        let pivots_warm = Metrics.sum_counter snap_warm "flow.pivots" in
+        (* the flow kernels solve the same relaxation: exact agreement;
+           the LP solves the tighter coupled model: never cheaper *)
+        let rel_eq a b = Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs b) in
+        let agree =
+          List.for_all2 rel_eq ssp_costs cold_costs
+          && List.for_all2 rel_eq cold_costs warm_costs
+          && List.for_all2
+               (fun flow lp -> flow <= lp +. (1e-6 *. (1.0 +. Float.abs lp)))
+               warm_costs lp_costs
+        in
+        if not agree then agree_all := false;
+        let speedup_warm = secs_lp /. Float.max 1e-9 secs_warm in
+        let speedup_cold = secs_lp /. Float.max 1e-9 secs_cold in
+        let pivot_ratio =
+          float_of_int pivots_warm /. Float.max 1.0 (float_of_int pivots_cold)
+        in
+        let links = Graph.num_edges inst.Instance.graph in
+        if links > !largest_links then begin
+          largest_links := links;
+          largest_label := label;
+          largest_ok := speedup_warm >= 5.0
+        end;
+        kv_float (label ^ "_seconds_lp") secs_lp;
+        kv_float (label ^ "_seconds_ssp") secs_ssp;
+        kv_float (label ^ "_seconds_ns_cold") secs_cold;
+        kv_float (label ^ "_seconds_ns_warm") secs_warm;
+        kv_float (label ^ "_speedup_warm_vs_lp") speedup_warm;
+        kv_float (label ^ "_speedup_cold_vs_lp") speedup_cold;
+        kv_float (label ^ "_pivot_ratio_warm_cold") pivot_ratio;
+        kv (label ^ "_kernels_agree") (Json.Bool agree);
+        [
+          label;
+          string_of_int links;
+          Printf.sprintf "%.3f" secs_lp;
+          Printf.sprintf "%.3f" secs_ssp;
+          Printf.sprintf "%.3f/%.3f" secs_cold secs_warm;
+          Table.float_cell ~decimals:1 speedup_warm;
+          Printf.sprintf "%d/%d" pivots_cold pivots_warm;
+          (if agree then "yes" else "NO");
+        ])
+      cases
+  in
+  Table.print
+    ~header:
+      [
+        "instance"; "links"; "lp s"; "ssp s"; "ns cold/warm s"; "speedup x";
+        "pivots c/w"; "agree";
+      ]
+    rows;
+  note
+    "each engine replays the same %d drift ticks; the warm network simplex\n\
+     keeps one spanning-tree basis alive across ticks where the LP re-solves\n\
+     from scratch."
+    (nticks + 1);
+  if !agree_all then note "flow kernels agree on every tick: OK"
+  else note "!! flow kernels disagree on some tick";
+  if !largest_ok then
+    note "warm network simplex >= 5x faster than the LP on the largest \
+          instance (%s): OK"
+      !largest_label
+  else
+    note "!! warm network simplex NOT >= 5x faster than the LP on the \
+          largest instance (%s)"
+      !largest_label
+
 (* §7 extension: measurement campaigns *)
 let campaign () =
   section "Extension (§7) — measurement campaigns (re-route to monitor)";
@@ -691,6 +858,7 @@ let experiments =
     ("dynamic", dynamic);
     ("warmstart", warmstart);
     ("kernelscale", kernelscale);
+    ("flowscale", flowscale);
     ("sampling", sampling_sweep);
     ("campaign", campaign);
     ("ablation", ablation);
@@ -791,11 +959,12 @@ let () =
     match args with
     | _ :: _ as picks ->
       (* flag spellings kept for muscle memory:
-         bench --compare-warmstart / --compare-kernel *)
+         bench --compare-warmstart / --compare-kernel / --compare-flow *)
       List.map
         (function
           | "--compare-warmstart" -> "warmstart"
           | "--compare-kernel" -> "kernelscale"
+          | "--compare-flow" -> "flowscale"
           | pick -> pick)
         picks
     | [] -> List.map fst experiments

@@ -30,6 +30,7 @@ module Obs_trace = Monpos_obs.Trace
 module Obs_metrics = Monpos_obs.Metrics
 module Mip = Monpos_lp.Mip
 module Simplex = Monpos_lp.Simplex
+module Mincost = Monpos_flow.Mincost
 module Rerror = Monpos_resilience.Error
 open Cmdliner
 
@@ -225,6 +226,22 @@ let strict_arg =
   in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
+(* Min-cost-flow kernel selector shared by the flow-backed paths
+   (PPME* re-optimization, the MECF flow heuristic, the §5.4 loop). *)
+let flow_kernel_arg =
+  let doc =
+    "Min-cost-flow kernel for the flow-based solves: $(b,ssp) \
+     (successive shortest augmenting paths) or $(b,netsimplex) (the \
+     warm-startable spanning-tree network simplex)."
+  in
+  let kernel_conv =
+    Arg.enum [ ("ssp", Mincost.Ssp); ("netsimplex", Mincost.Net_simplex) ]
+  in
+  Arg.(
+    value
+    & opt (some kernel_conv) None
+    & info [ "flow-kernel" ] ~docv:"KERNEL" ~doc)
+
 (* Print how a ladder solve went and turn its outcome into (value,
    exit code): a degraded answer is still printed but exits 3 so
    scripts can tell a proven optimum from a best effort. *)
@@ -342,7 +359,8 @@ let passive_cmd =
   let method_arg =
     let doc =
       "Solver: greedy, static (load-order greedy), exact, mip-lp1, \
-       mip-lp2 or mecf."
+       mip-lp2, mecf or mecf-flow (min-cost-flow relaxation, honours \
+       $(b,--flow-kernel))."
     in
     Arg.(value & opt string "exact" & info [ "method"; "m" ] ~doc)
   in
@@ -359,7 +377,7 @@ let passive_cmd =
     Arg.(value & opt (some string) None & info [ "dot" ] ~doc)
   in
   let run obs tune strict preset seed sample topo demands k method_ budget
-      installed dot =
+      installed dot flow_kernel =
     with_obs obs @@ fun () ->
     let _, inst = load_instance ?sample ?topo ?demands preset seed in
     let options = tune Mip.default_options in
@@ -388,10 +406,14 @@ let passive_cmd =
         | "mip-lp1" -> ladder `Lp1
         | "mip-lp2" -> ladder `Lp2
         | "mecf" -> (Mecf.solve_mip ~k ~options inst, 0)
+        | "mecf-flow" ->
+          let algo = Option.value flow_kernel ~default:Mincost.Ssp in
+          (Mecf.flow_heuristic ~k ~algo inst, 0)
         | other ->
           bad_input
             (Printf.sprintf
-               "unknown method %S (greedy|static|exact|mip-lp1|mip-lp2|mecf)"
+               "unknown method %S \
+                (greedy|static|exact|mip-lp1|mip-lp2|mecf|mecf-flow)"
                other))
     in
     Format.printf "%a@." Passive.pp sol;
@@ -410,7 +432,7 @@ let passive_cmd =
     Term.(
       const run $ obs_term $ solver_term $ strict_arg $ preset_arg $ seed_arg
       $ sample_arg $ topo_arg $ demands_arg $ coverage_arg $ method_arg
-      $ budget_arg $ installed_arg $ dot_arg)
+      $ budget_arg $ installed_arg $ dot_arg $ flow_kernel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sampling                                                            *)
@@ -424,7 +446,7 @@ let sampling_cmd =
     let doc = "Scale exploitation cost with link load (default uniform)." in
     Arg.(value & flag & info [ "load-scaled" ] ~doc)
   in
-  let run obs tune strict preset seed k install_cost scaled =
+  let run obs tune strict preset seed k install_cost scaled flow_kernel =
     with_obs obs @@ fun () ->
     let _, inst = load_instance preset seed in
     let costs =
@@ -436,6 +458,21 @@ let sampling_cmd =
     let sol, code =
       if strict then (Sampling.solve_milp ~options pb, 0)
       else report_outcome "ppme" (Resilient.solve_ppme ~options pb)
+    in
+    (* with a flow kernel selected, re-tune rates on the fixed
+       placement through the PPME* min-cost-flow formulation *)
+    let sol =
+      match flow_kernel with
+      | None -> sol
+      | Some algo ->
+        let retuned =
+          Sampling.reoptimize_flow ~algo pb ~installed:sol.Sampling.installed
+        in
+        Format.printf "rates re-tuned by %s flow kernel@."
+          (match algo with
+          | Mincost.Ssp -> "ssp"
+          | Mincost.Net_simplex -> "netsimplex");
+        retuned
     in
     Format.printf "%a@." Sampling.pp sol;
     List.iter
@@ -451,7 +488,7 @@ let sampling_cmd =
     (Cmd.info "sampling" ~doc ~exits)
     Term.(
       const run $ obs_term $ solver_term $ strict_arg $ preset_arg $ seed_arg
-      $ coverage_arg $ install_cost_arg $ scaled_arg)
+      $ coverage_arg $ install_cost_arg $ scaled_arg $ flow_kernel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* active                                                              *)
@@ -532,10 +569,11 @@ let dynamic_cmd =
       value & opt float 0.85
       & info [ "threshold" ] ~doc:"Coverage tolerance T triggering PPME*.")
   in
-  let run obs preset seed k steps sigma threshold =
+  let run obs preset seed k steps sigma threshold flow_kernel =
     with_obs obs @@ fun () ->
+    let kernel = Option.map (fun algo -> Sampling.Flow algo) flow_kernel in
     let points =
-      Scenario.dynamic_run ~preset ~seed ~k ~threshold ~steps ~sigma ()
+      Scenario.dynamic_run ~preset ~seed ~k ~threshold ~steps ~sigma ?kernel ()
     in
     Table.print
       ~header:[ "step"; "before"; "after"; "reopts" ]
@@ -555,7 +593,7 @@ let dynamic_cmd =
     (Cmd.info "dynamic" ~doc ~exits)
     Term.(
       const run $ obs_term $ preset_arg $ seed_arg $ coverage_arg $ steps_arg
-      $ sigma_arg $ threshold_arg)
+      $ sigma_arg $ threshold_arg $ flow_kernel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* campaign                                                            *)

@@ -131,7 +131,7 @@ let solve_mip ?(k = 1.0) ?options inst =
     }
   | _ -> Mip.fail ?options ~stage:"Mecf.solve_mip" r
 
-let flow_heuristic ?(k = 1.0) inst =
+let flow_heuristic ?(k = 1.0) ?(algo = Mincost.Ssp) inst =
   Span.run "mecf.flow_heuristic" @@ fun () ->
   let l = layout inst in
   let net = Mincost.create l.total_nodes in
@@ -162,7 +162,7 @@ let flow_heuristic ?(k = 1.0) inst =
   let request = k *. inst.Instance.total_volume in
   Mincost.set_supply net l.source request;
   Mincost.set_supply net l.sink (-.request);
-  (match Mincost.solve net with
+  (match Mincost.solve ~algo net with
   | Mincost.Optimal -> ()
   | Mincost.Infeasible ->
     Monpos_resilience.Error.infeasible "Mecf.flow_heuristic: request unreachable");

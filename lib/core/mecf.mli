@@ -21,11 +21,15 @@ val solve_mip :
   ?k:float -> ?options:Monpos_lp.Mip.options -> Instance.t -> Passive.solution
 (** Exact PPM(k) through the MECF integer program. *)
 
-val flow_heuristic : ?k:float -> Instance.t -> Passive.solution
+val flow_heuristic :
+  ?k:float -> ?algo:Monpos_flow.Mincost.algo -> Instance.t -> Passive.solution
 (** Min-cost-flow relaxation with per-unit costs [1/load(e)] on the
     [(S, w_e)] arcs (the flow formalization of the greedy family),
     selecting the links that carry flow and then dropping redundant
-    ones. Feasible but not necessarily optimal. *)
+    ones. Feasible but not necessarily optimal. [algo] picks the
+    min-cost-flow kernel (default {!Monpos_flow.Mincost.Ssp}); both
+    kernels agree on the bound, though degenerate ties may select
+    different—equally cheap—link sets. *)
 
 val coverage_via_flow :
   Instance.t -> monitors:Monpos_graph.Graph.edge list -> float

@@ -236,10 +236,37 @@ let reoptimize pb ~installed =
    Arc (S, w_e) has capacity load(e) and cost coste(e)/load(e);
    (w_e, w_p) exists when path p crosses e, capacity v_p;
    (w_p, w_t) capacity v_p; (w_t, T) has bounds [h_t V_t, V_t].
-   A super-path collects the remaining freedom so exactly k V units
-   are routed. *)
-let reoptimize_flow pb ~installed =
-  Span.run "sampling.reoptimize_flow" @@ fun () ->
+   Exactly k V units are routed from the source.
+
+   The network's shape depends only on the topology and the traffic
+   routes, not on the drifting volumes, so a handle built once can
+   replay §5.4 drift ticks by rewriting arc bounds/costs/supplies in
+   place and warm-starting the network-simplex basis. *)
+type flow_net = {
+  fn_algo : Mincost.algo;
+  fn_net : Mincost.t;
+  fn_usable : Graph.edge list;
+  fn_s_arc : (Graph.edge, Mincost.arc) Hashtbl.t;
+  fn_vol_arcs : (Mincost.arc * int) list;
+      (* (w_e, w_p) and (w_p, w_t) arcs whose capacity tracks the
+         volume of traffic [p] *)
+  fn_dem_arcs : (Mincost.arc * int) array;  (* (w_t, T): [h_t V_t, V_t] *)
+  fn_source : int;
+  fn_sink : int;
+  fn_ntraffics : int;
+  fn_ndemands : int;
+}
+
+let demand_volumes inst =
+  let vols = Array.make (Array.length inst.Instance.demands) 0.0 in
+  Array.iter
+    (fun tr ->
+      vols.(tr.Instance.t_demand) <-
+        vols.(tr.Instance.t_demand) +. tr.Instance.t_volume)
+    inst.Instance.traffics;
+  vols
+
+let flow_build ~algo pb ~installed =
   let inst = pb.instance in
   let usable =
     List.filter (fun e -> inst.Instance.loads.(e) > 0.0) installed
@@ -268,6 +295,7 @@ let reoptimize_flow pb ~installed =
            ~capacity:load
            ~cost:(pb.costs.exploit e /. load)))
     usable;
+  let vol_arcs = ref [] in
   let demand_volume = Array.make ndemands 0.0 in
   Array.iteri
     (fun p tr ->
@@ -278,26 +306,79 @@ let reoptimize_flow pb ~installed =
           match Hashtbl.find_opt edge_node e with
           | None -> ()
           | Some we ->
-            ignore
-              (Mincost.add_arc net ~src:we ~dst:path_node.(p)
-                 ~capacity:tr.Instance.t_volume ~cost:0.0))
+            vol_arcs :=
+              ( Mincost.add_arc net ~src:we ~dst:path_node.(p)
+                  ~capacity:tr.Instance.t_volume ~cost:0.0,
+                p )
+              :: !vol_arcs)
         tr.Instance.t_edges;
-      ignore
-        (Mincost.add_arc net ~src:path_node.(p)
-           ~dst:demand_node.(tr.Instance.t_demand)
-           ~capacity:tr.Instance.t_volume ~cost:0.0))
+      vol_arcs :=
+        ( Mincost.add_arc net ~src:path_node.(p)
+            ~dst:demand_node.(tr.Instance.t_demand)
+            ~capacity:tr.Instance.t_volume ~cost:0.0,
+          p )
+        :: !vol_arcs)
     inst.Instance.traffics;
-  Array.iteri
-    (fun t dn ->
-      let lower = pb.h.(t) *. demand_volume.(t) in
-      ignore
-        (Mincost.add_arc ~lower net ~src:dn ~dst:sink
-           ~capacity:demand_volume.(t) ~cost:0.0))
-    demand_node;
+  let dem_arcs =
+    Array.mapi
+      (fun t dn ->
+        let lower = pb.h.(t) *. demand_volume.(t) in
+        ( Mincost.add_arc ~lower net ~src:dn ~dst:sink
+            ~capacity:demand_volume.(t) ~cost:0.0,
+          t ))
+      demand_node
+  in
   let request = pb.k *. inst.Instance.total_volume in
   Mincost.set_supply net source request;
   Mincost.set_supply net sink (-.request);
-  (match Mincost.solve net with
+  {
+    fn_algo = algo;
+    fn_net = net;
+    fn_usable = usable;
+    fn_s_arc = s_arc;
+    fn_vol_arcs = !vol_arcs;
+    fn_dem_arcs = dem_arcs;
+    fn_source = source;
+    fn_sink = sink;
+    fn_ntraffics = ntraffics;
+    fn_ndemands = ndemands;
+  }
+
+(* Push a drifted instance's loads/volumes into the already-built
+   network: bounds, costs and supplies change, the shape never does. *)
+let flow_sync fn pb =
+  let inst = pb.instance in
+  List.iter
+    (fun e ->
+      let load = inst.Instance.loads.(e) in
+      if load > 0.0 then
+        Mincost.update_arc ~capacity:load
+          ~cost:(pb.costs.exploit e /. load)
+          fn.fn_net
+          (Hashtbl.find fn.fn_s_arc e)
+      else
+        Mincost.update_arc ~capacity:0.0 ~cost:0.0 fn.fn_net
+          (Hashtbl.find fn.fn_s_arc e))
+    fn.fn_usable;
+  List.iter
+    (fun (a, p) ->
+      Mincost.update_arc
+        ~capacity:inst.Instance.traffics.(p).Instance.t_volume fn.fn_net a)
+    fn.fn_vol_arcs;
+  let vols = demand_volumes inst in
+  Array.iter
+    (fun (a, t) ->
+      Mincost.update_arc
+        ~lower:(pb.h.(t) *. vols.(t))
+        ~capacity:vols.(t) fn.fn_net a)
+    fn.fn_dem_arcs;
+  let request = pb.k *. inst.Instance.total_volume in
+  Mincost.set_supply fn.fn_net fn.fn_source request;
+  Mincost.set_supply fn.fn_net fn.fn_sink (-.request)
+
+let flow_extract fn pb =
+  let inst = pb.instance in
+  (match Mincost.solve ~algo:fn.fn_algo fn.fn_net with
   | Mincost.Optimal -> ()
   | Mincost.Infeasible ->
     Error.infeasible
@@ -306,16 +387,19 @@ let reoptimize_flow pb ~installed =
   let rates = Array.make nedges 0.0 in
   List.iter
     (fun e ->
-      let f = Mincost.flow net (Hashtbl.find s_arc e) in
-      rates.(e) <- min 1.0 (f /. inst.Instance.loads.(e)))
-    usable;
-  let exploit_cost = Mincost.total_cost net in
+      let load = inst.Instance.loads.(e) in
+      if load > 0.0 then begin
+        let f = Mincost.flow fn.fn_net (Hashtbl.find fn.fn_s_arc e) in
+        rates.(e) <- min 1.0 (f /. load)
+      end)
+    fn.fn_usable;
+  let exploit_cost = Mincost.total_cost fn.fn_net in
   let install_cost =
-    List.fold_left (fun acc e -> acc +. pb.costs.install e) 0.0 usable
+    List.fold_left (fun acc e -> acc +. pb.costs.install e) 0.0 fn.fn_usable
   in
-  let monitored = request in
+  let monitored = pb.k *. inst.Instance.total_volume in
   {
-    installed = List.filter (fun e -> rates.(e) > 1e-9) usable;
+    installed = List.filter (fun e -> rates.(e) > 1e-9) fn.fn_usable;
     rates;
     path_fractions =
       Array.map (fun _ -> 0.0) inst.Instance.traffics
@@ -328,6 +412,41 @@ let reoptimize_flow pb ~installed =
        else monitored /. inst.Instance.total_volume);
     optimal = true;
   }
+
+let reoptimize_flow ?(algo = Mincost.Ssp) pb ~installed =
+  Span.run "sampling.reoptimize_flow" @@ fun () ->
+  let fn = flow_build ~algo pb ~installed in
+  flow_extract fn pb
+
+type reopt = {
+  rp_algo : Mincost.algo;
+  rp_installed : Graph.edge list;
+  mutable rp_fn : flow_net;
+}
+
+let reopt_create ?(algo = Mincost.Net_simplex) pb ~installed =
+  { rp_algo = algo; rp_installed = installed;
+    rp_fn = flow_build ~algo pb ~installed }
+
+let reopt_solve rp pb =
+  Span.run "sampling.reoptimize_flow" @@ fun () ->
+  let inst = pb.instance in
+  let fn = rp.rp_fn in
+  let fn =
+    if
+      fn.fn_ntraffics <> Array.length inst.Instance.traffics
+      || fn.fn_ndemands <> Array.length inst.Instance.demands
+    then begin
+      (* different matrix shape: the cached network no longer matches,
+         rebuild from scratch (cold start) *)
+      let fn' = flow_build ~algo:rp.rp_algo pb ~installed:rp.rp_installed in
+      rp.rp_fn <- fn';
+      fn'
+    end
+    else fn
+  in
+  flow_sync fn pb;
+  flow_extract fn pb
 
 let coverage_with_rates pb ~rates =
   let inst = pb.instance in
@@ -403,18 +522,20 @@ let saturated pb ~installed =
     optimal = false;
   }
 
+type kernel = Lp | Flow of Mincost.algo
+
 (* A re-solve attempt for the control loop. Runs inside a chaos
    protect scope with its own injection site, so the fault harness can
    make any individual re-optimization fail and prove the loop serves
    the previous placement instead of crashing (§5.4's operational
    requirement). *)
-let try_reoptimize pb ~installed =
+let try_rates pb ~installed ~solve =
   match
     Chaos.protect (fun () ->
         if Chaos.fire ~site:"sampling.reopt_fail" ~p:0.15 () then
           Error.numerical ~stage:"sampling.reoptimize"
             ~detail:"injected re-optimization fault"
-        else reoptimize pb ~installed)
+        else solve ())
   with
   | sol -> Ok sol.rates
   | exception Error.Error e -> (
@@ -426,7 +547,7 @@ let try_reoptimize pb ~installed =
       Ok (saturate_rates (Graph.num_edges pb.instance.Instance.graph) installed)
     | e -> Stdlib.Error e)
 
-let run_dynamic pb ~installed ~threshold ~steps ~sigma ~seed =
+let run_dynamic ?(kernel = Lp) pb ~installed ~threshold ~steps ~sigma ~seed =
   let nedges = Graph.num_edges pb.instance.Instance.graph in
   let rng = Monpos_util.Prng.create seed in
   let sink = Trace.current () in
@@ -436,9 +557,22 @@ let run_dynamic pb ~installed ~threshold ~steps ~sigma ~seed =
       Trace.ladder_descent sink ~solver:"ppme-dynamic" ~from_rung:"reoptimize"
         ~to_rung:"previous_placement" ~reason
   in
+  (* With a flow kernel the network is built once here and every tick
+     re-solves it in place — under Net_simplex each re-solve warm
+     starts from the previous spanning-tree basis (§5.4). *)
+  let reopt =
+    match kernel with
+    | Lp -> None
+    | Flow algo -> Some (reopt_create ~algo pb ~installed)
+  in
+  let attempt pb' =
+    match reopt with
+    | None -> try_rates pb' ~installed ~solve:(fun () -> reoptimize pb' ~installed)
+    | Some rp -> try_rates pb' ~installed ~solve:(fun () -> reopt_solve rp pb')
+  in
   let rates =
     ref
-      (match try_reoptimize pb ~installed with
+      (match attempt pb with
       | Ok rates -> rates
       | Stdlib.Error e ->
         (* no previous placement to serve yet: saturation is the only
@@ -458,7 +592,7 @@ let run_dynamic pb ~installed ~threshold ~steps ~sigma ~seed =
     let stale =
       reoptimized
       &&
-      match try_reoptimize pb' ~installed with
+      match attempt pb' with
       | Ok fresh ->
         rates := fresh;
         false

@@ -82,7 +82,10 @@ val reoptimize : problem -> installed:Monpos_graph.Graph.edge list -> solution
     targets. *)
 
 val reoptimize_flow :
-  problem -> installed:Monpos_graph.Graph.edge list -> solution
+  ?algo:Monpos_flow.Mincost.algo ->
+  problem ->
+  installed:Monpos_graph.Graph.edge list ->
+  solution
 (** The min-cost-flow expression of PPME* promised by §5.4 ("it is
     worthy to note that this problem can be expressed as a minimum
     cost flow problem for which efficient polynomial time algorithms
@@ -99,7 +102,45 @@ val reoptimize_flow :
     accumulated along the path), so its optimal exploitation cost is a
     lower bound on {!reoptimize}'s; both meet the same coverage floors.
     Raises [Failure] when the installed set cannot reach the
-    targets. *)
+    targets.
+
+    [algo] picks the min-cost-flow kernel (default
+    {!Monpos_flow.Mincost.Ssp}); both kernels return the same rates up
+    to degenerate ties, so use a cost model with distinct per-edge
+    exploitation costs when exact rate equality matters. *)
+
+type reopt
+(** A persistent PPME* flow re-optimizer: the network is built once
+    per (topology, routes, installed set) and later drift ticks only
+    rewrite arc bounds/costs/supplies in place. With the
+    {!Monpos_flow.Mincost.Net_simplex} kernel every re-solve warm
+    starts from the previous spanning-tree basis, which is what makes
+    the §5.4 control loop cheap relative to re-running the LP. *)
+
+val reopt_create :
+  ?algo:Monpos_flow.Mincost.algo ->
+  problem ->
+  installed:Monpos_graph.Graph.edge list ->
+  reopt
+(** Build the flow network for [problem] (default [algo] is
+    [Net_simplex] — warm starting is the point of keeping the handle
+    around). No solve happens yet. *)
+
+val reopt_solve : reopt -> problem -> solution
+(** Re-solve against a (possibly drifted) [problem] sharing the
+    original's topology and routes: arc capacities, costs, per-demand
+    lower bounds and supplies are refreshed in place, then the kernel
+    re-solves — warm under [Net_simplex]. If the traffic or demand
+    count changed, the network is silently rebuilt (cold). Raises
+    [Failure] when the drifted targets are unreachable. *)
+
+type kernel =
+  | Lp  (** the {!reoptimize} LP — the historical default *)
+  | Flow of Monpos_flow.Mincost.algo
+      (** the min-cost-flow formulation under the chosen kernel;
+          [Flow Net_simplex] additionally warm starts across
+          {!run_dynamic} ticks *)
+(** Which PPME* engine {!run_dynamic} re-optimizes with. *)
 
 val saturated : problem -> installed:Monpos_graph.Graph.edge list -> solution
 (** Every installed device at rate 1.0 — the degradation ladder's
@@ -124,6 +165,7 @@ type tick = {
 }
 
 val run_dynamic :
+  ?kernel:kernel ->
   problem ->
   installed:Monpos_graph.Graph.edge list ->
   threshold:float ->
@@ -134,9 +176,11 @@ val run_dynamic :
 (** §5.4's control loop: at each step the matrix drifts
     (multiplicative noise of scale [sigma]); when the observed
     fraction falls below [threshold] ([T < k]), sampling rates are
-    recomputed by {!reoptimize} on the drifted instance. If even rate
-    1.0 everywhere cannot reach [k] after a drift, rates saturate and
-    the tick records the achieved fraction.
+    recomputed on the drifted instance by the selected [kernel]
+    (default {!Lp}, i.e. {!reoptimize}; [Flow Net_simplex] re-solves a
+    single persistent flow network with warm starts). If even rate 1.0
+    everywhere cannot reach [k] after a drift, rates saturate and the
+    tick records the achieved fraction.
 
     The loop never crashes on a failed re-solve: a numerical or
     deadline failure keeps the previous step's rates in service and

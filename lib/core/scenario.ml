@@ -125,13 +125,13 @@ type dynamic_point = {
 }
 
 let dynamic_run ?(preset = `Pop10) ?(seed = 1) ?(k = 0.9) ?(threshold = 0.85)
-    ?(steps = 30) ?(sigma = 0.15) () =
+    ?(steps = 30) ?(sigma = 0.15) ?kernel () =
   let inst = instance_of preset seed in
   let pb = Sampling.make_problem ~k ~costs:(Sampling.load_scaled_costs inst ()) inst in
   let placement = Sampling.solve_milp pb in
   let ticks =
-    Sampling.run_dynamic pb ~installed:placement.Sampling.installed ~threshold
-      ~steps ~sigma ~seed:(seed * 31)
+    Sampling.run_dynamic ?kernel pb ~installed:placement.Sampling.installed
+      ~threshold ~steps ~sigma ~seed:(seed * 31)
   in
   let reopt = ref 0 in
   List.map

@@ -64,13 +64,15 @@ val dynamic_run :
   ?threshold:float ->
   ?steps:int ->
   ?sigma:float ->
+  ?kernel:Sampling.kernel ->
   unit ->
   dynamic_point list
 (** §5.4's threshold loop on a drifting matrix: placement from
     {!Sampling.solve_milp}, then [steps] drift steps with PPME*
     re-optimizations whenever coverage sinks below [threshold].
     Defaults: [`Pop10], seed 1, k = 0.9, threshold = 0.85, 30 steps,
-    sigma = 0.15. *)
+    sigma = 0.15, and {!Sampling.run_dynamic}'s default LP kernel
+    (pass [kernel] to re-optimize through the flow engine instead). *)
 
 type agreement = {
   instances : int;  (** instances checked *)

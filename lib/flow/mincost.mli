@@ -7,10 +7,24 @@
     positions are fixed (§5.4), which the paper notes "can be expressed
     as a minimum cost flow problem".
 
-    Algorithm: successive shortest augmenting paths with node
-    potentials (Dijkstra on reduced costs); negative arc costs are
-    handled by an initial Bellman–Ford pass. Lower bounds are removed
-    by the standard supply transformation. *)
+    Two kernels sit behind {!solve}:
+
+    - {!Ssp}: successive shortest augmenting paths on a residual graph
+      (SPFA path search, so negative arc costs are fine); lower bounds
+      are removed by the standard supply transformation onto a
+      super-source/super-sink pair.
+    - {!Net_simplex}: the spanning-tree primal network simplex in
+      {!Netsimplex}. The kernel instance is kept alive inside [t], so
+      a re-solve after {!update_arc}/{!set_supply} perturbations (the
+      §5.4 drift ticks) warm starts from the previous basis. On
+      [Optimal] it also exposes node {!potentials} as a dual
+      certificate.
+
+    Both kernels agree on status and objective for balanced instances
+    (supplies summing to zero), which the randomized differential
+    harness in [test_flow_prop.ml] enforces against the LP formulation.
+    On unbalanced instances [Net_simplex] reports {!Infeasible},
+    while [Ssp] historically routes as much as the sinks absorb. *)
 
 type t
 (** Mutable network. *)
@@ -22,6 +36,10 @@ type status =
   | Optimal  (** all supplies routed at minimum cost *)
   | Infeasible  (** supplies/lower bounds cannot be routed *)
 
+type algo =
+  | Ssp  (** successive shortest paths (the historical default) *)
+  | Net_simplex  (** warm-startable spanning-tree simplex kernel *)
+
 val create : int -> t
 (** [create n] is an empty network on nodes [0 .. n-1]. *)
 
@@ -31,15 +49,23 @@ val add_arc :
     (default [lower = 0.]) and per-unit [cost]. Requires
     [0. <= lower <= capacity]. *)
 
+val update_arc : ?lower:float -> ?capacity:float -> ?cost:float -> t -> arc -> unit
+(** Update bounds and/or cost of an existing arc in place; omitted
+    fields keep their values. The network shape is preserved, so a
+    following [solve ~algo:Net_simplex] can warm start from the
+    previous basis. *)
+
 val set_supply : t -> int -> float -> unit
 (** [set_supply t v b] makes node [v] a source of [b] units ([b > 0.])
     or a sink of [-b] units ([b < 0.]). Supplies must globally sum to
     zero for the instance to be feasible. Overwrites any previous
     supply of [v]. *)
 
-val solve : t -> status
-(** Route all supplies at minimum cost. May be called repeatedly after
-    modifying supplies. *)
+val solve : ?algo:algo -> t -> status
+(** Route all supplies at minimum cost (default kernel {!Ssp}). May be
+    called repeatedly after modifying supplies or arcs; with
+    {!Net_simplex} repeated solves reuse the previous spanning-tree
+    basis whenever the arc count is unchanged. *)
 
 val flow : t -> arc -> float
 (** Flow on the arc after the last {!solve} (includes its lower
@@ -47,3 +73,10 @@ val flow : t -> arc -> float
 
 val total_cost : t -> float
 (** Cost of the last computed flow (sum over arcs of flow × cost). *)
+
+val potentials : t -> float array option
+(** Node potentials (dual values) from the last solve: [Some pi] after
+    an [Optimal] {!Net_simplex} solve, [None] otherwise. With reduced
+    cost [rc = cost +. pi.(src) -. pi.(dst)], complementary slackness
+    holds: [rc >= 0] on arcs at their lower bound, [rc <= 0] on
+    saturated arcs, [rc = 0] strictly in between. *)

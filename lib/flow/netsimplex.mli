@@ -1,0 +1,87 @@
+(** Primal network simplex for minimum-cost flow.
+
+    A specialized simplex over the arc-incidence matrix: the basis is
+    a spanning tree (rooted at an artificial node) held in
+    parent/pred/depth/thread arrays, so each pivot is a cycle update
+    plus an O(|subtree|) re-hang instead of a dense basis refactor.
+    This is the kernel behind [Mincost.solve ~algo:Net_simplex]; the
+    paper's PPME* re-optimization (§5.4) and the MECF bound (§4.3)
+    both route through it on their hot paths.
+
+    Design points (see DESIGN.md §13):
+    - strongly feasible basis: the leaving-arc tie-break (strict [<]
+      on the cycle's first leg, [<=] on the second) keeps every basis
+      strongly feasible, so degenerate pivots cannot cycle in exact
+      arithmetic; a Bland-style lowest-index fallback kicks in after a
+      long run of degenerate pivots as a float-world backstop;
+    - block (candidate-list) pricing: entering arcs are found by
+      scanning wrap-around blocks of ~sqrt(m) arcs and taking the most
+      negative reduced cost seen in the first block that has one;
+    - warm start: [solve ~warm:true] reuses the previous spanning tree
+      and arc states, recomputing tree-arc flows bottom-up and node
+      potentials top-down, which makes re-solves after small
+      cost/capacity/supply perturbations (drift ticks) nearly free;
+    - dual certificate: on [Optimal] the node potentials are exposed,
+      so callers can check complementary slackness independently. *)
+
+type t
+(** Mutable solver instance; holds both the network and the basis so
+    consecutive solves can warm start. *)
+
+type status = Optimal | Infeasible
+
+val create : int -> t
+(** [create n] is an empty network on nodes [0 .. n-1]. The artificial
+    root node is internal and not part of this numbering. *)
+
+val node_count : t -> int
+
+val add_arc :
+  ?lower:float -> t -> src:int -> dst:int -> capacity:float -> cost:float -> int
+(** Append a directed arc with bounds [\[lower, capacity\]] (default
+    [lower = 0.]) and per-unit [cost]; returns its dense id. Requires
+    [0. <= lower <= capacity]. [capacity] may be [infinity]. Adding an
+    arc invalidates the warm basis (the next solve is cold). *)
+
+val arc_count : t -> int
+
+val set_arc :
+  ?lower:float -> ?capacity:float -> ?cost:float -> t -> int -> unit
+(** Update bounds and/or cost of an existing arc in place. Keeps the
+    network shape, so a following [solve ~warm:true] can reuse the
+    basis. Omitted fields are left unchanged. *)
+
+val set_supply : t -> int -> float -> unit
+(** [set_supply t v b]: node [v] supplies [b] units ([b > 0.]) or
+    demands [-b] ([b < 0.]). Supplies must sum to zero over the nodes;
+    an unbalanced instance reports {!Infeasible}. Overwrites any
+    previous supply of [v]. *)
+
+val solve : ?warm:bool -> t -> status
+(** Optimize. With [warm:true] (the default) the previous basis is
+    reused when the network shape is unchanged and the remembered
+    arc states still fit the current bounds; otherwise — and on the
+    first call — a cold big-M start from the all-artificial star tree
+    is used. Raises [Monpos_resilience.Error.Error (Numerical _)] if
+    the pivot limit is exceeded (anti-cycling failure — a bug, not an
+    input property). *)
+
+val flow : t -> int -> float
+(** Flow on an arc after an [Optimal] solve (includes its lower
+    bound). *)
+
+val objective : t -> float
+(** Cost of the last computed flow: sum over arcs of flow x cost. *)
+
+val potential : t -> int -> float
+(** Node potential (dual value) after an [Optimal] solve. The
+    complementary-slackness certificate holds with reduced cost
+    [rc a = cost a +. potential (src a) -. potential (dst a)]:
+    [rc >= 0] on arcs at their lower bound, [rc <= 0] on saturated
+    arcs, [rc = 0] on arcs strictly between their bounds. *)
+
+val pivots : t -> int
+(** Pivot count of the last solve. *)
+
+val warm_started : t -> bool
+(** Whether the last solve actually reused the previous basis. *)

@@ -224,6 +224,16 @@ let flow_augmentation s ~amount ~path_cost ~routed =
         ("routed", Json.Float routed);
       ]
 
+let flow_solve s ~algo ~pivots ~warm ~status =
+  if s.on then
+    emit s "flow_solve"
+      [
+        ("algo", Json.String algo);
+        ("pivots", Json.Int pivots);
+        ("warm", Json.Bool warm);
+        ("status", Json.String status);
+      ]
+
 let ladder_descent s ~solver ~from_rung ~to_rung ~reason =
   if s.on then
     emit s "ladder_descent"

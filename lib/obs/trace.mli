@@ -121,6 +121,13 @@ val greedy_pick : sink -> pick:int -> gain:float -> covered:float -> unit
 val flow_augmentation :
   sink -> amount:float -> path_cost:float -> routed:float -> unit
 
+val flow_solve :
+  sink -> algo:string -> pivots:int -> warm:bool -> status:string -> unit
+(** One min-cost-flow solve finished. [algo] names the kernel (["ssp"]
+    or ["netsimplex"]), [pivots] counts simplex pivots (0 for SSP),
+    [warm] says whether the spanning-tree basis was reused, [status]
+    is ["optimal"] or ["infeasible"]. *)
+
 val ladder_descent :
   sink -> solver:string -> from_rung:string -> to_rung:string -> reason:string -> unit
 (** The degradation ladder gave up on one rung and fell to the next

@@ -23,6 +23,7 @@ type event =
   | Simplex_phase of { phase : int; iterations : int; outcome : string }
   | Greedy_pick of { pick : int; gain : float; covered : float }
   | Flow_augmentation of { amount : float; path_cost : float; routed : float }
+  | Flow_solve of { algo : string; pivots : int; warm : bool; status : string }
   | Presolve_reduction of {
       rows_dropped : int;
       bounds_tightened : int;
@@ -59,6 +60,7 @@ let event_name = function
   | Simplex_phase _ -> "simplex_phase"
   | Greedy_pick _ -> "greedy_pick"
   | Flow_augmentation _ -> "flow_augmentation"
+  | Flow_solve _ -> "flow_solve"
   | Presolve_reduction _ -> "presolve_reduction"
   | Ladder_descent _ -> "ladder_descent"
   | Recovery _ -> "recovery"
@@ -161,6 +163,12 @@ let decode ~ev fields =
       let* path_cost = num "path_cost" in
       let* routed = num "routed" in
       Some (Flow_augmentation { amount; path_cost; routed })
+    | "flow_solve" ->
+      let* algo = str "algo" in
+      let* pivots = int "pivots" in
+      let* warm = bool "warm" in
+      let* status = str "status" in
+      Some (Flow_solve { algo; pivots; warm; status })
     | "presolve_reduction" ->
       let* rows_dropped = int "rows_dropped" in
       let* bounds_tightened = int "bounds_tightened" in

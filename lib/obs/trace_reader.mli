@@ -35,6 +35,9 @@ type event =
   | Simplex_phase of { phase : int; iterations : int; outcome : string }
   | Greedy_pick of { pick : int; gain : float; covered : float }
   | Flow_augmentation of { amount : float; path_cost : float; routed : float }
+  | Flow_solve of { algo : string; pivots : int; warm : bool; status : string }
+      (** one min-cost-flow solve: kernel name, pivot count (0 for
+          SSP), whether the basis warm started, and final status *)
   | Presolve_reduction of {
       rows_dropped : int;
       bounds_tightened : int;

@@ -11,6 +11,7 @@ let () =
       ("obs.diff", Test_diff.suite);
       ("graph", Test_graph.suite);
       ("flow", Test_flow.suite);
+      ("flow.prop", Test_flow_prop.suite);
       ("cover", Test_cover.suite);
       ("topology", Test_topology.suite);
       ("traffic", Test_traffic.suite);

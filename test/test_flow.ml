@@ -121,6 +121,91 @@ let test_mincost_negative_cost () =
   Alcotest.(check (float 1e-9)) "direct unused" 0.0 (Mincost.flow t direct);
   Alcotest.(check (float 1e-9)) "cost" (-4.0) (Mincost.total_cost t)
 
+(* Regression: the lower-bound/supply transformation combined with
+   negative arc costs. The shift moves supply off the endpoints of the
+   bounded arc, and the path search must still price the negative arcs
+   correctly (the SPFA/Bellman-Ford initialization path); run under
+   both kernels so they pin each other down. *)
+let both_algos f =
+  List.iter
+    (fun (name, algo) -> f name algo)
+    [ ("ssp", Mincost.Ssp); ("netsimplex", Mincost.Net_simplex) ]
+
+let test_mincost_lower_bound_negative_cost () =
+  both_algos (fun name algo ->
+      let t = Mincost.create 3 in
+      let neg =
+        Mincost.add_arc ~lower:2.0 t ~src:0 ~dst:1 ~capacity:6.0 ~cost:(-3.0)
+      in
+      let alt = Mincost.add_arc t ~src:0 ~dst:1 ~capacity:5.0 ~cost:1.0 in
+      let mid = Mincost.add_arc t ~src:1 ~dst:2 ~capacity:10.0 ~cost:0.5 in
+      Mincost.set_supply t 0 4.0;
+      Mincost.set_supply t 2 (-4.0);
+      Alcotest.(check bool)
+        (name ^ ": optimal") true
+        (Mincost.solve ~algo t = Mincost.Optimal);
+      (* all 4 units take the negative arc: 4*(-3) + 4*0.5 = -10 *)
+      Alcotest.(check (float 1e-9)) (name ^ ": neg arc") 4.0 (Mincost.flow t neg);
+      Alcotest.(check (float 1e-9)) (name ^ ": alt unused") 0.0 (Mincost.flow t alt);
+      Alcotest.(check (float 1e-9)) (name ^ ": mid") 4.0 (Mincost.flow t mid);
+      Alcotest.(check (float 1e-9)) (name ^ ": cost") (-10.0) (Mincost.total_cost t))
+
+let test_mincost_lower_bound_negative_cost_diamond () =
+  (* diamond DAG: the bounded branch is also the one ending in a
+     negative arc, so the shifted supplies ride on negative costs *)
+  both_algos (fun name algo ->
+      let t = Mincost.create 4 in
+      let a = Mincost.add_arc t ~src:0 ~dst:1 ~capacity:10.0 ~cost:2.0 in
+      let _b = Mincost.add_arc t ~src:1 ~dst:3 ~capacity:10.0 ~cost:0.0 in
+      let c =
+        Mincost.add_arc ~lower:3.0 t ~src:0 ~dst:2 ~capacity:10.0 ~cost:1.0
+      in
+      let d = Mincost.add_arc t ~src:2 ~dst:3 ~capacity:10.0 ~cost:(-2.0) in
+      Mincost.set_supply t 0 5.0;
+      Mincost.set_supply t 3 (-5.0);
+      Alcotest.(check bool)
+        (name ^ ": optimal") true
+        (Mincost.solve ~algo t = Mincost.Optimal);
+      (* branch via 2 costs -1/unit vs 2/unit via 1: everything takes it *)
+      Alcotest.(check (float 1e-9)) (name ^ ": top unused") 0.0 (Mincost.flow t a);
+      Alcotest.(check (float 1e-9)) (name ^ ": bounded branch") 5.0 (Mincost.flow t c);
+      Alcotest.(check (float 1e-9)) (name ^ ": neg arc") 5.0 (Mincost.flow t d);
+      Alcotest.(check (float 1e-9)) (name ^ ": cost") (-5.0) (Mincost.total_cost t))
+
+let test_mincost_lower_bound_overcommits_infeasible () =
+  (* the lower bound alone exceeds what conservation allows: any flow
+     assignment needs a negative value on the parallel arc *)
+  both_algos (fun name algo ->
+      let t = Mincost.create 2 in
+      ignore
+        (Mincost.add_arc ~lower:3.0 t ~src:0 ~dst:1 ~capacity:6.0 ~cost:(-1.0));
+      ignore (Mincost.add_arc t ~src:0 ~dst:1 ~capacity:5.0 ~cost:1.0);
+      Mincost.set_supply t 0 2.0;
+      Mincost.set_supply t 1 (-2.0);
+      Alcotest.(check bool)
+        (name ^ ": infeasible") true
+        (Mincost.solve ~algo t = Mincost.Infeasible))
+
+let test_mincost_potentials_exposure () =
+  (* potentials are a Net_simplex-only certificate *)
+  let t = Mincost.create 2 in
+  ignore (Mincost.add_arc t ~src:0 ~dst:1 ~capacity:5.0 ~cost:1.0);
+  Mincost.set_supply t 0 2.0;
+  Mincost.set_supply t 1 (-2.0);
+  Alcotest.(check bool)
+    "ssp optimal" true
+    (Mincost.solve ~algo:Mincost.Ssp t = Mincost.Optimal);
+  Alcotest.(check bool) "no potentials after ssp" true (Mincost.potentials t = None);
+  Alcotest.(check bool)
+    "netsimplex optimal" true
+    (Mincost.solve ~algo:Mincost.Net_simplex t = Mincost.Optimal);
+  match Mincost.potentials t with
+  | None -> Alcotest.fail "potentials missing after netsimplex"
+  | Some pi ->
+    Alcotest.(check int) "one per node" 2 (Array.length pi);
+    (* the arc carries interior flow, so its reduced cost vanishes *)
+    Alcotest.(check (float 1e-9)) "tight arc prices out" 0.0 (1.0 +. pi.(0) -. pi.(1))
+
 (* Cross-check: min-cost flow equals the LP optimum computed by our
    simplex on the node-arc incidence formulation. *)
 let prop_mincost_matches_lp =
@@ -238,6 +323,14 @@ let suite =
     Alcotest.test_case "mincost infeasible capacity" `Quick test_mincost_infeasible_capacity;
     Alcotest.test_case "mincost infeasible lower bound" `Quick test_mincost_infeasible_lower_bound;
     Alcotest.test_case "mincost negative cost" `Quick test_mincost_negative_cost;
+    Alcotest.test_case "mincost lower bound + negative cost" `Quick
+      test_mincost_lower_bound_negative_cost;
+    Alcotest.test_case "mincost lower bound + negative cost diamond" `Quick
+      test_mincost_lower_bound_negative_cost_diamond;
+    Alcotest.test_case "mincost overcommitted lower bound infeasible" `Quick
+      test_mincost_lower_bound_overcommits_infeasible;
+    Alcotest.test_case "mincost potentials exposure" `Quick
+      test_mincost_potentials_exposure;
     QCheck_alcotest.to_alcotest prop_mincost_matches_lp;
     QCheck_alcotest.to_alcotest prop_flow_conservation;
   ]

@@ -103,6 +103,8 @@ let test_reader_typed_decode () =
         Trace.simplex_phase sink ~phase:2 ~iterations:17 ~outcome:"optimal";
         Trace.greedy_pick sink ~pick:9 ~gain:0.25 ~covered:0.75;
         Trace.flow_augmentation sink ~amount:1.0 ~path_cost:3.0 ~routed:1.0;
+        Trace.flow_solve sink ~algo:"netsimplex" ~pivots:42 ~warm:true
+          ~status:"optimal";
         Trace.presolve_reduction sink ~rows_dropped:2 ~bounds_tightened:1
           ~fixed_vars:0)
   in
@@ -120,6 +122,8 @@ let test_reader_typed_decode () =
    Reader.Simplex_phase { phase = 2; iterations = 17; outcome = "optimal" };
    Reader.Greedy_pick { pick = 9; gain = 0.25; covered = 0.75 };
    Reader.Flow_augmentation { amount = 1.0; path_cost = 3.0; routed = 1.0 };
+   Reader.Flow_solve
+     { algo = "netsimplex"; pivots = 42; warm = true; status = "optimal" };
    Reader.Presolve_reduction { rows_dropped = 2; bounds_tightened = 1; fixed_vars = 0 };
   ] ->
     ()

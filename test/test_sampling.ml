@@ -7,9 +7,18 @@ module Passive = Monpos.Passive
 module Pop = Monpos_topo.Pop
 module Graph = Monpos_graph.Graph
 module Prng = Monpos_util.Prng
+module Mincost = Monpos_flow.Mincost
+module Chaos = Monpos_resilience.Chaos
 
 let pop10_instance seed =
   Instance.of_pop (Pop.make_preset `Pop10 ~seed) ~seed:(seed * 3)
+
+(* Chaos seeds are process-global state: every test that installs one
+   must restore the previous value on the way out. *)
+let with_chaos seed f =
+  let saved = Chaos.seed () in
+  Chaos.set_seed (Some seed);
+  Fun.protect ~finally:(fun () -> Chaos.set_seed saved) f
 
 (* test-time MILP budget: a 2-second anytime solve is plenty to check
    feasibility invariants *)
@@ -191,6 +200,113 @@ let test_reoptimize_flow_infeasible () =
       ->
       true)
 
+(* All three flow backends — SSP, a cold network simplex and a
+   warm-started one — solve the same relaxation, and with uniform
+   costs the per-edge flow costs 1/load(e) are generically distinct,
+   so they must return the same rates, coverage and cost. *)
+let check_same_solution name (a : Sampling.solution) (b : Sampling.solution) =
+  Alcotest.(check (float 1e-6))
+    (name ^ ": exploit cost")
+    a.Sampling.exploit_cost b.Sampling.exploit_cost;
+  Alcotest.(check (float 1e-9)) (name ^ ": coverage") a.Sampling.fraction
+    b.Sampling.fraction;
+  Array.iteri
+    (fun e r ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "%s: rate on link %d" name e)
+        r b.Sampling.rates.(e))
+    a.Sampling.rates
+
+let test_flow_kernels_identical () =
+  List.iter
+    (fun seed ->
+      let inst = pop10_instance seed in
+      let pb = Sampling.make_problem ~k:0.85 inst in
+      let installed = (Passive.greedy ~k:0.95 inst).Passive.monitors in
+      let ssp = Sampling.reoptimize_flow ~algo:Mincost.Ssp pb ~installed in
+      let ns =
+        Sampling.reoptimize_flow ~algo:Mincost.Net_simplex pb ~installed
+      in
+      let rp = Sampling.reopt_create ~algo:Mincost.Net_simplex pb ~installed in
+      let warm1 = Sampling.reopt_solve rp pb in
+      let warm2 = Sampling.reopt_solve rp pb (* warm replay, same basis *) in
+      check_same_solution "ssp vs netsimplex" ssp ns;
+      check_same_solution "cold vs persistent" ns warm1;
+      check_same_solution "warm replay" warm1 warm2)
+    [ 1; 2; 3 ]
+
+(* §5.4 determinism: the control loop's tick stream is a pure function
+   of (problem, placement, seed) whatever flow kernel re-optimizes —
+   warm-started network simplex included. *)
+let test_dynamic_flow_kernels_agree () =
+  let inst = pop10_instance 4 in
+  let pb = Sampling.make_problem ~k:0.85 inst in
+  let placement = Sampling.solve_milp ~options:fast_options pb in
+  let installed = placement.Sampling.installed in
+  let run kernel =
+    (* rewind the chaos site streams (a no-op when chaos is disarmed)
+       so every kernel replays the same fault schedule *)
+    Chaos.set_seed (Chaos.seed ());
+    Sampling.run_dynamic ~kernel pb ~installed ~threshold:0.8 ~steps:15
+      ~sigma:0.25 ~seed:9
+  in
+  let ssp = run (Sampling.Flow Mincost.Ssp) in
+  let ns = run (Sampling.Flow Mincost.Net_simplex) in
+  let ns_again = run (Sampling.Flow Mincost.Net_simplex) in
+  Alcotest.(check int) "same tick count" (List.length ssp) (List.length ns);
+  List.iter2
+    (fun (a : Sampling.tick) (b : Sampling.tick) ->
+      Alcotest.(check bool) "same reopt decision" a.Sampling.reoptimized
+        b.Sampling.reoptimized;
+      Alcotest.(check (float 1e-6)) "same coverage before"
+        a.Sampling.fraction_before b.Sampling.fraction_before;
+      Alcotest.(check (float 1e-6)) "same coverage after"
+        a.Sampling.fraction_after b.Sampling.fraction_after;
+      Alcotest.(check (float 1e-6)) "same exploit cost"
+        a.Sampling.exploit_cost b.Sampling.exploit_cost)
+    ssp ns;
+  List.iter2
+    (fun (a : Sampling.tick) (b : Sampling.tick) ->
+      Alcotest.(check (float 0.0)) "bit-identical replay"
+        a.Sampling.fraction_after b.Sampling.fraction_after)
+    ns ns_again
+
+(* Chaos-seeded §5.4 loop with the flow kernel active: injected
+   re-optimization faults must descend the PR 5 ladder (stale ticks,
+   previous rates kept in service), never crash or corrupt the
+   persistent flow network. *)
+let test_dynamic_flow_kernel_under_chaos () =
+  let inst = pop10_instance 5 in
+  let pb = Sampling.make_problem ~k:0.9 inst in
+  let placement = Sampling.solve_milp ~options:fast_options pb in
+  let any_stale = ref false in
+  List.iter
+    (fun chaos_seed ->
+      with_chaos chaos_seed (fun () ->
+          let ticks =
+            Sampling.run_dynamic
+              ~kernel:(Sampling.Flow Mincost.Net_simplex) pb
+              ~installed:placement.Sampling.installed ~threshold:0.9 ~steps:40
+              ~sigma:0.4 ~seed:77
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "all ticks served (chaos seed %d)" chaos_seed)
+            40 (List.length ticks);
+          List.iter
+            (fun (t : Sampling.tick) ->
+              if t.Sampling.stale then begin
+                any_stale := true;
+                Alcotest.(check bool) "stale implies reoptimized" true
+                  t.Sampling.reoptimized
+              end;
+              Alcotest.(check bool) "coverage in range" true
+                (t.Sampling.fraction_after >= -1e-9
+                && t.Sampling.fraction_after <= 1.0 +. 1e-9))
+            ticks))
+    [ 7; 19; 23 ];
+  Alcotest.(check bool) "some fault actually hit the reopt site" true
+    !any_stale
+
 let test_coverage_with_rates () =
   let inst = Instance.figure3 () in
   let pb = Sampling.make_problem ~k:0.5 inst in
@@ -273,6 +389,9 @@ let suite =
     Alcotest.test_case "flow reopt cost bound" `Quick test_reoptimize_flow_cost_bounds_lp;
     Alcotest.test_case "flow reopt demand floors" `Quick test_reoptimize_flow_demand_floors;
     Alcotest.test_case "flow reopt infeasible" `Quick test_reoptimize_flow_infeasible;
+    Alcotest.test_case "flow kernels identical" `Quick test_flow_kernels_identical;
+    Alcotest.test_case "dynamic flow kernels agree" `Quick test_dynamic_flow_kernels_agree;
+    Alcotest.test_case "dynamic flow kernel chaos" `Quick test_dynamic_flow_kernel_under_chaos;
     Alcotest.test_case "coverage with rates" `Quick test_coverage_with_rates;
     Alcotest.test_case "dynamic maintains threshold" `Quick test_dynamic_loop_maintains_threshold;
     Alcotest.test_case "dynamic reoptimizes" `Quick test_dynamic_loop_reoptimizes_sometimes;
