@@ -9,8 +9,10 @@
                                               # dense vs sparse-LU simplex kernels
      dune exec bench/main.exe -- --compare-flow
                                               # PPME* LP vs flow kernels (cold/warm)
+     dune exec bench/main.exe -- --compare-jobs
+                                              # parallel B&B scaling, jobs 1/2/4
    Experiments: fig3 fig7 fig8 fig9 fig10 fig11 dynamic warmstart
-   kernelscale flowscale sampling campaign ablation micro
+   kernelscale flowscale parscale sampling campaign ablation micro
 
    Set MONPOS_BENCH_FULL=1 for paper-scale runs (20 seeds everywhere,
    full sweeps, larger branch-and-bound budgets). The default
@@ -818,6 +820,160 @@ let flowscale () =
           largest instance (%s)"
       !largest_label
 
+(* Parallel branch-and-bound scaling (also reachable as
+   --compare-jobs): solve the same PPM(k) MIPs with jobs = 1, 2, 4
+   worker domains in deterministic mode and compare wall time. The
+   determinism contract says the device set, objective, node count and
+   optimality proof must be identical for every jobs value — the run
+   fails its [parscale_identical] gate otherwise. The speedup gate
+   ([parscale_gate_j4], >= 2.5x at jobs = 4 on the largest instance)
+   only arms on machines with at least 4 cores: speedup measured on an
+   oversubscribed core is noise, and the report says which case
+   applied. *)
+let parscale () =
+  section "Parallel B&B — wall clock vs worker domains (deterministic mode)";
+  let cores = Domain.recommended_domain_count () in
+  let endpoints g count =
+    let nodes = Array.init (Graph.num_nodes g) (fun i -> i) in
+    Prng.shuffle (Prng.create 17) nodes;
+    Array.to_list (Array.sub nodes 0 (min count (Array.length nodes)))
+  in
+  let instance g count =
+    let matrix = Traffic.generate g ~endpoints:(endpoints g count) ~seed:41 in
+    Instance.make g matrix
+  in
+  (* node budgets keep the runs affordable; a node-budget stop is part
+     of the deterministic state (unlike a deadline stop), so capped
+     runs still satisfy the identical-across-jobs contract *)
+  let cases =
+    let waxman n = Synthetic.waxman ~n ~alpha:0.22 ~beta:0.35 ~seed:5 in
+    [
+      ("waxman600", instance (waxman 600) 40, 0.93, 40);
+      ("grid24x24", instance (Synthetic.grid 24 24) 32, 0.90, 28);
+    ]
+    @
+    if full_mode then [ ("waxman1000", instance (waxman 1000) 56, 0.93, 32) ]
+    else []
+  in
+  let jobs_list = [ 1; 2; 4 ] in
+  let identical_all = ref true in
+  let largest_speedup = ref nan in
+  let largest_label = ref "" in
+  let largest_links = ref (-1) in
+  let rows =
+    List.map
+      (fun (label, inst, k, max_nodes) ->
+        let runs =
+          List.map
+            (fun jobs ->
+              Metrics.reset Metrics.default;
+              let options =
+                {
+                  Monpos_lp.Mip.default_options with
+                  Monpos_lp.Mip.jobs;
+                  deterministic = true;
+                  max_nodes;
+                  (* generous: a deadline stop is the one
+                     timing-dependent exit, so the node budget must be
+                     what ends the search *)
+                  time_limit = 900.0;
+                }
+              in
+              let sol, secs =
+                wall (fun () -> Passive.solve_mip ~k ~options inst)
+              in
+              let snap = Metrics.snapshot Metrics.default in
+              let nodes =
+                match Metrics.find snap "mip.nodes" with
+                | Some (Metrics.Counter_value v) -> v
+                | _ -> 0
+              in
+              (jobs, sol, nodes, secs))
+            jobs_list
+        in
+        (* scheduling-independence: every jobs value must report the
+           same devices, coverage, node count and proof status *)
+        let fingerprint (_, (sol : Passive.solution), nodes, _) =
+          Printf.sprintf "%d|%s|%h|%b|%d" sol.Passive.count
+            (String.concat ","
+               (List.map string_of_int sol.Passive.monitors))
+            sol.Passive.fraction sol.Passive.optimal nodes
+        in
+        let reference = fingerprint (List.hd runs) in
+        let identical =
+          List.for_all (fun r -> fingerprint r = reference) runs
+        in
+        if not identical then identical_all := false;
+        let secs_of jobs =
+          let _, _, _, secs =
+            List.find (fun (j, _, _, _) -> j = jobs) runs
+          in
+          secs
+        in
+        let t1 = secs_of 1 and t2 = secs_of 2 and t4 = secs_of 4 in
+        let speedup2 = t1 /. Float.max 1e-9 t2 in
+        let speedup4 = t1 /. Float.max 1e-9 t4 in
+        let _, sol1, nodes1, _ = List.hd runs in
+        let links = Graph.num_edges inst.Instance.graph in
+        if links > !largest_links then begin
+          largest_links := links;
+          largest_label := label;
+          largest_speedup := speedup4
+        end;
+        kv_float (label ^ "_seconds_j1") t1;
+        kv_float (label ^ "_seconds_j2") t2;
+        kv_float (label ^ "_seconds_j4") t4;
+        kv_float (label ^ "_speedup_j2") speedup2;
+        kv_float (label ^ "_speedup_j4") speedup4;
+        kv (label ^ "_nodes") (Json.Int nodes1);
+        kv (label ^ "_identical") (Json.Bool identical);
+        [
+          label;
+          string_of_int links;
+          string_of_int nodes1;
+          string_of_int sol1.Passive.count;
+          Printf.sprintf "%.3f/%.3f/%.3f" t1 t2 t4;
+          Table.float_cell ~decimals:2 speedup2;
+          Table.float_cell ~decimals:2 speedup4;
+          (if identical then "yes" else "NO");
+        ])
+      cases
+  in
+  Table.print
+    ~header:
+      [
+        "instance"; "links"; "nodes"; "devices"; "secs j1/j2/j4";
+        "speedup j2"; "speedup j4"; "identical";
+      ]
+    rows;
+  note
+    "same trees, same incumbents: deterministic wave scheduling fixes the\n\
+     node order, so extra domains only change who solves each node LP.";
+  if !identical_all then note "results identical across jobs 1/2/4: OK"
+  else note "!! results differ across jobs values — determinism contract broken";
+  let gate_ok =
+    if cores < 4 then begin
+      note
+        "speedup gate skipped: %d core(s) available, need >= 4 for a \
+         meaningful jobs=4 measurement"
+        cores;
+      true
+    end
+    else if !largest_speedup >= 2.5 then begin
+      note "jobs=4 speedup %.2fx on %s (target >= 2.5x): OK" !largest_speedup
+        !largest_label;
+      true
+    end
+    else begin
+      note "!! jobs=4 speedup %.2fx on %s is below the 2.5x target"
+        !largest_speedup !largest_label;
+      false
+    end
+  in
+  kv "parscale_cores" (Json.Int cores);
+  kv_float "parscale_gate_j4" (if gate_ok then 1.0 else 0.0);
+  kv_float "parscale_identical" (if !identical_all then 1.0 else 0.0)
+
 (* §7 extension: measurement campaigns *)
 let campaign () =
   section "Extension (§7) — measurement campaigns (re-route to monitor)";
@@ -859,6 +1015,7 @@ let experiments =
     ("warmstart", warmstart);
     ("kernelscale", kernelscale);
     ("flowscale", flowscale);
+    ("parscale", parscale);
     ("sampling", sampling_sweep);
     ("campaign", campaign);
     ("ablation", ablation);
@@ -965,6 +1122,7 @@ let () =
           | "--compare-warmstart" -> "warmstart"
           | "--compare-kernel" -> "kernelscale"
           | "--compare-flow" -> "flowscale"
+          | "--compare-jobs" -> "parscale"
           | pick -> pick)
         picks
     | [] -> List.map fst experiments

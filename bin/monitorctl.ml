@@ -204,17 +204,28 @@ let solver_term =
     in
     Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"SECS" ~doc)
   in
-  let make cold no_presolve dense time_limit (base : Mip.options) =
+  let jobs_arg =
+    let doc =
+      "Worker domains for the branch-and-bound search (default 1, or \
+       $(b,MONPOS_JOBS) when set; 0 means one per CPU core). The \
+       default deterministic scheduler returns the same incumbent, \
+       objective, bound and node count for every value of $(docv)."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let make cold no_presolve dense time_limit jobs (base : Mip.options) =
     {
       base with
       Mip.warm_start = not cold;
       presolve = not no_presolve;
       kernel = (if dense then Simplex.Dense else Simplex.Sparse_lu);
       time_limit = Option.value time_limit ~default:base.Mip.time_limit;
+      jobs = Option.value jobs ~default:base.Mip.jobs;
     }
   in
   Term.(
-    const make $ cold_arg $ no_presolve_arg $ dense_kernel_arg $ time_limit_arg)
+    const make $ cold_arg $ no_presolve_arg $ dense_kernel_arg $ time_limit_arg
+    $ jobs_arg)
 
 let strict_arg =
   let doc =
@@ -569,11 +580,19 @@ let dynamic_cmd =
       value & opt float 0.85
       & info [ "threshold" ] ~doc:"Coverage tolerance T triggering PPME*.")
   in
-  let run obs preset seed k steps sigma threshold flow_kernel =
+  let jobs_arg =
+    let doc =
+      "Worker domains for the initial PPME placement MILP (the drift \
+       loop itself re-optimizes through LP or flow kernels)."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let run obs preset seed k steps sigma threshold flow_kernel jobs =
     with_obs obs @@ fun () ->
     let kernel = Option.map (fun algo -> Sampling.Flow algo) flow_kernel in
     let points =
-      Scenario.dynamic_run ~preset ~seed ~k ~threshold ~steps ~sigma ?kernel ()
+      Scenario.dynamic_run ~preset ~seed ~k ~threshold ~steps ~sigma ?kernel
+        ?jobs ()
     in
     Table.print
       ~header:[ "step"; "before"; "after"; "reopts" ]
@@ -593,7 +612,7 @@ let dynamic_cmd =
     (Cmd.info "dynamic" ~doc ~exits)
     Term.(
       const run $ obs_term $ preset_arg $ seed_arg $ coverage_arg $ steps_arg
-      $ sigma_arg $ threshold_arg $ flow_kernel_arg)
+      $ sigma_arg $ threshold_arg $ flow_kernel_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* campaign                                                            *)

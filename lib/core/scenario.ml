@@ -125,10 +125,15 @@ type dynamic_point = {
 }
 
 let dynamic_run ?(preset = `Pop10) ?(seed = 1) ?(k = 0.9) ?(threshold = 0.85)
-    ?(steps = 30) ?(sigma = 0.15) ?kernel () =
+    ?(steps = 30) ?(sigma = 0.15) ?kernel ?jobs () =
   let inst = instance_of preset seed in
   let pb = Sampling.make_problem ~k ~costs:(Sampling.load_scaled_costs inst ()) inst in
-  let placement = Sampling.solve_milp pb in
+  let milp_options =
+    match jobs with
+    | None -> Sampling.default_milp_options
+    | Some jobs -> { Sampling.default_milp_options with Monpos_lp.Mip.jobs }
+  in
+  let placement = Sampling.solve_milp ~options:milp_options pb in
   let ticks =
     Sampling.run_dynamic ?kernel pb ~installed:placement.Sampling.installed
       ~threshold ~steps ~sigma ~seed:(seed * 31)

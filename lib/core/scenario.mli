@@ -65,6 +65,7 @@ val dynamic_run :
   ?steps:int ->
   ?sigma:float ->
   ?kernel:Sampling.kernel ->
+  ?jobs:int ->
   unit ->
   dynamic_point list
 (** §5.4's threshold loop on a drifting matrix: placement from
@@ -72,7 +73,9 @@ val dynamic_run :
     re-optimizations whenever coverage sinks below [threshold].
     Defaults: [`Pop10], seed 1, k = 0.9, threshold = 0.85, 30 steps,
     sigma = 0.15, and {!Sampling.run_dynamic}'s default LP kernel
-    (pass [kernel] to re-optimize through the flow engine instead). *)
+    (pass [kernel] to re-optimize through the flow engine instead).
+    [jobs] sets the worker-domain count for the initial placement
+    MILP; the drift loop itself is LP/flow-based and unaffected. *)
 
 type agreement = {
   instances : int;  (** instances checked *)

@@ -1,11 +1,17 @@
 module Trace = Monpos_obs.Trace
 module Metrics = Monpos_obs.Metrics
+module Clock = Monpos_obs.Clock
 module Error = Monpos_resilience.Error
 module Deadline = Monpos_resilience.Deadline
 module Chaos = Monpos_resilience.Chaos
+module Prng = Monpos_util.Prng
+module Wsdeque = Monpos_util.Wsdeque
+module H = Monpos_util.Heap
 
 (* module-scope instrument handles: registration is idempotent and
-   handles survive Metrics.reset, so hot paths pay no lookup *)
+   handles survive Metrics.reset, so hot paths pay no lookup. Every
+   lazy here is forced on the main domain at solve entry — Lazy.force
+   is not safe to race from two domains. *)
 let m_nodes = lazy (Metrics.counter Metrics.default "mip.nodes")
 
 let m_incumbents = lazy (Metrics.counter Metrics.default "mip.incumbents")
@@ -13,6 +19,24 @@ let m_incumbents = lazy (Metrics.counter Metrics.default "mip.incumbents")
 let m_prunes = lazy (Metrics.counter Metrics.default "mip.prunes")
 
 let m_solves = lazy (Metrics.counter Metrics.default "mip.solves")
+
+let m_steals = lazy (Metrics.counter Metrics.default "mip.steals")
+
+(* per-worker series, labeled by worker slot (0 = the coordinating
+   domain), not by runtime domain id: slot labels keep the series
+   cardinality bounded by [jobs] where raw domain ids would grow
+   without bound across solves. Registration happens on the main
+   domain only (before spawn or after join); workers touch nothing
+   but the returned handles. *)
+let m_nodes_w w =
+  Metrics.counter
+    ~labels:[ ("domain", string_of_int w) ]
+    Metrics.default "mip.nodes"
+
+let m_idle_w w =
+  Metrics.gauge
+    ~labels:[ ("domain", string_of_int w) ]
+    Metrics.default "mip.idle_seconds"
 
 type branching = Most_fractional | Pseudocost
 
@@ -26,8 +50,17 @@ type options = {
   warm_start : bool;
   presolve : bool;
   kernel : Simplex.kernel;
+  jobs : int;
+  deterministic : bool;
+  wave : int;
   log : bool;
 }
+
+let env_jobs () =
+  match Sys.getenv_opt "MONPOS_JOBS" with
+  | None | Some "" -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with Some j -> j | None -> 1)
 
 let default_options =
   {
@@ -40,6 +73,9 @@ let default_options =
     warm_start = true;
     presolve = true;
     kernel = Simplex.Sparse_lu;
+    jobs = env_jobs ();
+    deterministic = true;
+    wave = 16;
     log = false;
   }
 
@@ -59,6 +95,11 @@ type node = {
   lower : float array;
   upper : float array;
   depth : int;
+  (* deterministic creation sequence number: the root is 0 and
+     children get consecutive numbers in coordinator merge order (down
+     branch before up branch), so seq totally orders nodes by creation
+     independently of which domain later solves them *)
+  seq : int;
   (* pseudocost bookkeeping: which branch created this node, and the
      parent relaxation's score and fractional part, so the child's LP
      value updates the per-variable degradation statistics *)
@@ -72,16 +113,259 @@ type node = {
 (* Internal scores are minimization scores: score = obj for Minimize,
    -obj for Maximize, so "smaller is better" throughout. *)
 
+(* Shared incumbent under a deterministic total order.
+
+   Candidates are ordered by score with ties broken by the (node seq,
+   sub) key under which the candidate was produced (sub 0 is the
+   node's own integral relaxation, sub >= 1 a diving candidate of that
+   node). Keys are unique and the comparison is exact — no tolerance
+   band — so publication is a lattice meet: the final cell content is
+   the minimum over every candidate ever offered, independent of
+   arrival order. That is the heart of the deterministic-mode
+   contract: any interleaving of worker publishes converges to the
+   same incumbent.
+
+   The same exact order also makes work-skipping provably safe: a dive
+   whose candidates all carry score >= s and key >= k can be skipped
+   whenever the current cell beats (s, k), because the final incumbent
+   beats the current cell and therefore beats everything the dive
+   could have produced. Which skips happen is timing-dependent; the
+   result is not. *)
+module Incumbent = struct
+  type cand = { score : float; key : int * int; x : float array }
+
+  type t = cand option Atomic.t
+
+  let create () : t = Atomic.make None
+
+  let better a b = a.score < b.score || (a.score = b.score && a.key < b.key)
+
+  let beats c = function None -> true | Some i -> better c i
+
+  let rec publish t c =
+    let cur = Atomic.get t in
+    if beats c cur then
+      if Atomic.compare_and_set t cur (Some c) then true else publish t c
+    else false
+
+  let get = Atomic.get
+end
+
+(* per-search pseudocost state: average objective degradation per unit
+   of rounded-away fraction, per variable and direction. Owned by the
+   coordinator in deterministic mode (updated only at merge, in wave
+   order — a worker-side update would make branching decisions depend
+   on scheduling); per-worker in async mode. *)
+type pc = {
+  pc_down : float array;
+  pc_down_n : int array;
+  pc_up : float array;
+  pc_up_n : int array;
+}
+
+let pc_create n =
+  {
+    pc_down = Array.make n 0.0;
+    pc_down_n = Array.make n 0;
+    pc_up = Array.make n 0.0;
+    pc_up_n = Array.make n 0;
+  }
+
+(* ---- deterministic wave pool ------------------------------------- *)
+
+type outcome =
+  | O_pending
+  | O_infeasible
+  | O_unbounded
+  | O_iter_limit
+  | O_deadline
+  | O_optimal of { raw : float; primal : float array; basis : Simplex.basis }
+
+type task = {
+  t_node : node;
+  t_bound : float;
+  t_num : int;
+  t_dive : bool;
+  mutable t_outcome : outcome;
+}
+
+(* A pool of [jobs - 1] spawned worker domains plus the coordinator
+   (slot 0). Work arrives in waves: the coordinator publishes a
+   generation bump with [p_remaining] set to the wave size, deals the
+   tasks round-robin into the per-worker deques, and every slot then
+   drains tasks — own deque first (LIFO), stealing from the top of
+   random victims when empty. The barrier is [p_remaining] reaching
+   zero; setting [p_remaining] before the pushes matters, because a
+   straggler from the previous wave may steal a new task early and
+   its decrement must land on an initialized counter. *)
+type pool = {
+  p_jobs : int;
+  p_deques : task Wsdeque.t array;
+  p_lock : Mutex.t;
+  p_cond : Condition.t;
+  mutable p_generation : int;
+  mutable p_remaining : int;
+  mutable p_quit : bool;
+  mutable p_failure : exn option;
+  p_steals : int array;
+  p_idle : float array;
+  p_nodes_w : Metrics.counter array;
+  p_process : task -> unit;
+  mutable p_domains : unit Domain.t array;
+}
+
+let find_task pool w prng =
+  match Wsdeque.pop pool.p_deques.(w) with
+  | Some _ as t -> t
+  | None ->
+    let start = Prng.int prng pool.p_jobs in
+    let rec sweep i =
+      if i = pool.p_jobs then None
+      else
+        let v = (start + i) mod pool.p_jobs in
+        if v = w then sweep (i + 1)
+        else
+          match Wsdeque.steal pool.p_deques.(v) with
+          | Some _ as t ->
+            pool.p_steals.(w) <- pool.p_steals.(w) + 1;
+            t
+          | None -> sweep (i + 1)
+    in
+    sweep 0
+
+let record_failure pool e =
+  Mutex.protect pool.p_lock (fun () ->
+      match pool.p_failure with
+      | None -> pool.p_failure <- Some e
+      | Some _ -> ())
+
+let task_done pool =
+  Mutex.protect pool.p_lock (fun () ->
+      pool.p_remaining <- pool.p_remaining - 1;
+      if pool.p_remaining = 0 then Condition.broadcast pool.p_cond)
+
+let rec drain_wave pool w prng =
+  match find_task pool w prng with
+  | Some t ->
+    (try pool.p_process t with e -> record_failure pool e);
+    Metrics.incr pool.p_nodes_w.(w);
+    task_done pool;
+    drain_wave pool w prng
+  | None ->
+    (* nothing stealable: either the wave is done or every remaining
+       task is in flight on another slot — wait for the zero broadcast *)
+    let finished =
+      Mutex.protect pool.p_lock (fun () ->
+          if pool.p_remaining > 0 && not pool.p_quit then begin
+            let t0 = Clock.now () in
+            Condition.wait pool.p_cond pool.p_lock;
+            pool.p_idle.(w) <- pool.p_idle.(w) +. (Clock.now () -. t0);
+            false
+          end
+          else true)
+    in
+    if not finished then drain_wave pool w prng
+
+let rec worker_loop pool w prng my_gen sink =
+  let next =
+    Mutex.protect pool.p_lock (fun () ->
+        let t0 = Clock.now () in
+        while (not pool.p_quit) && pool.p_generation = my_gen do
+          Condition.wait pool.p_cond pool.p_lock
+        done;
+        pool.p_idle.(w) <- pool.p_idle.(w) +. (Clock.now () -. t0);
+        if pool.p_quit then None else Some pool.p_generation)
+  in
+  match next with
+  | None ->
+    (* domain exit: push out any events this domain buffered, so a
+       reader never sees a torn per-domain span pair *)
+    Trace.flush sink
+  | Some gen ->
+    drain_wave pool w prng;
+    worker_loop pool w prng gen sink
+
+let create_pool ~jobs ~prngs ~process ~sink =
+  let pool =
+    {
+      p_jobs = jobs;
+      p_deques = Array.init jobs (fun _ -> Wsdeque.create ());
+      p_lock = Mutex.create ();
+      p_cond = Condition.create ();
+      p_generation = 0;
+      p_remaining = 0;
+      p_quit = false;
+      p_failure = None;
+      p_steals = Array.make jobs 0;
+      p_idle = Array.make jobs 0.0;
+      p_nodes_w = Array.init jobs m_nodes_w;
+      p_process = process;
+      p_domains = [||];
+    }
+  in
+  pool.p_domains <-
+    Array.init (jobs - 1) (fun i ->
+        let w = i + 1 in
+        let prng = prngs.(w) in
+        Domain.spawn (fun () -> worker_loop pool w prng 0 sink));
+  pool
+
+let run_wave pool prng0 tasks =
+  let n = List.length tasks in
+  Mutex.protect pool.p_lock (fun () ->
+      pool.p_remaining <- n;
+      pool.p_generation <- pool.p_generation + 1;
+      Condition.broadcast pool.p_cond);
+  List.iteri
+    (fun i t -> Wsdeque.push pool.p_deques.(i mod pool.p_jobs) t)
+    tasks;
+  (* second broadcast: a worker that woke on the generation bump,
+     found the deques still empty and went back to waiting needs a
+     poke now that the tasks are actually visible *)
+  Mutex.protect pool.p_lock (fun () -> Condition.broadcast pool.p_cond);
+  drain_wave pool 0 prng0;
+  Mutex.protect pool.p_lock (fun () ->
+      let t0 = Clock.now () in
+      while pool.p_remaining > 0 do
+        Condition.wait pool.p_cond pool.p_lock
+      done;
+      pool.p_idle.(0) <- pool.p_idle.(0) +. (Clock.now () -. t0));
+  match pool.p_failure with
+  | Some e ->
+    pool.p_failure <- None;
+    raise e
+  | None -> ()
+
+let shutdown pool =
+  Mutex.protect pool.p_lock (fun () ->
+      pool.p_quit <- true;
+      Condition.broadcast pool.p_cond);
+  Array.iter Domain.join pool.p_domains;
+  let stolen = Array.fold_left ( + ) 0 pool.p_steals in
+  if stolen > 0 then Metrics.add (Lazy.force m_steals) stolen;
+  Array.iteri
+    (fun w s ->
+      if s > 0.0 then begin
+        let g = m_idle_w w in
+        Metrics.set g (Metrics.gauge_value g +. s)
+      end)
+    pool.p_idle
+
 let solve ?(options = default_options) model =
   Monpos_obs.Span.run "mip.solve" @@ fun () ->
   let sink = Trace.current () in
+  ignore (Lazy.force m_nodes);
+  ignore (Lazy.force m_incumbents);
+  ignore (Lazy.force m_prunes);
+  ignore (Lazy.force m_steals);
   Metrics.incr (Lazy.force m_solves);
   let minimize = Model.direction model = Model.Minimize in
   (* The wall-clock budget becomes a Deadline threaded through the
      whole solve — root presolve included, and every node (and diving)
-     LP polls it — so neither a long probing phase nor a single large
-     relaxation can overrun [time_limit] unboundedly. Chaos may
-     compress the budget to a tenth to exercise the deadline paths. *)
+     LP polls it, on whichever domain it runs — so neither a long
+     probing phase nor a single large relaxation can overrun
+     [time_limit] unboundedly. Chaos may compress the budget to a
+     tenth to exercise the deadline paths. *)
   let budget =
     if Chaos.fire ~site:"deadline.compress" ~p:0.25 () then
       options.time_limit *. 0.1
@@ -161,10 +445,6 @@ let solve ?(options = default_options) model =
       int_vars;
     if !best = -1 then None else Some !best
   in
-  (* pseudocost state: average objective degradation per unit of
-     rounded-away fraction, per variable and direction *)
-  let pc_down = Array.make n 0.0 and pc_down_n = Array.make n 0 in
-  let pc_up = Array.make n 0.0 and pc_up_n = Array.make n 0 in
   (* The fractional part recorded at branch time is x - floor(x + itol),
      which sits in (itol, 1 - itol) for the default tolerance but can
      approach 0 or 1 (or even leave [0, 1] entirely) when callers loosen
@@ -172,7 +452,7 @@ let solve ?(options = default_options) model =
      branch into a pseudocost that dwarfs every honest observation.
      Clamp the denominator below by the tolerance itself. *)
   let pc_frac f = Float.max f (Float.max itol 1e-6) in
-  let record_pseudocost node child_score =
+  let record_pseudocost pc node child_score =
     match node.branched with
     | None -> ()
     | Some (v, dir, parent_score, frac) ->
@@ -180,18 +460,18 @@ let solve ?(options = default_options) model =
       (match dir with
       | `Down ->
         let per_unit = degradation /. pc_frac frac in
-        pc_down.(v) <-
-          ((pc_down.(v) *. float_of_int pc_down_n.(v)) +. per_unit)
-          /. float_of_int (pc_down_n.(v) + 1);
-        pc_down_n.(v) <- pc_down_n.(v) + 1
+        pc.pc_down.(v) <-
+          ((pc.pc_down.(v) *. float_of_int pc.pc_down_n.(v)) +. per_unit)
+          /. float_of_int (pc.pc_down_n.(v) + 1);
+        pc.pc_down_n.(v) <- pc.pc_down_n.(v) + 1
       | `Up ->
         let per_unit = degradation /. pc_frac (1.0 -. frac) in
-        pc_up.(v) <-
-          ((pc_up.(v) *. float_of_int pc_up_n.(v)) +. per_unit)
-          /. float_of_int (pc_up_n.(v) + 1);
-        pc_up_n.(v) <- pc_up_n.(v) + 1)
+        pc.pc_up.(v) <-
+          ((pc.pc_up.(v) *. float_of_int pc.pc_up_n.(v)) +. per_unit)
+          /. float_of_int (pc.pc_up_n.(v) + 1);
+        pc.pc_up_n.(v) <- pc.pc_up_n.(v) + 1)
   in
-  let branch_var primal =
+  let branch_var pc primal =
     match options.branching with
     | Most_fractional -> fractional_var primal
     | Pseudocost ->
@@ -205,10 +485,11 @@ let solve ?(options = default_options) model =
           let dist = abs_float (x -. Float.round x) in
           if dist > itol then begin
             let est_down =
-              if pc_down_n.(v) > 0 then pc_down.(v) *. frac else dist
+              if pc.pc_down_n.(v) > 0 then pc.pc_down.(v) *. frac else dist
             in
             let est_up =
-              if pc_up_n.(v) > 0 then pc_up.(v) *. (1.0 -. frac) else dist
+              if pc.pc_up_n.(v) > 0 then pc.pc_up.(v) *. (1.0 -. frac)
+              else dist
             in
             let score = max est_down 1e-6 *. max est_up 1e-6 in
             if score > !best_score then begin
@@ -219,33 +500,63 @@ let solve ?(options = default_options) model =
         int_vars;
       if !best = -1 then None else Some !best
   in
-  let nodes = ref 0 in
-  let incumbent = ref None (* (score, solution) *) in
-  let incumbent_score () =
-    match !incumbent with Some (s, _) -> s | None -> infinity
+  let incumbent = Incumbent.create () in
+  let inc_score_now () =
+    match Incumbent.get incumbent with
+    | Some c -> c.Incumbent.score
+    | None -> infinity
   in
-  let record_candidate primal score =
-    if score < incumbent_score () -. 1e-12 then begin
+  (* could a candidate at [score] with minimal key [key] (or any
+     candidate from a subtree bounded below by that pair) still become
+     the final incumbent? The order is exact, so "no" is a proof and
+     the work can be dropped on any domain without changing the
+     result. *)
+  let worth ~key score =
+    match Incumbent.get incumbent with
+    | None -> true
+    | Some c ->
+      score < c.Incumbent.score
+      || (score = c.Incumbent.score && key < c.Incumbent.key)
+  in
+  let publish_candidate ~key primal score =
+    if worth ~key score then begin
       (* snap integers exactly before the feasibility re-check *)
       let snapped = Array.copy primal in
       List.iter (fun v -> snapped.(v) <- Float.round snapped.(v)) int_vars;
       if Model.value_feasible ~tol:1e-6 model snapped then begin
-        incumbent := Some (score, snapped);
-        Metrics.incr (Lazy.force m_incumbents);
-        if Trace.enabled sink then
-          Trace.incumbent sink ~solver:"mip" ~node:!nodes
-            ~objective:(of_score score);
-        if options.log then
-          Printf.eprintf "[mip] incumbent %.6f\n%!" (of_score score)
+        let c = { Incumbent.score; key; x = snapped } in
+        if Incumbent.publish incumbent c then begin
+          Metrics.incr (Lazy.force m_incumbents);
+          if Trace.enabled sink then
+            Trace.incumbent sink ~solver:"mip" ~node:(fst key)
+              ~objective:(of_score score);
+          if options.log then
+            Printf.eprintf "[mip] incumbent %.6f\n%!" (of_score score)
+        end
       end
     end
+  in
+  (* prune test mirroring the serial solver: a (sharpened) score at or
+     above incumbent - gap_tolerance*(1+|incumbent|) cannot improve
+     the answer by more than the accepted gap. False while no
+     incumbent exists. *)
+  let within_gap_of_incumbent score =
+    match Incumbent.get incumbent with
+    | None -> false
+    | Some c ->
+      score
+      >= c.Incumbent.score
+         -. (options.gap_tolerance *. (1.0 +. abs_float c.Incumbent.score))
   in
   (* LP diving: repeatedly fix the most fractional integer variable to
      its rounded value (retrying the opposite value if that kills
      feasibility) until the LP relaxation comes out integral. Much more
      reliable than one-shot rounding on covering-type programs, where
-     rounding fractional openings down is almost always infeasible. *)
-  let diving_heuristic node primal0 basis0 =
+     rounding fractional openings down is almost always infeasible.
+     Runs entirely on the domain that owns the node; the candidate is
+     published under key (node seq, 1) so the deterministic incumbent
+     order covers it. *)
+  let diving_heuristic ~seq node primal0 basis0 =
     let lower = Array.copy node.lower and upper = Array.copy node.upper in
     let warm basis = if options.warm_start then Some basis else None in
     let rec dive primal basis fuel =
@@ -258,7 +569,8 @@ let solve ?(options = default_options) model =
               ~options:lp_options problem
           in
           if sol.Simplex.status = Simplex.Optimal then
-            record_candidate sol.Simplex.primal (to_score sol.Simplex.objective)
+            publish_candidate ~key:(seq, 1) sol.Simplex.primal
+              (to_score sol.Simplex.objective)
         | Some v ->
           let try_fix value =
             let saved_l = lower.(v) and saved_u = upper.(v) in
@@ -290,53 +602,334 @@ let solve ?(options = default_options) model =
     in
     dive primal0 basis0 (List.length int_vars)
   in
-  let queue = Monpos_util.Heap.create () in
+  let jobs =
+    let j =
+      if options.jobs <= 0 then Domain.recommended_domain_count ()
+      else options.jobs
+    in
+    max 1 j
+  in
+  let wave_size = max 1 options.wave in
+  (* steal-victim sweep order comes from per-worker split streams:
+     deterministic to construct, irrelevant to results (stealing only
+     moves a node between domains) *)
+  let worker_prngs =
+    let base = Prng.create 0x6d6f6e50 in
+    Array.init jobs (fun _ -> Prng.split base)
+  in
   let root =
     {
-      lower = Array.init n (fun v -> Model.var_lb model (Model.var_of_index model v));
-      upper = Array.init n (fun v -> Model.var_ub model (Model.var_of_index model v));
+      lower =
+        Array.init n (fun v -> Model.var_lb model (Model.var_of_index model v));
+      upper =
+        Array.init n (fun v -> Model.var_ub model (Model.var_of_index model v));
       depth = 0;
+      seq = 0;
       branched = None;
       start_basis = None;
     }
   in
+  let nodes = ref 0 in
   let best_open_bound = ref neg_infinity in
   let root_unbounded = ref false in
   let infeasible_root = ref true in
-  (* bound accounting: the global dual bound is min(incumbent score,
-     smallest score among open nodes). We push nodes keyed by their
-     parent LP score. *)
-  Monpos_util.Heap.push queue neg_infinity root;
   let stopped_at_limit = ref false in
-  let continue = ref true in
-  while !continue do
-    match Monpos_util.Heap.pop_min queue with
-    | None -> continue := false
-    | Some (parent_bound, node) ->
-      if !nodes >= options.max_nodes || Deadline.expired deadline then begin
-        if Deadline.expired deadline then deadline_stop := true;
+
+  (* -------------- deterministic wave scheduler -------------------
+
+     The coordinator repeats: pop up to [wave] nodes from the
+     best-bound heap (assigning node numbers, emitting bb_node events
+     and deciding stop conditions — all heap-order-deterministic),
+     dispatch them to the worker deques, barrier, then merge the LP
+     outcomes in wave order. Everything order-sensitive — pseudocost
+     updates, branching decisions, child seq assignment, bound
+     pruning, chaos draws — happens at the merge, on this domain, in
+     wave order; workers only solve LPs and offer candidates to the
+     exact-ordered incumbent. Node counts, the incumbent, objective,
+     bound and gap are therefore identical for every [jobs] value. *)
+  let solve_deterministic () =
+    let queue = H.create () in
+    H.push queue neg_infinity root;
+    let next_seq = ref 1 in
+    let pc = pc_create n in
+    let process_task (t : task) =
+      (* Scoped chaos is suppressed during node processing: a fault
+         injected into one node LP (say a singular warm basis) is
+         recovered to the same optimum but possibly a different basis
+         and primal, and which domain solves which node is timing-
+         dependent — letting it fire here would break jobs-invariance.
+         Chaos still hits the deterministic coordinator points
+         (deadline compression at entry, NaN poisoning at merge) and
+         every LP solve outside the parallel section. *)
+      Chaos.suppress @@ fun () ->
+      let node = t.t_node in
+      let sol =
+        Simplex.solve ~lower:node.lower ~upper:node.upper
+          ?basis:(if options.warm_start then node.start_basis else None)
+          ~deadline ~options:lp_options problem
+      in
+      match sol.Simplex.status with
+      | Simplex.Infeasible -> t.t_outcome <- O_infeasible
+      | Simplex.Iteration_limit -> t.t_outcome <- O_iter_limit
+      | Simplex.Deadline_reached -> t.t_outcome <- O_deadline
+      | Simplex.Unbounded -> t.t_outcome <- O_unbounded
+      | Simplex.Optimal ->
+        let raw = to_score sol.Simplex.objective in
+        (match fractional_var sol.Simplex.primal with
+        | None ->
+          publish_candidate ~key:(node.seq, 0) sol.Simplex.primal (sharpen raw)
+        | Some _ ->
+          (* skipping a provably-losing dive is result-invariant (see
+             Incumbent); (node.seq, 1) bounds every candidate the dive
+             could offer from below *)
+          if t.t_dive && worth ~key:(node.seq, 1) raw then
+            diving_heuristic ~seq:node.seq node sol.Simplex.primal
+              sol.Simplex.basis);
+        t.t_outcome <-
+          O_optimal
+            { raw; primal = sol.Simplex.primal; basis = sol.Simplex.basis }
+    in
+    let inline_nodes = lazy (m_nodes_w 0) in
+    let pool =
+      lazy (create_pool ~jobs ~prngs:worker_prngs ~process:process_task ~sink)
+    in
+    let process_inline t =
+      process_task t;
+      if jobs > 1 then Metrics.incr (Lazy.force inline_nodes)
+    in
+    (* singleton waves (the root above all) run inline on this domain:
+       trivial solves never pay a spawn, and the root LP forces every
+       kernel-internal lazy before a worker domain can race it *)
+    let run_tasks = function
+      | [] -> ()
+      | [ t ] -> process_inline t
+      | ts when jobs = 1 -> List.iter process_inline ts
+      | ts -> run_wave (Lazy.force pool) worker_prngs.(0) ts
+    in
+    let searching = ref true in
+    let merge (t : task) =
+      let node = t.t_node in
+      match t.t_outcome with
+      | O_pending ->
+        (* unreachable: a worker failure re-raises from run_wave
+           before the merge runs *)
+        assert false
+      | O_infeasible -> ()
+      | O_iter_limit ->
+        (* treat as unresolved: keep the parent bound, re-queueing
+           would loop, so give up on this subtree pessimistically by
+           keeping it open in the bound accounting *)
+        best_open_bound := min !best_open_bound t.t_bound;
+        stopped_at_limit := true
+      | O_deadline ->
+        (* same pessimistic accounting; the collection loop notices
+           the expired deadline on the next wave *)
+        best_open_bound := min !best_open_bound t.t_bound;
         stopped_at_limit := true;
-        best_open_bound := parent_bound;
-        continue := false
+        deadline_stop := true
+      | O_unbounded ->
+        infeasible_root := false;
+        if node.depth = 0 then begin
+          root_unbounded := true;
+          searching := false
+        end
+      | O_optimal { raw; primal; basis } ->
+        infeasible_root := false;
+        (* NaN guard: a poisoned node objective would silently rank
+           the subtree as best-possible in the heap and corrupt every
+           bound downstream, so it is a typed numerical failure
+           instead. Chaos poisons the score here — at the merge, a
+           deterministic point, so the draw sequence is jobs-invariant
+           — to prove the guard (and the ladder above it) works. *)
+        let raw =
+          if Chaos.fire ~site:"mip.nan_cost" ~p:0.05 () then Float.nan else raw
+        in
+        if Float.is_nan raw then
+          Error.numerical ~stage:"mip.node_lp"
+            ~detail:
+              (Printf.sprintf "NaN relaxation objective at node %d" t.t_num);
+        record_pseudocost pc node raw;
+        let score = sharpen raw in
+        if within_gap_of_incumbent score then begin
+          Metrics.incr (Lazy.force m_prunes);
+          if Trace.enabled sink then
+            Trace.bound_pruned sink ~solver:"mip" ~node:t.t_num
+              ~bound:(of_score score)
+              ~incumbent:(of_score (inc_score_now ()))
+        end
+        else (
+          match branch_var pc primal with
+          | None ->
+            (* integral: the candidate was already offered worker-side
+               under key (seq, 0) *)
+            ()
+          | Some v ->
+            let x = primal.(v) in
+            let f = floor (x +. itol) in
+            let frac = x -. f in
+            (* both children differ from this node by one bound, so
+               this relaxation's basis stays dual feasible for them *)
+            let child_basis = Some basis in
+            let down =
+              {
+                node with
+                upper = Array.copy node.upper;
+                depth = node.depth + 1;
+                seq = !next_seq;
+                branched = Some (v, `Down, raw, frac);
+                start_basis = child_basis;
+              }
+            in
+            down.upper.(v) <- f;
+            let up =
+              {
+                node with
+                lower = Array.copy node.lower;
+                depth = node.depth + 1;
+                seq = !next_seq + 1;
+                branched = Some (v, `Up, raw, frac);
+                start_basis = child_basis;
+              }
+            in
+            up.lower.(v) <- f +. 1.0;
+            next_seq := !next_seq + 2;
+            if down.upper.(v) >= down.lower.(v) -. 1e-9 then
+              H.push queue score down;
+            if up.lower.(v) <= up.upper.(v) +. 1e-9 then H.push queue score up)
+    in
+    Fun.protect
+      ~finally:(fun () -> if Lazy.is_val pool then shutdown (Lazy.force pool))
+    @@ fun () ->
+    while !searching do
+      let halt = ref false in
+      let rev_tasks = ref [] in
+      let count = ref 0 in
+      let filling = ref true in
+      while !filling && !count < wave_size do
+        match H.pop_min queue with
+        | None -> filling := false
+        | Some (parent_bound, node) ->
+          if !nodes >= options.max_nodes || Deadline.expired deadline then begin
+            if Deadline.expired deadline then deadline_stop := true;
+            stopped_at_limit := true;
+            best_open_bound := min !best_open_bound parent_bound;
+            halt := true;
+            filling := false
+          end
+          else if within_gap_of_incumbent parent_bound then begin
+            (* best-first: every remaining node is at least as bad *)
+            if Trace.enabled sink then
+              Trace.bound_pruned sink ~solver:"mip" ~node:!nodes
+                ~bound:(of_score parent_bound)
+                ~incumbent:(of_score (inc_score_now ()));
+            best_open_bound := min !best_open_bound parent_bound;
+            halt := true;
+            filling := false
+          end
+          else begin
+            incr nodes;
+            incr count;
+            Metrics.incr (Lazy.force m_nodes);
+            if Trace.enabled sink then
+              Trace.bb_node sink ~solver:"mip" ~node:!nodes ~depth:node.depth
+                ~bound:(of_score parent_bound) ();
+            let t_dive =
+              options.heuristic_period > 0
+              && (!nodes = 1 || !nodes mod options.heuristic_period = 0)
+            in
+            rev_tasks :=
+              {
+                t_node = node;
+                t_bound = parent_bound;
+                t_num = !nodes;
+                t_dive;
+                t_outcome = O_pending;
+              }
+              :: !rev_tasks
+          end
+      done;
+      let tasks = List.rev !rev_tasks in
+      if tasks = [] && not !halt then searching := false
+      else begin
+        run_tasks tasks;
+        List.iter merge tasks;
+        if !halt then searching := false
       end
+    done;
+    (* fold any still-queued nodes into the bound *)
+    if !stopped_at_limit then begin
+      let rec drain () =
+        match H.pop_min queue with
+        | None -> ()
+        | Some (b, _) ->
+          best_open_bound := min !best_open_bound b;
+          drain ()
+      in
+      drain ()
+    end
+  in
+
+  (* -------------- free-running async scheduler --------------------
+
+     No waves, no barriers: every slot runs a full best-effort B&B
+     loop over its own deque, branching locally with per-worker
+     pseudocosts and pruning immediately against the shared atomic
+     incumbent, stealing from the top of a random victim when its own
+     deque runs dry. Termination is an atomic count of queued-or-in-
+     flight nodes. Faster on deep trees than the wave scheduler, but
+     the tree shape depends on scheduling — results can differ run to
+     run within the optimality gap, and chaos stays armed on every
+     domain (firing sites are schedule-dependent). *)
+  let solve_async () =
+    let a_nodes = Atomic.make 0 in
+    let a_seq = Atomic.make 1 in
+    let a_open = Atomic.make 1 in
+    let a_halt = Atomic.make false in
+    let a_limit = Atomic.make false in
+    let a_deadline = Atomic.make false in
+    let a_unbounded = Atomic.make false in
+    let a_feasible = Atomic.make false in
+    let a_failure : exn option Atomic.t = Atomic.make None in
+    let deques = Array.init jobs (fun _ -> Wsdeque.create ()) in
+    let steals = Array.make jobs 0 in
+    let idle = Array.make jobs 0.0 in
+    let folded = Array.make jobs infinity in
+    let w_nodes = if jobs > 1 then Some (Array.init jobs m_nodes_w) else None in
+    let pcs = Array.init jobs (fun _ -> pc_create n) in
+    let fold w b = folded.(w) <- min folded.(w) b in
+    let fail_with e =
+      let rec store () =
+        match Atomic.get a_failure with
+        | Some _ -> ()
+        | None ->
+          if not (Atomic.compare_and_set a_failure None (Some e)) then store ()
+      in
+      store ();
+      Atomic.set a_halt true
+    in
+    let process_node w (node, parent_bound) =
+      if Atomic.get a_halt then fold w parent_bound
       else if
-        parent_bound
-        >= incumbent_score () -. (options.gap_tolerance *. (1.0 +. abs_float (incumbent_score ())))
-        && !incumbent <> None
+        Atomic.get a_nodes >= options.max_nodes || Deadline.expired deadline
       then begin
-        (* best-first: every remaining node is at least as bad *)
+        if Deadline.expired deadline then Atomic.set a_deadline true;
+        Atomic.set a_limit true;
+        Atomic.set a_halt true;
+        fold w parent_bound
+      end
+      else if within_gap_of_incumbent parent_bound then begin
+        Metrics.incr (Lazy.force m_prunes);
         if Trace.enabled sink then
-          Trace.bound_pruned sink ~solver:"mip" ~node:!nodes
+          Trace.bound_pruned sink ~solver:"mip" ~node:(Atomic.get a_nodes)
             ~bound:(of_score parent_bound)
-            ~incumbent:(of_score (incumbent_score ()));
-        best_open_bound := parent_bound;
-        continue := false
+            ~incumbent:(of_score (inc_score_now ()))
       end
       else begin
-        incr nodes;
+        let num = 1 + Atomic.fetch_and_add a_nodes 1 in
         Metrics.incr (Lazy.force m_nodes);
+        (match w_nodes with Some a -> Metrics.incr a.(w) | None -> ());
         if Trace.enabled sink then
-          Trace.bb_node sink ~solver:"mip" ~node:!nodes ~depth:node.depth
+          Trace.bb_node sink ~solver:"mip" ~node:num ~depth:node.depth
             ~bound:(of_score parent_bound) ();
         let sol =
           Simplex.solve ~lower:node.lower ~upper:node.upper
@@ -346,102 +939,162 @@ let solve ?(options = default_options) model =
         match sol.Simplex.status with
         | Simplex.Infeasible -> ()
         | Simplex.Iteration_limit ->
-          (* treat as unresolved: keep the parent bound, re-queueing
-             would loop, so give up on this subtree pessimistically by
-             keeping it open in the bound accounting *)
-          best_open_bound := min !best_open_bound parent_bound;
-          stopped_at_limit := true
+          fold w parent_bound;
+          Atomic.set a_limit true
         | Simplex.Deadline_reached ->
-          (* same pessimistic accounting; the outer loop notices the
-             expired deadline when it pops the next node *)
-          best_open_bound := min !best_open_bound parent_bound;
-          stopped_at_limit := true;
-          deadline_stop := true
+          fold w parent_bound;
+          Atomic.set a_limit true;
+          Atomic.set a_deadline true;
+          Atomic.set a_halt true
         | Simplex.Unbounded ->
-          infeasible_root := false;
+          Atomic.set a_feasible true;
           if node.depth = 0 then begin
-            root_unbounded := true;
-            continue := false
+            Atomic.set a_unbounded true;
+            Atomic.set a_halt true
           end
         | Simplex.Optimal -> (
-          infeasible_root := false;
-          let raw_score = to_score sol.Simplex.objective in
-          (* NaN guard: a poisoned node objective would silently rank
-             the subtree as best-possible in the heap and corrupt every
-             bound downstream, so it is a typed numerical failure
-             instead. Chaos can poison the score here to prove the
-             guard (and the ladder above it) works. *)
-          let raw_score =
+          Atomic.set a_feasible true;
+          let raw = to_score sol.Simplex.objective in
+          let raw =
             if Chaos.fire ~site:"mip.nan_cost" ~p:0.05 () then Float.nan
-            else raw_score
+            else raw
           in
-          if Float.is_nan raw_score then
+          if Float.is_nan raw then
             Error.numerical ~stage:"mip.node_lp"
               ~detail:
-                (Printf.sprintf "NaN relaxation objective at node %d" !nodes);
-          record_pseudocost node raw_score;
-          let score = sharpen raw_score in
-          if
-            score
-            >= incumbent_score ()
-               -. (options.gap_tolerance *. (1.0 +. abs_float (incumbent_score ())))
-          then begin
+                (Printf.sprintf "NaN relaxation objective at node %d" num);
+          record_pseudocost pcs.(w) node raw;
+          let score = sharpen raw in
+          if within_gap_of_incumbent score then begin
             Metrics.incr (Lazy.force m_prunes);
             if Trace.enabled sink then
-              Trace.bound_pruned sink ~solver:"mip" ~node:!nodes
+              Trace.bound_pruned sink ~solver:"mip" ~node:num
                 ~bound:(of_score score)
-                ~incumbent:(of_score (incumbent_score ()))
+                ~incumbent:(of_score (inc_score_now ()))
           end
           else
-            match branch_var sol.Simplex.primal with
-            | None -> record_candidate sol.Simplex.primal score
+            match branch_var pcs.(w) sol.Simplex.primal with
+            | None ->
+              publish_candidate ~key:(node.seq, 0) sol.Simplex.primal score
             | Some v ->
               if
                 options.heuristic_period > 0
-                && (!nodes = 1 || !nodes mod options.heuristic_period = 0)
-              then diving_heuristic node sol.Simplex.primal sol.Simplex.basis;
+                && (num = 1 || num mod options.heuristic_period = 0)
+              then
+                diving_heuristic ~seq:node.seq node sol.Simplex.primal
+                  sol.Simplex.basis;
               let x = sol.Simplex.primal.(v) in
               let f = floor (x +. itol) in
               let frac = x -. f in
-              (* both children differ from this node by one bound, so
-                 this relaxation's basis stays dual feasible for them *)
               let child_basis = Some sol.Simplex.basis in
-              let down = { node with upper = Array.copy node.upper } in
+              let s = Atomic.fetch_and_add a_seq 2 in
+              let down =
+                {
+                  node with
+                  upper = Array.copy node.upper;
+                  depth = node.depth + 1;
+                  seq = s;
+                  branched = Some (v, `Down, raw, frac);
+                  start_basis = child_basis;
+                }
+              in
               down.upper.(v) <- f;
               let up =
                 {
                   node with
                   lower = Array.copy node.lower;
                   depth = node.depth + 1;
-                  branched = Some (v, `Up, raw_score, frac);
+                  seq = s + 1;
+                  branched = Some (v, `Up, raw, frac);
                   start_basis = child_basis;
                 }
               in
               up.lower.(v) <- f +. 1.0;
-              let down =
-                {
-                  down with
-                  depth = node.depth + 1;
-                  branched = Some (v, `Down, raw_score, frac);
-                  start_basis = child_basis;
-                }
-              in
-              if down.upper.(v) >= down.lower.(v) -. 1e-9 then
-                Monpos_util.Heap.push queue score down;
-              if up.lower.(v) <= up.upper.(v) +. 1e-9 then
-                Monpos_util.Heap.push queue score up)
+              if down.upper.(v) >= down.lower.(v) -. 1e-9 then begin
+                Atomic.incr a_open;
+                Wsdeque.push deques.(w) (down, score)
+              end;
+              if up.lower.(v) <= up.upper.(v) +. 1e-9 then begin
+                Atomic.incr a_open;
+                Wsdeque.push deques.(w) (up, score)
+              end)
       end
-  done;
-  (* fold any still-queued nodes into the bound *)
-  let rec drain () =
-    match Monpos_util.Heap.pop_min queue with
-    | None -> ()
-    | Some (b, _) ->
-      best_open_bound := min !best_open_bound b;
-      drain ()
+    in
+    let worker w prng =
+      let find () =
+        match Wsdeque.pop deques.(w) with
+        | Some _ as t -> t
+        | None ->
+          let start = Prng.int prng jobs in
+          let rec sweep i =
+            if i = jobs then None
+            else
+              let v = (start + i) mod jobs in
+              if v = w then sweep (i + 1)
+              else
+                match Wsdeque.steal deques.(v) with
+                | Some _ as t ->
+                  steals.(w) <- steals.(w) + 1;
+                  t
+                | None -> sweep (i + 1)
+          in
+          sweep 0
+      in
+      let rec loop () =
+        match find () with
+        | Some task ->
+          (try process_node w task with e -> fail_with e);
+          ignore (Atomic.fetch_and_add a_open (-1));
+          loop ()
+        | None ->
+          if Atomic.get a_open > 0 then begin
+            let t0 = Clock.now () in
+            Domain.cpu_relax ();
+            idle.(w) <- idle.(w) +. (Clock.now () -. t0);
+            loop ()
+          end
+      in
+      loop ();
+      if w > 0 then Trace.flush sink
+    in
+    (* the root runs inline on this domain before any spawn, forcing
+       kernel-internal lazies and skipping domain setup entirely for
+       models whose root relaxation decides the solve *)
+    (try process_node 0 (root, neg_infinity) with e -> fail_with e);
+    ignore (Atomic.fetch_and_add a_open (-1));
+    let domains =
+      if jobs > 1 && Atomic.get a_open > 0 && not (Atomic.get a_halt) then
+        Array.init (jobs - 1) (fun i ->
+            let w = i + 1 in
+            Domain.spawn (fun () -> worker w worker_prngs.(w)))
+      else [||]
+    in
+    worker 0 worker_prngs.(0);
+    Array.iter Domain.join domains;
+    nodes := Atomic.get a_nodes;
+    if Atomic.get a_limit then stopped_at_limit := true;
+    if Atomic.get a_deadline then deadline_stop := true;
+    if Atomic.get a_unbounded then root_unbounded := true;
+    if Atomic.get a_feasible then infeasible_root := false;
+    let fb = Array.fold_left min infinity folded in
+    if fb < infinity then best_open_bound := min !best_open_bound fb;
+    let stolen = Array.fold_left ( + ) 0 steals in
+    if stolen > 0 then Metrics.add (Lazy.force m_steals) stolen;
+    if jobs > 1 then
+      Array.iteri
+        (fun w s ->
+          if s > 0.0 then begin
+            let g = m_idle_w w in
+            Metrics.set g (Metrics.gauge_value g +. s)
+          end)
+        idle;
+    match Atomic.get a_failure with Some e -> raise e | None -> ()
   in
-  if !stopped_at_limit then drain ();
-  let inc_score = incumbent_score () in
+  if options.deterministic then solve_deterministic () else solve_async ();
+  let inc = Incumbent.get incumbent in
+  let inc_score =
+    match inc with Some c -> c.Incumbent.score | None -> infinity
+  in
   let bound_score =
     if !stopped_at_limit then min !best_open_bound inc_score
     else if !best_open_bound > neg_infinity then min !best_open_bound inc_score
@@ -454,14 +1107,11 @@ let solve ?(options = default_options) model =
   let status =
     if !root_unbounded then Unbounded
     else
-      match !incumbent with
+      match inc with
       | Some _ ->
         if (not !stopped_at_limit) || gap <= options.gap_tolerance then Optimal
         else Feasible
-      | None ->
-        if !stopped_at_limit then No_solution
-        else if !infeasible_root then Infeasible
-        else Infeasible
+      | None -> if !stopped_at_limit then No_solution else Infeasible
   in
   if !deadline_stop then begin
     if Trace.enabled sink then
@@ -473,8 +1123,9 @@ let solve ?(options = default_options) model =
   end;
   {
     status;
-    objective = (match !incumbent with Some (s, _) -> of_score s | None -> nan);
-    solution = (match !incumbent with Some (_, x) -> Some x | None -> None);
+    objective =
+      (match inc with Some c -> of_score c.Incumbent.score | None -> nan);
+    solution = (match inc with Some c -> Some c.Incumbent.x | None -> None);
     bound = of_score bound_score;
     nodes = !nodes;
     gap = (if status = Optimal then 0.0 else gap);

@@ -13,7 +13,18 @@
     bound tightening before the search; pruning by bound, with bounds
     rounded up when the objective is provably integral (pure device
     counts). Node and wall-clock limits turn the solver into an
-    anytime heuristic that reports the remaining gap. *)
+    anytime heuristic that reports the remaining gap.
+
+    With [jobs > 1] the search runs on OCaml 5 domains: node LPs are
+    dealt to per-domain workers with work-stealing deques, and the
+    incumbent lives in a shared atomic cell. In the default
+    deterministic mode the tree is explored in fixed-size waves whose
+    composition, branching decisions and incumbent updates are all
+    decided in a scheduling-independent order, so the reported
+    incumbent, objective, bound, node count and gap are bit-identical
+    for every [jobs] value (deadline-triggered stops excepted — wall
+    clock is inherently timing-dependent). See DESIGN.md §14 for the
+    scheduler and the memory-model argument. *)
 
 type branching =
   | Most_fractional
@@ -54,11 +65,60 @@ type options = {
       (** linear-algebra kernel for every node LP (default
           {!Simplex.Sparse_lu}; [Dense] is the slow reference for
           differential testing, [--dense-kernel] in the CLI) *)
+  jobs : int;
+      (** worker domains for the branch-and-bound search. [1] (the
+          default) keeps everything on the calling domain; [n > 1]
+          spawns [n - 1] extra domains; [<= 0] means auto
+          ([Domain.recommended_domain_count ()]). The default can be
+          overridden by the [MONPOS_JOBS] environment variable, which
+          is how CI forces the whole tier-1 suite through the parallel
+          scheduler. *)
+  deterministic : bool;
+      (** [true] (default): wave scheduling with a jobs-invariant
+          result (same incumbent, objective, bound, nodes and gap for
+          any [jobs]); scoped chaos sites are suppressed inside node
+          LPs because fault timing is scheduling-dependent. [false]:
+          free-running work stealing with immediate atomic pruning —
+          faster on deep trees, but results may vary within
+          [gap_tolerance] between runs and chaos stays armed
+          everywhere. *)
+  wave : int;
+      (** nodes dispatched per wave in deterministic mode (default 16).
+          Larger waves expose more parallelism; the value changes which
+          tree is explored but is independent of [jobs], so any fixed
+          [wave] preserves the determinism contract. *)
   log : bool;  (** print a search trace to stderr *)
 }
 
 val default_options : options
 (** The defaults documented above. *)
+
+(** The shared incumbent cell of a parallel search, exposed for the
+    multi-domain stress tests. Candidates carry a minimization score
+    and a unique (node seq, sub) key; [publish] is a CAS loop that
+    installs a candidate iff it beats the current content under the
+    exact order [better] (score, then key). Because the order is total
+    and exact, the cell converges to the minimum over every candidate
+    offered, whatever the interleaving — the property the
+    deterministic mode's contract rests on. *)
+module Incumbent : sig
+  type cand = { score : float; key : int * int; x : float array }
+
+  type t = cand option Atomic.t
+
+  val create : unit -> t
+
+  val better : cand -> cand -> bool
+  (** Strict total order: smaller score wins, ties go to the smaller
+      key. *)
+
+  val publish : t -> cand -> bool
+  (** Atomically install the candidate if it beats the cell's current
+      content; returns [true] iff it was installed. Safe to call from
+      any domain. *)
+
+  val get : t -> cand option
+end
 
 type status =
   | Optimal  (** incumbent proved optimal within [gap_tolerance] *)

@@ -10,6 +10,11 @@
      whose whole point is to stay large, so only a drop below half the
      baseline regresses (small-instance speedups swing a lot between
      otherwise-identical runs);
+   - scheduler- and machine-dependent series (work-steal counts,
+     per-domain "{domain=...}" splits, core counts): artifacts of
+     which worker happened to grab which node or of the hardware the
+     run landed on, so they are compared for coverage but never
+     regress;
    - everything else (device counts, coverage fractions, pivot and
      node counters): deterministic under fixed seeds, so anything
      beyond ±1% relative regresses.
@@ -40,10 +45,14 @@ let contains ~sub s =
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
   n = 0 || go 0
 
-type klass = Time | Ratio | Exact
+type klass = Time | Ratio | Exact | Sched
 
 let classify key =
-  if key = "seconds" || contains ~sub:"seconds" key then Time
+  if
+    contains ~sub:"{domain=" key || contains ~sub:"steals" key
+    || contains ~sub:"cores" key
+  then Sched
+  else if key = "seconds" || contains ~sub:"seconds" key then Time
   else if contains ~sub:"speedup" key || contains ~sub:"pivot_ratio" key then
     Ratio
   else Exact
@@ -77,7 +86,8 @@ let judge ~phase ~key ~base ~cur =
     | Exact ->
       if Float.abs (cur -. base) > exact_rel *. Float.max 1.0 (Float.abs base)
       then fail (Printf.sprintf "within %.0f%%" (100.0 *. exact_rel))
-      else None)
+      else None
+    | Sched -> None)
 
 let schema_of doc =
   match Option.bind (Json.member "schema" doc) Json.as_string with

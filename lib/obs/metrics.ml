@@ -1,4 +1,11 @@
-type counter = { mutable c : int }
+(* Counters are the one instrument hammered concurrently from solver
+   domains (mip.nodes, simplex pivots), so they are atomic; plain
+   [mutable] fields would lose increments under parallel B&B.
+   Histograms mutate four fields per observation, which no single
+   atomic covers, so each carries its own lock. Gauges stay plain:
+   a gauge is a last-writer-wins sample and float stores do not tear
+   on 64-bit OCaml. *)
+type counter = { c : int Atomic.t }
 
 type gauge = { mutable g : float }
 
@@ -7,6 +14,7 @@ type histogram = {
   counts : int array; (* length upper + 1; last is overflow *)
   mutable h_count : int;
   mutable h_sum : float;
+  h_lock : Mutex.t;
 }
 
 type instrument =
@@ -82,8 +90,9 @@ type t = {
   kinds : (string, string) Hashtbl.t; (* metric name -> kind, across series *)
   mutable order : series list; (* reversed registration order *)
   lock : Mutex.t;
-      (* guards [tbl], [kinds] and [order]; instrument handles returned
-         by registration are updated lock-free (single-field writes) *)
+      (* guards [tbl], [kinds] and [order]; counter handles returned by
+         registration are updated lock-free (atomic), histograms under
+         their own per-instrument lock *)
 }
 
 let create () =
@@ -123,7 +132,7 @@ let register t ~name ~labels ~kind make match_existing =
 let counter ?(labels = []) t name =
   match
     register t ~name ~labels ~kind:"counter"
-      (fun () -> I_counter { c = 0 })
+      (fun () -> I_counter { c = Atomic.make 0 })
       (function I_counter _ as i -> i | _ -> kind_error name)
   with
   | I_counter c -> c
@@ -157,17 +166,18 @@ let histogram ?(buckets = default_buckets) ?(labels = []) t name =
             counts = Array.make (Array.length buckets + 1) 0;
             h_count = 0;
             h_sum = 0.0;
+            h_lock = Mutex.create ();
           })
       (function I_histogram _ as i -> i | _ -> kind_error name)
   with
   | I_histogram h -> h
   | _ -> assert false
 
-let incr c = c.c <- c.c + 1
+let incr c = Atomic.incr c.c
 
-let add c n = c.c <- c.c + n
+let add c n = ignore (Atomic.fetch_and_add c.c n)
 
-let counter_value c = c.c
+let counter_value c = Atomic.get c.c
 
 let set g v = g.g <- v
 
@@ -177,9 +187,10 @@ let observe h v =
   let n = Array.length h.upper in
   let rec bucket i = if i >= n || v <= h.upper.(i) then i else bucket (i + 1) in
   let i = bucket 0 in
-  h.counts.(i) <- h.counts.(i) + 1;
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v
+  Mutex.protect h.h_lock (fun () ->
+      h.counts.(i) <- h.counts.(i) + 1;
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v)
 
 type entry =
   | Counter_value of int
@@ -199,16 +210,17 @@ let snapshot t =
         (fun series ->
           let entry =
             match Hashtbl.find t.tbl (series_key series) with
-            | I_counter c -> Counter_value c.c
+            | I_counter c -> Counter_value (Atomic.get c.c)
             | I_gauge g -> Gauge_value g.g
             | I_histogram h ->
-              Histogram_value
-                {
-                  upper = Array.copy h.upper;
-                  counts = Array.copy h.counts;
-                  count = h.h_count;
-                  sum = h.h_sum;
-                }
+              Mutex.protect h.h_lock (fun () ->
+                  Histogram_value
+                    {
+                      upper = Array.copy h.upper;
+                      counts = Array.copy h.counts;
+                      count = h.h_count;
+                      sum = h.h_sum;
+                    })
           in
           (series, entry))
         t.order)
@@ -218,12 +230,13 @@ let reset t =
       Hashtbl.iter
         (fun _ i ->
           match i with
-          | I_counter c -> c.c <- 0
+          | I_counter c -> Atomic.set c.c 0
           | I_gauge g -> g.g <- 0.0
           | I_histogram h ->
-            Array.fill h.counts 0 (Array.length h.counts) 0;
-            h.h_count <- 0;
-            h.h_sum <- 0.0)
+            Mutex.protect h.h_lock (fun () ->
+                Array.fill h.counts 0 (Array.length h.counts) 0;
+                h.h_count <- 0;
+                h.h_sum <- 0.0))
         t.tbl)
 
 let find ?(labels = []) snap name =

@@ -3,7 +3,15 @@
    against a stack rebuilds the call tree, and aggregating by path
    (not just by name) yields a flamegraph-style profile: the same span
    name reached through different parents stays separate in the tree
-   while the flat per-name totals merge them. *)
+   while the flat per-name totals merge them.
+
+   Parallel solves interleave events from several domains in file
+   order, so the replay keeps one stack per domain (keyed by the
+   record's [domain] field — span depth is tracked per domain by the
+   writer too). The aggregated tree is shared: a span name opened at
+   the root of any domain lands in the same root node, which is what
+   a profile wants — per-domain attribution stays available from the
+   raw records. *)
 
 type node = {
   name : string;
@@ -31,7 +39,15 @@ type frame = {
 let of_records records =
   let roots = ref [] in
   let unmatched = ref 0 in
-  let stack = ref [] in
+  let stacks : (int, frame list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack_of domain =
+    match Hashtbl.find_opt stacks domain with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks domain s;
+      s
+  in
   let find_or_create siblings name =
     match List.find_opt (fun n -> n.name = name) !siblings with
     | Some n -> n
@@ -49,7 +65,7 @@ let of_records records =
       siblings := n :: !siblings;
       n
   in
-  let enter name depth =
+  let enter stack name depth =
     (* depth jumped down: enclosing spans closed without a close event
        (lost to truncation) — unwind to the event's depth *)
     while List.length !stack > depth do
@@ -69,7 +85,7 @@ let of_records records =
     in
     stack := { agg; open_depth = depth; child_secs = 0.0 } :: !stack
   in
-  let leave name depth seconds gc =
+  let leave stack name depth seconds gc =
     (* unwind past any nested spans that never closed *)
     while
       match !stack with
@@ -100,12 +116,15 @@ let of_records records =
   List.iter
     (fun (r : Trace_reader.record) ->
       match r.Trace_reader.event with
-      | Trace_reader.Span_open { name; depth } -> enter name depth
+      | Trace_reader.Span_open { name; depth } ->
+        enter (stack_of r.Trace_reader.domain) name depth
       | Trace_reader.Span_close { name; depth; seconds; gc } ->
-        leave name depth seconds gc
+        leave (stack_of r.Trace_reader.domain) name depth seconds gc
       | _ -> ())
     records;
-  unmatched := !unmatched + List.length !stack;
+  Hashtbl.iter
+    (fun _ stack -> unmatched := !unmatched + List.length !stack)
+    stacks;
   let rec order n = { n with children = List.rev_map order n.children } in
   { roots = List.rev_map order !roots; unmatched = !unmatched }
 

@@ -1,4 +1,11 @@
-let nesting = ref 0
+(* Span nesting is tracked per domain: a worker domain opening spans
+   must not shift the depth of spans on the main domain (or vice
+   versa), or every close after a parallel solve would pair with the
+   wrong open. Each domain gets its own counter via DLS; the trace
+   record's [domain] field lets readers rebuild per-domain stacks. *)
+let nesting_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let nesting () = Domain.DLS.get nesting_key
 
 (* Allocation histograms are in words; log-spaced bounds from 100
    words (~1 small closure) to 1e9 (~8 GB on 64-bit). *)
@@ -7,6 +14,7 @@ let alloc_buckets = [| 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
 let time ?metrics ?sink name f =
   let sink = match sink with Some s -> s | None -> Trace.current () in
   let registry = match metrics with Some m -> m | None -> Metrics.default in
+  let nesting = nesting () in
   let depth = !nesting in
   Trace.span_open sink ~name ~depth;
   nesting := depth + 1;

@@ -7,8 +7,9 @@ type sink = {
   on : bool;
   epoch : float;
   emit_fn : float -> string -> (string * Json.t) list -> unit;
+  flush_fn : unit -> unit;
   close_fn : unit -> unit;
-  mutable events : int;
+  events : int Atomic.t; (* emits may race across solver domains *)
 }
 
 let null =
@@ -16,8 +17,9 @@ let null =
     on = false;
     epoch = 0.0;
     emit_fn = (fun _ _ _ -> ());
+    flush_fn = ignore;
     close_fn = ignore;
-    events = 0;
+    events = Atomic.make 0;
   }
 
 (* Channel sinks buffer formatted events and write them out in batches:
@@ -66,12 +68,26 @@ let to_channel oc =
         flush_buf ();
         if oc == stdout || oc == stderr then flush oc else close_out oc)
   in
-  { on = true; epoch = Clock.now (); emit_fn; close_fn; events = 0 }
+  {
+    on = true;
+    epoch = Clock.now ();
+    emit_fn;
+    flush_fn = (fun () -> Mutex.protect lock flush_buf);
+    close_fn;
+    events = Atomic.make 0;
+  }
 
 let open_file path = to_channel (open_out path)
 
 let custom ?(close = ignore) f =
-  { on = true; epoch = Clock.now (); emit_fn = f; close_fn = close; events = 0 }
+  {
+    on = true;
+    epoch = Clock.now ();
+    emit_fn = f;
+    flush_fn = ignore;
+    close_fn = close;
+    events = Atomic.make 0;
+  }
 
 (* Fan-out: one emit reaches every live child with the same timestamp,
    so a file sink and a progress reporter can watch the same solve.
@@ -89,17 +105,27 @@ let fanout sinks =
           List.iter
             (fun s ->
               s.emit_fn ts ev fields;
-              s.events <- s.events + 1)
+              Atomic.incr s.events)
             live);
+      flush_fn = (fun () -> List.iter (fun s -> s.flush_fn ()) live);
       close_fn = (fun () -> List.iter (fun s -> s.close_fn ()) live);
-      events = 0;
+      events = Atomic.make 0;
     }
 
 let close s = s.close_fn ()
 
+(* Push buffered events to the backing channel without closing the
+   sink. Worker domains call this just before they exit so a buffered
+   file sink never loses the tail of a domain's event stream (the
+   domain is gone by the time the main domain closes the sink, but its
+   bytes are already in the shared buffer — flushing at exit bounds
+   how much a crash can lose and keeps the file tail-able while other
+   domains keep solving). *)
+let flush s = s.flush_fn ()
+
 let enabled s = s.on
 
-let events_written s = s.events
+let events_written s = Atomic.get s.events
 
 let ambient = ref null
 
@@ -123,7 +149,7 @@ let emit s ev fields =
       else fields @ [ ("domain", Json.Int (Domain.self () :> int)) ]
     in
     s.emit_fn (Clock.now () -. s.epoch) ev fields;
-    s.events <- s.events + 1
+    Atomic.incr s.events
   end
 
 type gc_delta = {

@@ -46,6 +46,13 @@ val close : sink -> unit
 (** Flush buffered events, and close the underlying channel unless it
     is stdout or stderr. The null sink is a no-op. *)
 
+val flush : sink -> unit
+(** Push buffered events through to the backing channel without
+    closing the sink. Solver worker domains call this just before
+    exiting so a buffered sink never holds a finished domain's tail
+    events hostage until the whole run closes; a no-op on {!null},
+    {!custom} and already-flushed sinks. *)
+
 val enabled : sink -> bool
 
 val events_written : sink -> int

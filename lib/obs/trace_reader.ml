@@ -48,7 +48,11 @@ type event =
     }
   | Unknown of string
 
-type record = { ts : float; event : event }
+(* [domain] is the emitting domain's id; the writer omits the field
+   for the initial domain, which decodes as 0 here (domain ids of
+   spawned workers are always positive). Old traces therefore read as
+   all-domain-0, which is exactly what they were. *)
+type record = { ts : float; domain : int; event : event }
 
 let event_name = function
   | Span_open _ -> "span_open"
@@ -225,7 +229,12 @@ let of_json j =
           (Option.bind (Json.member "ts" j) Json.as_float)
           ~default:0.0
       in
-      Some { ts; event = decode ~ev fields })
+      let domain =
+        Option.value
+          (Option.bind (Json.member "domain" j) Json.as_int)
+          ~default:0
+      in
+      Some { ts; domain; event = decode ~ev fields })
 
 type read = { records : record list; malformed : int; truncated : bool }
 

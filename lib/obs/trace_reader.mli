@@ -65,9 +65,15 @@ type event =
     }  (** the run manifest stamped at the head of every traced run *)
   | Unknown of string  (** carries the unrecognized event name *)
 
-type record = { ts : float; event : event }
+type record = { ts : float; domain : int; event : event }
 (** [ts] is seconds since the writing sink was created (0. if the
-    field is absent). *)
+    field is absent). [domain] is the id of the domain that emitted
+    the event; the writer only stamps it on events from spawned
+    domains, so events from the initial domain — and every event of a
+    trace predating parallel solves — decode as domain [0]. Consumers
+    replaying stateful event pairs (span_open/span_close) must key
+    their state by [domain], since parallel solves interleave the
+    per-domain streams in file order. *)
 
 val event_name : event -> string
 

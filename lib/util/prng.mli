@@ -17,8 +17,14 @@ val copy : t -> t
 (** [copy g] is an independent generator with the same current state. *)
 
 val split : t -> t
-(** [split g] advances [g] and returns a new generator whose stream is
-    statistically independent from the remainder of [g]'s stream. *)
+(** [split g] advances [g] (by two steps) and returns a new generator
+    whose stream is statistically independent from the remainder of
+    [g]'s stream: the child gets both a fresh state and a fresh odd
+    gamma (SplitMix64 stream splitting), so parent and child never
+    walk the same state sequence. Splitting is itself deterministic —
+    replaying the same parent seed yields the same children — which is
+    how each solver domain gets an independent, reproducible stream:
+    split once per worker, in worker order, before spawning. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)

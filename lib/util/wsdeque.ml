@@ -1,0 +1,68 @@
+(* Mutex-synchronized Chase–Lev-style deque: owner at the bottom,
+   thieves at the top. A growable circular buffer keeps push/pop/steal
+   O(1) amortized with no per-node allocation beyond the stored
+   element. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable buf : 'a option array;
+  mutable top : int; (* next steal index (oldest element) *)
+  mutable bottom : int; (* next push index (one past newest) *)
+}
+
+let create () =
+  { lock = Mutex.create (); buf = Array.make 16 None; top = 0; bottom = 0 }
+
+let mask t = Array.length t.buf - 1
+
+let grow t =
+  let n = Array.length t.buf in
+  let buf' = Array.make (2 * n) None in
+  for i = t.top to t.bottom - 1 do
+    buf'.(i land (2 * n - 1)) <- t.buf.(i land (n - 1))
+  done;
+  t.buf <- buf'
+
+let push t x =
+  Mutex.protect t.lock (fun () ->
+      if t.bottom - t.top = Array.length t.buf then grow t;
+      t.buf.(t.bottom land mask t) <- Some x;
+      t.bottom <- t.bottom + 1)
+
+let pop t =
+  Mutex.protect t.lock (fun () ->
+      if t.bottom = t.top then None
+      else begin
+        t.bottom <- t.bottom - 1;
+        let i = t.bottom land mask t in
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        x
+      end)
+
+let steal t =
+  Mutex.protect t.lock (fun () ->
+      if t.bottom = t.top then None
+      else begin
+        let i = t.top land mask t in
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        t.top <- t.top + 1;
+        x
+      end)
+
+let size t = Mutex.protect t.lock (fun () -> t.bottom - t.top)
+
+let drain t =
+  Mutex.protect t.lock (fun () ->
+      let out = ref [] in
+      for i = t.top to t.bottom - 1 do
+        (match t.buf.(i land mask t) with
+        | Some x -> out := x :: !out
+        | None -> ());
+        t.buf.(i land mask t) <- None
+      done;
+      t.top <- t.bottom;
+      (* bottom-first: newest element at the head, matching the order
+         the owner would have popped *)
+      !out)

@@ -1,0 +1,40 @@
+(** Work-stealing deque of open branch-and-bound nodes.
+
+    Chase–Lev discipline: the owning worker pushes and pops at the
+    bottom (LIFO, so a worker keeps diving into the subtree it just
+    opened and its warm-start bases stay hot), while thieves steal
+    from the top (FIFO, so a thief takes the oldest — typically
+    shallowest, largest — subtree and the victim keeps its cache-warm
+    recent nodes).
+
+    Synchronization is a per-deque mutex rather than the classic
+    lock-free protocol. B&B work items are LP solves measured in
+    hundreds of microseconds to milliseconds, so an uncontended lock
+    (tens of nanoseconds) is noise; the lock keeps the owner/thief
+    races trivially correct under the OCaml memory model and makes
+    [drain] — needed for bound accounting when a solve stops at a
+    limit — exact rather than best-effort. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner: add a node at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner: take the most recently pushed node (bottom). [None] when
+    empty. *)
+
+val steal : 'a t -> 'a option
+(** Thief: take the oldest node (top). [None] when empty; safe from
+    any domain. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the current length (exact under the lock, stale
+    by the time the caller looks at it). *)
+
+val drain : 'a t -> 'a list
+(** Atomically empty the deque, returning its contents bottom-first.
+    Used when a stop condition fires and every undone node must be
+    folded into the reported best open bound. *)

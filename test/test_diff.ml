@@ -7,7 +7,7 @@ module Trace = Monpos_obs.Trace
 module Reader = Monpos_obs.Trace_reader
 module Diff = Monpos_obs.Diff
 
-let r event = { Reader.ts = 0.0; event }
+let r event = { Reader.ts = 0.0; domain = 0; event }
 
 let gc_words minor =
   {

@@ -180,7 +180,7 @@ let test_reader_truncated_and_malformed () =
 
 let span_records spans =
   List.map
-    (fun (ts, ev) -> { Reader.ts; event = ev })
+    (fun (ts, ev) -> { Reader.ts; domain = 0; event = ev })
     spans
 
 let test_profile_tree () =
@@ -233,7 +233,7 @@ let test_profile_unmatched () =
 (* convergence reconstruction *)
 
 let test_converge () =
-  let r event ts = { Reader.ts; event } in
+  let r event ts = { Reader.ts; domain = 0; event } in
   let records =
     [
       r (Reader.Bb_node { solver = "mip"; node = 1; depth = 0; bound = Some 10.0 }) 0.1;
