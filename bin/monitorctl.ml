@@ -62,6 +62,9 @@ type obs = {
   metrics : bool;
   progress : bool;
   prom_out : string option;
+  flight_dump : string option;
+  stack_hz : float option;
+  trace_sample : int option;
 }
 
 let obs_term =
@@ -96,10 +99,51 @@ let obs_term =
     Arg.(
       value & opt (some string) None & info [ "prom-out" ] ~docv:"FILE" ~doc)
   in
-  let make trace metrics progress prom_out =
-    { trace; metrics; progress; prom_out }
+  let flight_dump_arg =
+    let doc =
+      "Arm flight-recorder dumps into $(docv): the recorder always \
+       retains the last events per domain, and on a deadline expiry, \
+       degradation-ladder descent, chaos injection or uncaught \
+       exception the retained window is written to \
+       $(docv)/flight-<n>-<reason>.jsonl — ordinary trace JSONL, \
+       readable by $(b,monitorctl analyze) and $(b,monitorctl diff). \
+       Without this flag recording still runs but triggers are inert."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"DIR" ~doc)
   in
-  Term.(const make $ trace_arg $ metrics_arg $ progress_arg $ prom_out_arg)
+  let stack_hz_arg =
+    let doc =
+      "Sample every domain's open-span stack $(docv) times per second \
+       into $(b,stack_sample) trace events (a wall-clock profile; \
+       render it with $(b,monitorctl analyze --folded)). Needs a live \
+       sink: combine with $(b,--trace) or $(b,--flight-dump)."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "stack-hz" ] ~docv:"HZ" ~doc)
+  in
+  let trace_sample_arg =
+    let doc =
+      "Head-sample high-frequency trace events (B&B nodes, simplex \
+       phases, flow pivot batches, spans): pass the first $(docv) \
+       events of each class, then keep 1-in-N with the dropped count \
+       stamped as $(b,sampled_of) so $(b,analyze) rescales exactly. \
+       Deterministic; metrics stay exact. Overrides \
+       $(b,MONPOS_TRACE_SAMPLE)."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-sample" ] ~docv:"N" ~doc)
+  in
+  let make trace metrics progress prom_out flight_dump stack_hz trace_sample =
+    { trace; metrics; progress; prom_out; flight_dump; stack_hz; trace_sample }
+  in
+  Term.(
+    const make $ trace_arg $ metrics_arg $ progress_arg $ prom_out_arg
+    $ flight_dump_arg $ stack_hz_arg $ trace_sample_arg)
 
 let write_prom_snapshot path =
   (try
@@ -110,16 +154,51 @@ let write_prom_snapshot path =
    with Sys_error msg -> Rerror.io_error ~path msg);
   Format.printf "prometheus snapshot written to %s@." path
 
-(* Install the trace sink around the command body, close it afterwards
-   and render the metrics table / Prometheus snapshot when requested.
-   --trace and --progress each contribute a sink; both at once fan
-   out. The whole body runs inside the typed-error boundary: any
-   Monpos_resilience.Error that escapes — including the Io_error we
-   raise for an unopenable --trace or --prom-out destination — becomes
-   a one-line message and a documented exit code instead of a
-   backtrace. *)
-let with_obs obs f =
+(* Spawn the wall-clock stack-sampling ticker: every 1/hz seconds,
+   snapshot each domain's open-span stack (racy reads, bounded by the
+   span cells' clamping) and emit one stack_sample event per busy
+   domain. The ticker runs on its own domain so it observes the solver
+   domains from outside; it stops when asked and is joined before the
+   sink closes. *)
+let start_stack_ticker sink hz =
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let period = 1.0 /. Float.max 0.1 hz in
+        while not (Atomic.get stop) do
+          Unix.sleepf period;
+          if not (Atomic.get stop) then
+            List.iter
+              (fun (domain, names) ->
+                Obs_trace.stack_sample sink ~domain
+                  ~stack:(String.concat ";" names))
+              (Monpos_obs.Span.live_stacks ())
+        done)
+  in
+  fun () ->
+    Atomic.set stop true;
+    Domain.join d
+
+(* Install the observability tier around the command body: the trace
+   sink (--trace and --progress each contribute one; the flight
+   recorder always contributes its ring sink), the head-sampler
+   threshold, the run manifest (emitted on the sink, stamped into
+   /statusz and every flight dump), and the stack-sampling ticker.
+   Everything is torn down afterwards, then the metrics table /
+   Prometheus snapshot render when requested. [jobs]/[scheduler]
+   describe the parallel solver configuration the subcommand resolved,
+   for the manifest. The whole body runs inside the typed-error
+   boundary: any Monpos_resilience.Error that escapes — including the
+   Io_error we raise for an unopenable --trace or --prom-out
+   destination — becomes a one-line message and a documented exit code
+   instead of a backtrace; any other uncaught exception snapshots the
+   flight recorder before propagating. *)
+let with_obs ?jobs ?scheduler obs f =
   try
+    Option.iter
+      (fun threshold -> Monpos_obs.Sampler.configure ~threshold)
+      obs.trace_sample;
+    let recorder = Monpos_obs.Flightrec.install ?dir:obs.flight_dump () in
     let file_sink =
       match obs.trace with
       | None -> Obs_trace.null
@@ -128,27 +207,45 @@ let with_obs obs f =
         with Sys_error msg -> Rerror.io_error ~path msg)
     in
     let sink =
-      if obs.progress then
-        Obs_trace.fanout [ file_sink; Monpos_obs.Progress.sink () ]
-      else file_sink
+      Obs_trace.fanout
+        ([ file_sink; Monpos_obs.Flightrec.sink recorder ]
+        @ if obs.progress then [ Monpos_obs.Progress.sink () ] else [])
+    in
+    let stop_ticker =
+      match obs.stack_hz with
+      | Some hz when hz > 0.0 -> start_stack_ticker sink hz
+      | _ -> fun () -> ()
     in
     Fun.protect
       ~finally:(fun () ->
+        stop_ticker ();
         Obs_trace.set_current Obs_trace.null;
-        Obs_trace.close sink)
+        Obs_trace.close sink;
+        Monpos_obs.Flightrec.uninstall ())
       (fun () ->
         Obs_trace.set_current sink;
         (* every traced run opens with its manifest, so offline tooling
-           (analyze, diff) can join artifacts from the same run *)
-        Monpos_obs.Runinfo.emit sink
-          (Monpos_obs.Runinfo.capture
-             ?chaos_seed:(Monpos_resilience.Chaos.seed ())
-             ());
+           (analyze, diff) can join artifacts from the same run; the
+           same manifest heads /statusz and every flight dump *)
+        let ri =
+          Monpos_obs.Runinfo.capture
+            ?chaos_seed:(Monpos_resilience.Chaos.seed ())
+            ?jobs ?scheduler ()
+        in
+        Monpos_obs.Runinfo.emit sink ri;
+        Monpos_obs.Status.set_manifest (Monpos_obs.Runinfo.to_json ri);
+        Monpos_obs.Flightrec.set_manifest recorder
+          (Monpos_obs.Runinfo.to_fields ri);
         let r =
-          try f ()
-          with Rerror.Error e ->
+          try f () with
+          | Rerror.Error e ->
             Format.eprintf "monitorctl: %s@." (Rerror.to_string e);
             Rerror.exit_code e
+          | e ->
+            (* the recorder holds the lead-up to whatever just blew
+               up; snapshot it before the backtrace unwinds *)
+            Monpos_obs.Flightrec.trigger ~reason:"uncaught_exception";
+            raise e
         in
         (match obs.trace with
         | Some path ->
@@ -389,9 +486,12 @@ let passive_cmd =
   in
   let run obs tune strict preset seed sample topo demands k method_ budget
       installed dot flow_kernel =
-    with_obs obs @@ fun () ->
-    let _, inst = load_instance ?sample ?topo ?demands preset seed in
     let options = tune Mip.default_options in
+    with_obs
+      ~jobs:(Mip.resolved_jobs options)
+      ~scheduler:(Mip.scheduler_mode options) obs
+    @@ fun () ->
+    let _, inst = load_instance ?sample ?topo ?demands preset seed in
     let parse_edges s =
       List.map
         (fun w ->
@@ -458,14 +558,17 @@ let sampling_cmd =
     Arg.(value & flag & info [ "load-scaled" ] ~doc)
   in
   let run obs tune strict preset seed k install_cost scaled flow_kernel =
-    with_obs obs @@ fun () ->
+    let options = tune Sampling.default_milp_options in
+    with_obs
+      ~jobs:(Mip.resolved_jobs options)
+      ~scheduler:(Mip.scheduler_mode options) obs
+    @@ fun () ->
     let _, inst = load_instance preset seed in
     let costs =
       if scaled then Sampling.load_scaled_costs inst ~install:install_cost ()
       else Sampling.uniform_costs ~install:install_cost ()
     in
     let pb = Sampling.make_problem ~k ~costs inst in
-    let options = tune Sampling.default_milp_options in
     let sol, code =
       if strict then (Sampling.solve_milp ~options pb, 0)
       else report_outcome "ppme" (Resilient.solve_ppme ~options pb)
@@ -514,7 +617,11 @@ let active_cmd =
     Arg.(value & opt string "ilp" & info [ "method"; "m" ] ~doc)
   in
   let run obs tune strict preset seed vb method_ =
-    with_obs obs @@ fun () ->
+    let options = tune Mip.default_options in
+    with_obs
+      ~jobs:(Mip.resolved_jobs options)
+      ~scheduler:(Mip.scheduler_mode options) obs
+    @@ fun () ->
     let pop = Pop.make_preset preset ~seed in
     let routers = Array.of_list (Pop.routers pop) in
     let rng = Prng.create ((seed * 104729) + vb) in
@@ -538,7 +645,6 @@ let active_cmd =
         | "thiran" -> (Active.place_thiran probes ~candidates, 0)
         | "greedy" -> (Active.place_greedy probes ~candidates, 0)
         | "ilp" ->
-          let options = tune Mip.default_options in
           if strict then (Active.place_ilp ~options probes ~candidates, 0)
           else
             report_outcome "beacons"
@@ -588,7 +694,16 @@ let dynamic_cmd =
     Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
   let run obs preset seed k steps sigma threshold flow_kernel jobs =
-    with_obs obs @@ fun () ->
+    let milp_options =
+      {
+        Mip.default_options with
+        Mip.jobs = Option.value jobs ~default:Mip.default_options.Mip.jobs;
+      }
+    in
+    with_obs
+      ~jobs:(Mip.resolved_jobs milp_options)
+      ~scheduler:(Mip.scheduler_mode milp_options) obs
+    @@ fun () ->
     let kernel = Option.map (fun algo -> Sampling.Flow algo) flow_kernel in
     let points =
       Scenario.dynamic_run ~preset ~seed ~k ~threshold ~steps ~sigma ?kernel
@@ -715,12 +830,23 @@ let analyze_cmd =
   let module Converge = Monpos_obs.Converge in
   let module Json = Monpos_obs.Json in
   let file_arg =
-    let doc = "JSONL trace file written by --trace." in
+    let doc =
+      "JSONL trace file written by $(b,--trace), or a flight-recorder \
+       dump written by $(b,--flight-dump) (same format)."
+    in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
   in
   let profile_arg =
     let doc = "Report the span-tree wall-time profile." in
     Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let folded_arg =
+    let doc =
+      "Emit the wall-clock stack samples recorded by $(b,--stack-hz) \
+       as folded stacks (one $(b,outer;inner count) line each), the \
+       input format of flamegraph.pl, inferno and speedscope."
+    in
+    Arg.(value & flag & info [ "folded" ] ~doc)
   in
   let converge_arg =
     let doc =
@@ -735,10 +861,13 @@ let analyze_cmd =
     let doc = "Emit the selected reports as one JSON object on stdout." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run file profile converge json =
-    (* neither flag: report both *)
+  let run file profile converge folded json =
+    (* no report selected: render profile + convergence. --folded on
+       its own emits only the folded stacks, so the output pipes
+       straight into flamegraph.pl. *)
     let profile, converge =
-      if (not profile) && not converge then (true, true) else (profile, converge)
+      if (not profile) && not converge && not folded then (true, true)
+      else (profile, converge)
     in
     match Reader.read_file file with
     | exception Sys_error msg ->
@@ -750,38 +879,56 @@ let analyze_cmd =
         let reports =
           [ ("events", Json.Int (List.length records));
             ("malformed_lines", Json.Int read.Reader.malformed);
+            ("unknown_events", Json.Int read.Reader.unknown);
             ("truncated", Json.Bool read.Reader.truncated) ]
           @ (if profile then
                [ ("profile", Profile.to_json (Profile.of_records records)) ]
              else [])
+          @ (if converge then
+               [ ("converge", Converge.to_json (Converge.of_records records)) ]
+             else [])
           @
-          if converge then
-            [ ("converge", Converge.to_json (Converge.of_records records)) ]
+          if folded then
+            [
+              ( "folded",
+                Json.Obj
+                  (List.map
+                     (fun (stack, n) -> (stack, Json.Int n))
+                     (Profile.folded_of_records records)) );
+            ]
           else []
         in
         print_endline (Json.to_string (Json.Obj reports))
       end
       else begin
-        Format.printf "%s: %d event(s)%s%s@." file (List.length records)
-          (if read.Reader.malformed > 0 then
-             Printf.sprintf ", %d malformed line(s) skipped"
-               read.Reader.malformed
-           else "")
-          (if read.Reader.truncated then ", truncated final line dropped"
-           else "");
+        if profile || converge then
+          Format.printf "%s: %d event(s)%s%s%s@." file (List.length records)
+            (if read.Reader.malformed > 0 then
+               Printf.sprintf ", %d malformed line(s) skipped"
+                 read.Reader.malformed
+             else "")
+            (if read.Reader.unknown > 0 then
+               Printf.sprintf ", %d unknown event(s) ignored"
+                 read.Reader.unknown
+             else "")
+            (if read.Reader.truncated then ", truncated final line dropped"
+             else "");
         if profile then print_string (Profile.render (Profile.of_records records));
         if converge then
-          print_string (Converge.render (Converge.of_records records))
+          print_string (Converge.render (Converge.of_records records));
+        if folded then print_string (Profile.render_folded records)
       end;
       0
   in
   let doc =
-    "Analyze a recorded solver trace: wall-time profile and/or \
-     branch-and-bound convergence report."
+    "Analyze a recorded solver trace or flight dump: wall-time \
+     profile, branch-and-bound convergence report and/or folded \
+     flamegraph stacks."
   in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(const run $ file_arg $ profile_arg $ converge_arg $ json_arg)
+    Term.(
+      const run $ file_arg $ profile_arg $ converge_arg $ folded_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* metrics-serve                                                       *)
@@ -813,37 +960,55 @@ let metrics_serve_cmd =
     in
     Arg.(value & flag & info [ "no-warmup" ] ~doc)
   in
-  let run obs preset seed k listen requests no_warmup =
-    with_obs obs @@ fun () ->
-    if not no_warmup then begin
-      (* populate the registry with labeled solver series so a scrape
-         shows real families, not an empty page *)
-      let _, inst = load_instance preset seed in
-      let o = Resilient.solve_ppm ~k inst in
-      Format.printf "warm-up ppm solve: rung %s@." o.Resilient.rung
-    end;
+  let run obs tune preset seed k listen requests no_warmup =
+    let options = tune Mip.default_options in
+    with_obs
+      ~jobs:(Mip.resolved_jobs options)
+      ~scheduler:(Mip.scheduler_mode options) obs
+    @@ fun () ->
+    (* the warm-up solve runs on its own domain while the serve loop
+       answers, so /healthz, /statusz and /metrics show the live
+       watermarks of an in-flight (possibly multi-domain) solve
+       instead of blocking until it lands *)
+    let warmup =
+      if no_warmup then None
+      else begin
+        let _, inst = load_instance preset seed in
+        Some
+          (Domain.spawn (fun () ->
+               match Resilient.solve_ppm ~k ~options inst with
+               | o -> Ok o.Resilient.rung
+               | exception e -> Error (Printexc.to_string e)))
+      end
+    in
     let fd =
       try Prom.listen listen with
       | Invalid_argument msg -> bad_input msg
       | Unix.Unix_error (err, _, _) ->
         Rerror.io_error ~path:listen (Unix.error_message err)
     in
-    Format.printf "serving /metrics on port %d%s@." (Prom.bound_port fd)
+    Format.printf "serving /metrics, /healthz, /statusz on port %d%s@."
+      (Prom.bound_port fd)
       (match requests with
       | Some n -> Printf.sprintf " for %d request(s)" n
       | None -> "");
     Prom.serve ?max_requests:requests ~registry:Obs_metrics.default fd;
-    0
+    match Option.map Domain.join warmup with
+    | None | Some (Ok _) -> 0
+    | Some (Error msg) ->
+      Format.eprintf "monitorctl: warm-up solve failed: %s@." msg;
+      4
   in
   let doc =
     "Serve the metrics registry as a Prometheus scrape endpoint \
-     (text exposition format 0.0.4, plain Unix sockets)."
+     (text exposition format 0.0.4, plain Unix sockets), with \
+     /healthz liveness and /statusz live solver introspection."
   in
   Cmd.v
     (Cmd.info "metrics-serve" ~doc ~exits)
     Term.(
-      const run $ obs_term $ preset_arg $ seed_arg $ coverage_arg $ listen_arg
-      $ requests_arg $ no_warmup_arg)
+      const run $ obs_term $ solver_term $ preset_arg $ seed_arg $ coverage_arg
+      $ listen_arg $ requests_arg $ no_warmup_arg)
 
 (* ------------------------------------------------------------------ *)
 (* diff                                                                *)
@@ -931,7 +1096,7 @@ let () =
     "optimal positioning of active and passive monitoring devices \
      (CoNEXT'05 reproduction)"
   in
-  let info = Cmd.info "monitorctl" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "monitorctl" ~version:Monpos_obs.Runinfo.version ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval'

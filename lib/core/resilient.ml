@@ -73,6 +73,7 @@ let run_ladder ~solver rungs =
         if Trace.enabled sink then
           Trace.ladder_descent sink ~solver ~from_rung:label
             ~to_rung:next_label ~reason;
+        Monpos_obs.Flightrec.trigger ~reason:"ladder_descent";
         go ({ from_rung = label; to_rung = next_label; reason } :: descents)
           rest)
   in

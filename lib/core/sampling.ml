@@ -555,7 +555,8 @@ let run_dynamic ?(kernel = Lp) pb ~installed ~threshold ~steps ~sigma ~seed =
     Metrics.incr (Lazy.force m_stale);
     if Trace.enabled sink then
       Trace.ladder_descent sink ~solver:"ppme-dynamic" ~from_rung:"reoptimize"
-        ~to_rung:"previous_placement" ~reason
+        ~to_rung:"previous_placement" ~reason;
+    Monpos_obs.Flightrec.trigger ~reason:"ladder_descent"
   in
   (* With a flow kernel the network is built once here and every tick
      re-solves it in place — under Net_simplex each re-solve warm

@@ -2,6 +2,7 @@ module Bitset = Monpos_util.Bitset
 module Graph = Monpos_graph.Graph
 module Trace = Monpos_obs.Trace
 module Metrics = Monpos_obs.Metrics
+module Sampler = Monpos_obs.Sampler
 module Error = Monpos_resilience.Error
 
 let m_nodes = lazy (Metrics.counter Metrics.default "cover.nodes")
@@ -206,8 +207,12 @@ let exact_core ?(node_limit = 20_000_000) inst target ~full_cover =
   let enter_node depth =
     incr node_count;
     Metrics.incr (Lazy.force m_nodes);
-    if Trace.enabled sink then
-      Trace.bb_node sink ~solver:"cover" ~node:!node_count ~depth ()
+    if Trace.enabled sink then begin
+      let w = Sampler.decide Sampler.Bb_node in
+      if w > 0 then
+        Trace.bb_node sink ~sampled_of:w ~solver:"cover" ~node:!node_count
+          ~depth ()
+    end
   in
   let record_incumbent depth chosen =
     best_card := depth;

@@ -10,6 +10,7 @@
 module Trace = Monpos_obs.Trace
 module Metrics = Monpos_obs.Metrics
 module Span = Monpos_obs.Span
+module Sampler = Monpos_obs.Sampler
 
 let m_solves = lazy (Metrics.counter Metrics.default "mincost.solves")
 
@@ -222,9 +223,12 @@ let solve_ssp t sink =
       done;
       routed := !routed +. !bott;
       Metrics.incr (Lazy.force m_augmentations);
-      if Trace.enabled sink then
-        Trace.flow_augmentation sink ~amount:!bott ~path_cost:dist.(super_t)
-          ~routed:!routed;
+      if Trace.enabled sink then begin
+        let w = Sampler.decide Sampler.Flow_pivot in
+        if w > 0 then
+          Trace.flow_augmentation sink ~sampled_of:w ~amount:!bott
+            ~path_cost:dist.(super_t) ~routed:!routed ()
+      end;
       if !routed >= !required -. 1e-9 then continue := false
     end
   done;

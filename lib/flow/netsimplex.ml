@@ -18,6 +18,8 @@
    instance has none. *)
 
 module Metrics = Monpos_obs.Metrics
+module Trace = Monpos_obs.Trace
+module Sampler = Monpos_obs.Sampler
 module Error = Monpos_resilience.Error
 
 let m_pivots = lazy (Metrics.counter Metrics.default "flow.pivots")
@@ -559,6 +561,16 @@ let solve ?(warm = true) t =
     let pivots = ref 0 in
     let degen_run = ref 0 in
     let continue = ref true in
+    let sink = Trace.current () in
+    (* the objective of the flows routed so far; O(m), so only
+       computed when a pivot batch is actually emitted *)
+    let running_objective () =
+      let c = ref 0.0 in
+      for a = 0 to t.m - 1 do
+        c := !c +. ((t.flow_.(a) +. t.a_lower.(a)) *. t.a_cost.(a))
+      done;
+      !c
+    in
     while !continue do
       let bland = !degen_run > degen_limit in
       let ain = find_entering t na cost_eps ~bland in
@@ -571,7 +583,15 @@ let solve ?(warm = true) t =
               (Printf.sprintf "pivot limit exceeded (%d on %d arcs)"
                  max_pivots na);
         let delta = pivot t ain in
-        if delta <= flow_eps then incr degen_run else degen_run := 0
+        if delta <= flow_eps then incr degen_run else degen_run := 0;
+        (* progress batches for traces: one event per 64 pivots so a
+           long solve is visible without an event per pivot *)
+        if !pivots land 63 = 0 && Trace.enabled sink then begin
+          let w = Sampler.decide Sampler.Flow_pivot in
+          if w > 0 then
+            Trace.flow_pivots sink ~sampled_of:w ~algo:"netsimplex"
+              ~pivots:!pivots ~objective:(running_objective ()) ()
+        end
       end
     done;
     t.last_pivots <- !pivots;

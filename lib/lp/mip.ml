@@ -1,6 +1,8 @@
 module Trace = Monpos_obs.Trace
 module Metrics = Monpos_obs.Metrics
 module Clock = Monpos_obs.Clock
+module Sampler = Monpos_obs.Sampler
+module Status = Monpos_obs.Status
 module Error = Monpos_resilience.Error
 module Deadline = Monpos_resilience.Deadline
 module Chaos = Monpos_resilience.Chaos
@@ -21,6 +23,16 @@ let m_prunes = lazy (Metrics.counter Metrics.default "mip.prunes")
 let m_solves = lazy (Metrics.counter Metrics.default "mip.solves")
 
 let m_steals = lazy (Metrics.counter Metrics.default "mip.steals")
+
+(* Search-progress watermarks for live introspection (/statusz):
+   last-published incumbent objective, best known relaxation bound,
+   and their relative gap. Gauges, not counters — the serve loop reads
+   whatever the solve last wrote. *)
+let m_g_incumbent = lazy (Metrics.gauge Metrics.default "mip.incumbent")
+
+let m_g_bound = lazy (Metrics.gauge Metrics.default "mip.bound")
+
+let m_g_gap = lazy (Metrics.gauge Metrics.default "mip.gap")
 
 (* per-worker series, labeled by worker slot (0 = the coordinating
    domain), not by runtime domain id: slot labels keep the series
@@ -351,13 +363,26 @@ let shutdown pool =
       end)
     pool.p_idle
 
+let resolved_jobs options =
+  let j =
+    if options.jobs <= 0 then Domain.recommended_domain_count ()
+    else options.jobs
+  in
+  max 1 j
+
+let scheduler_mode options = if options.deterministic then "wave" else "async"
+
 let solve ?(options = default_options) model =
   Monpos_obs.Span.run "mip.solve" @@ fun () ->
+  Status.with_phase "mip.solve" @@ fun () ->
   let sink = Trace.current () in
   ignore (Lazy.force m_nodes);
   ignore (Lazy.force m_incumbents);
   ignore (Lazy.force m_prunes);
   ignore (Lazy.force m_steals);
+  ignore (Lazy.force m_g_incumbent);
+  ignore (Lazy.force m_g_bound);
+  ignore (Lazy.force m_g_gap);
   Metrics.incr (Lazy.force m_solves);
   let minimize = Model.direction model = Model.Minimize in
   (* The wall-clock budget becomes a Deadline threaded through the
@@ -506,6 +531,20 @@ let solve ?(options = default_options) model =
     | Some c -> c.Incumbent.score
     | None -> infinity
   in
+  (* live bound/gap watermark for /statusz: [score] is the relaxation
+     bound of the node being expanded — in best-first wave order the
+     global bound, in async mode the expanding worker's local view.
+     Gauges are last-writer-wins, which is all a live view needs. *)
+  let publish_bound_watermark score =
+    let b = of_score score in
+    Metrics.set (Lazy.force m_g_bound) b;
+    let inc = inc_score_now () in
+    if Float.is_finite inc then begin
+      let i = of_score inc in
+      Metrics.set (Lazy.force m_g_gap)
+        (Float.abs (i -. b) /. Float.max 1e-9 (Float.abs i))
+    end
+  in
   (* could a candidate at [score] with minimal key [key] (or any
      candidate from a subtree bounded below by that pair) still become
      the final incumbent? The order is exact, so "no" is a proof and
@@ -527,6 +566,7 @@ let solve ?(options = default_options) model =
         let c = { Incumbent.score; key; x = snapped } in
         if Incumbent.publish incumbent c then begin
           Metrics.incr (Lazy.force m_incumbents);
+          Metrics.set (Lazy.force m_g_incumbent) (of_score score);
           if Trace.enabled sink then
             Trace.incumbent sink ~solver:"mip" ~node:(fst key)
               ~objective:(of_score score);
@@ -602,13 +642,7 @@ let solve ?(options = default_options) model =
     in
     dive primal0 basis0 (List.length int_vars)
   in
-  let jobs =
-    let j =
-      if options.jobs <= 0 then Domain.recommended_domain_count ()
-      else options.jobs
-    in
-    max 1 j
-  in
+  let jobs = resolved_jobs options in
   let wave_size = max 1 options.wave in
   (* steal-victim sweep order comes from per-worker split streams:
      deterministic to construct, irrelevant to results (stealing only
@@ -830,9 +864,13 @@ let solve ?(options = default_options) model =
             incr nodes;
             incr count;
             Metrics.incr (Lazy.force m_nodes);
-            if Trace.enabled sink then
-              Trace.bb_node sink ~solver:"mip" ~node:!nodes ~depth:node.depth
-                ~bound:(of_score parent_bound) ();
+            publish_bound_watermark parent_bound;
+            if Trace.enabled sink then begin
+              let w = Sampler.decide Sampler.Bb_node in
+              if w > 0 then
+                Trace.bb_node sink ~sampled_of:w ~solver:"mip" ~node:!nodes
+                  ~depth:node.depth ~bound:(of_score parent_bound) ()
+            end;
             let t_dive =
               options.heuristic_period > 0
               && (!nodes = 1 || !nodes mod options.heuristic_period = 0)
@@ -928,9 +966,13 @@ let solve ?(options = default_options) model =
         let num = 1 + Atomic.fetch_and_add a_nodes 1 in
         Metrics.incr (Lazy.force m_nodes);
         (match w_nodes with Some a -> Metrics.incr a.(w) | None -> ());
-        if Trace.enabled sink then
-          Trace.bb_node sink ~solver:"mip" ~node:num ~depth:node.depth
-            ~bound:(of_score parent_bound) ();
+        publish_bound_watermark parent_bound;
+        if Trace.enabled sink then begin
+          let sw = Sampler.decide Sampler.Bb_node in
+          if sw > 0 then
+            Trace.bb_node sink ~sampled_of:sw ~solver:"mip" ~node:num
+              ~depth:node.depth ~bound:(of_score parent_bound) ()
+        end;
         let sol =
           Simplex.solve ~lower:node.lower ~upper:node.upper
             ?basis:(if options.warm_start then node.start_basis else None)

@@ -93,6 +93,15 @@ type options = {
 val default_options : options
 (** The defaults documented above. *)
 
+val resolved_jobs : options -> int
+(** The worker-domain count a solve with these options will actually
+    use: [jobs] when positive, else [Domain.recommended_domain_count],
+    floored at 1. Exposed so run manifests can record the resolved
+    value. *)
+
+val scheduler_mode : options -> string
+(** ["wave"] (deterministic) or ["async"], for run manifests. *)
+
 (** The shared incumbent cell of a parallel search, exposed for the
     multi-domain stress tests. Candidates carry a minimization score
     and a unique (node seq, sub) key; [publish] is a CAS loop that

@@ -1021,15 +1021,19 @@ let solve ?max_iterations ?lower ?upper ?basis ?(deadline = Deadline.none)
     in
     let sink = Trace.current () in
     let phase_done phase iterations result =
-      if Trace.enabled sink then
-        Trace.simplex_phase sink ~phase ~iterations
-          ~outcome:
-            (match result with
-            | `Done -> if phase = 1 then "feasible" else "optimal"
-            | `Infeasible -> "infeasible"
-            | `Unbounded -> "unbounded"
-            | `Iteration_limit -> "iteration_limit"
-            | `Deadline -> "deadline")
+      if Trace.enabled sink then begin
+        let w = Monpos_obs.Sampler.decide Monpos_obs.Sampler.Simplex_phase in
+        if w > 0 then
+          Trace.simplex_phase sink ~sampled_of:w ~phase ~iterations
+            ~outcome:
+              (match result with
+              | `Done -> if phase = 1 then "feasible" else "optimal"
+              | `Infeasible -> "infeasible"
+              | `Unbounded -> "unbounded"
+              | `Iteration_limit -> "iteration_limit"
+              | `Deadline -> "deadline")
+            ()
+      end
     in
     let run () =
       (* dual phase first when the warm basis allows it; the primal

@@ -11,10 +11,11 @@
      baseline regresses (small-instance speedups swing a lot between
      otherwise-identical runs);
    - scheduler- and machine-dependent series (work-steal counts,
-     per-domain "{domain=...}" splits, core counts): artifacts of
-     which worker happened to grab which node or of the hardware the
-     run landed on, so they are compared for coverage but never
-     regress;
+     per-domain "{domain=...}" splits, core counts, measured-overhead
+     percentages): artifacts of which worker happened to grab which
+     node, of the hardware the run landed on, or of background load
+     during a timed A/B, so they are compared for coverage but never
+     regress (the derived 0/1 "..._gate" flags still do);
    - everything else (device counts, coverage fractions, pivot and
      node counters): deterministic under fixed seeds, so anything
      beyond ±1% relative regresses.
@@ -22,7 +23,12 @@
    Missing phases are reported but do not regress (the caller may have
    run a subset); a metric present in the baseline but absent from the
    current run does regress — silently dropping a guarded number is
-   exactly what the gate exists to catch. *)
+   exactly what the gate exists to catch. The one exception is a
+   baseline series whose value is exactly 0: registries register
+   lazily, so which zero-valued series a phase snapshot carries
+   depends on which experiments ran earlier in the same process, and
+   a full-run baseline would otherwise permanently flag every
+   --compare-* subset. *)
 
 type finding = {
   phase : string;
@@ -51,6 +57,7 @@ let classify key =
   if
     contains ~sub:"{domain=" key || contains ~sub:"steals" key
     || contains ~sub:"cores" key
+    || contains ~sub:"overhead_pct" key
   then Sched
   else if key = "seconds" || contains ~sub:"seconds" key then Time
   else if contains ~sub:"speedup" key || contains ~sub:"pivot_ratio" key then
@@ -68,6 +75,12 @@ let exact_rel = 0.01
 (* Some (finding) when the pair violates its class threshold *)
 let judge ~phase ~key ~base ~cur =
   match cur with
+  | None when base = 0.0 ->
+    (* a never-incremented series: registries register lazily, so which
+       zero-valued series a phase snapshot carries depends on which
+       experiments ran earlier in the process (a full bench run vs a
+       --compare-* subset), not on anything the gate guards *)
+    None
   | None ->
     Some { phase; key; baseline = base; current = None; limit = "missing" }
   | Some cur ->

@@ -120,11 +120,14 @@ let of_records records =
       incr events;
       let ts = r.Trace_reader.ts in
       match r.Trace_reader.event with
-      | Trace_reader.Bb_node { solver; depth; bound; _ } ->
+      | Trace_reader.Bb_node { solver; depth; bound; sampled_of; _ } ->
         let st = get solver in
         current := Some st;
         touch st ts;
-        st.s_nodes <- st.s_nodes + 1;
+        (* a head-sampled node event stands for [sampled_of] explored
+           nodes, so the trajectory's node count matches the exact
+           mip.nodes counters within one sampling block *)
+        st.s_nodes <- st.s_nodes + max 1 sampled_of;
         if depth > st.s_max_depth then st.s_max_depth <- depth;
         (match bound with Some _ -> st.s_bound <- bound | None -> ())
       | Trace_reader.Incumbent { solver; node; objective } ->
@@ -156,18 +159,20 @@ let of_records records =
                  (fun (o, c) -> if o = outcome then (o, c + 1) else (o, c))
                  st.s_warm
              else (outcome, 1) :: st.s_warm))
-      | Trace_reader.Simplex_phase { phase; iterations; _ } -> (
+      | Trace_reader.Simplex_phase { phase; iterations; sampled_of; _ } -> (
         match !current with
         | None -> ()
         | Some st ->
           touch st ts;
+          let w = max 1 sampled_of in
           st.s_phases <-
             (if List.exists (fun (p, _, _) -> p = phase) st.s_phases then
                List.map
                  (fun (p, n, it) ->
-                   if p = phase then (p, n + 1, it + iterations) else (p, n, it))
+                   if p = phase then (p, n + w, it + (iterations * w))
+                   else (p, n, it))
                  st.s_phases
-             else (phase, 1, iterations) :: st.s_phases))
+             else (phase, w, iterations * w) :: st.s_phases))
       | Trace_reader.Ladder_descent { solver; from_rung; to_rung; reason } ->
         descents := (ts, solver, from_rung, to_rung, reason) :: !descents
       | Trace_reader.Recovery { stage; detail } ->

@@ -85,7 +85,7 @@ let of_records records =
     in
     stack := { agg; open_depth = depth; child_secs = 0.0 } :: !stack
   in
-  let leave stack name depth seconds gc =
+  let leave stack name depth seconds gc w =
     (* unwind past any nested spans that never closed *)
     while
       match !stack with
@@ -97,19 +97,24 @@ let of_records records =
     done;
     match !stack with
     | f :: rest when f.open_depth = depth && f.agg.name = name ->
-      f.agg.calls <- f.agg.calls + 1;
-      f.agg.total <- f.agg.total +. seconds;
-      f.agg.self <- f.agg.self +. Float.max 0.0 (seconds -. f.child_secs);
+      (* a head-sampled close stands for [w] spans of roughly this
+         duration: scale calls, seconds and allocation so the profile
+         estimates the unsampled trace rather than the kept subset *)
+      let fw = float_of_int w in
+      let weighted = seconds *. fw in
+      f.agg.calls <- f.agg.calls + w;
+      f.agg.total <- f.agg.total +. weighted;
+      f.agg.self <- f.agg.self +. Float.max 0.0 (weighted -. f.child_secs);
       (match gc with
       | Some g ->
         f.agg.alloc_words <-
           f.agg.alloc_words
           +. Float.max 0.0
-               Trace.(g.minor_words +. g.major_words -. g.promoted_words)
+               Trace.(fw *. (g.minor_words +. g.major_words -. g.promoted_words))
       | None -> ());
       stack := rest;
       (match rest with
-      | parent :: _ -> parent.child_secs <- parent.child_secs +. seconds
+      | parent :: _ -> parent.child_secs <- parent.child_secs +. weighted
       | [] -> ())
     | _ -> incr unmatched
   in
@@ -118,8 +123,11 @@ let of_records records =
       match r.Trace_reader.event with
       | Trace_reader.Span_open { name; depth } ->
         enter (stack_of r.Trace_reader.domain) name depth
-      | Trace_reader.Span_close { name; depth; seconds; gc } ->
-        leave (stack_of r.Trace_reader.domain) name depth seconds gc
+      | Trace_reader.Span_close { name; depth; seconds; gc; sampled_of } ->
+        leave
+          (stack_of r.Trace_reader.domain)
+          name depth seconds gc
+          (max 1 sampled_of)
       | _ -> ())
     records;
   Hashtbl.iter
@@ -196,6 +204,34 @@ let render t =
     Buffer.add_string b
       (Printf.sprintf "(%d unmatched span event(s) — truncated trace?)\n"
          t.unmatched);
+  Buffer.contents b
+
+(* Folded stacks from the wall-clock profiler's stack_sample ticks:
+   each line is "name;name;name count", the input format of
+   flamegraph.pl / inferno / speedscope. Samples aggregate across
+   domains (a flamegraph wants where time went, not which domain spent
+   it); per-domain splits stay available from the raw records. *)
+let folded_of_records records =
+  let order = ref [] in
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Trace_reader.record) ->
+      match r.Trace_reader.event with
+      | Trace_reader.Stack_sample { stack } when stack <> "" -> (
+        match Hashtbl.find_opt tbl stack with
+        | Some n -> Hashtbl.replace tbl stack (n + 1)
+        | None ->
+          order := stack :: !order;
+          Hashtbl.add tbl stack 1)
+      | _ -> ())
+    records;
+  List.rev_map (fun stack -> (stack, Hashtbl.find tbl stack)) !order
+
+let render_folded records =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (stack, count) -> Buffer.add_string b (Printf.sprintf "%s %d\n" stack count))
+    (folded_of_records records);
   Buffer.contents b
 
 let to_json t =

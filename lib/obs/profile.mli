@@ -53,3 +53,12 @@ val render : t -> string
     next to wall time. *)
 
 val to_json : t -> Json.t
+
+val folded_of_records : Trace_reader.record list -> (string * int) list
+(** Aggregate the wall-clock profiler's [stack_sample] events into
+    [(folded_stack, sample_count)] in first-seen order, merged across
+    domains. Empty-stack samples are dropped. *)
+
+val render_folded : Trace_reader.record list -> string
+(** {!folded_of_records} as the textual folded-stack format
+    ["a;b;c 42\n"] consumed by flamegraph.pl / inferno / speedscope. *)

@@ -86,6 +86,28 @@ type family = {
   mutable series : (Metrics.labels * Metrics.entry) list; (* reversed *)
 }
 
+(* Constant build-identity gauge, the Prometheus idiom for joining
+   series to the code revision that produced them (value always 1, the
+   identity lives in the labels). The git revision forks a process to
+   detect, so cache it for the lifetime of the exporter. *)
+let build_rev = lazy (Option.value (Runinfo.detect_git_rev ()) ~default:"unknown")
+
+let add_build_info ?namespace b =
+  let name = sanitize_name ?namespace "build_info" in
+  Buffer.add_string b "# HELP ";
+  Buffer.add_string b name;
+  Buffer.add_string b " build identity of the exposing process\n";
+  Buffer.add_string b "# TYPE ";
+  Buffer.add_string b name;
+  Buffer.add_string b " gauge\n";
+  add_sample b name
+    [
+      ("version", Runinfo.version);
+      ("git_rev", Lazy.force build_rev);
+      ("ocaml", Sys.ocaml_version);
+    ]
+    1.0
+
 let to_prometheus ?namespace snap =
   (* group by metric name, preserving first-seen order *)
   let families = ref [] in
@@ -110,6 +132,7 @@ let to_prometheus ?namespace snap =
       fam.series <- (labels, entry) :: fam.series)
     snap;
   let b = Buffer.create 4096 in
+  add_build_info ?namespace b;
   List.iter
     (fun fam ->
       let exposed =
@@ -489,7 +512,14 @@ let serve ?max_requests ?namespace ~registry fd =
           | "/metrics" | "/" ->
             respond client "200 OK" content_type_prom
               (to_prometheus ?namespace (Metrics.snapshot registry))
+          | "/healthz" ->
+            respond client "200 OK" "text/plain" (Status.healthz ())
+          | "/statusz" ->
+            respond client "200 OK" "application/json"
+              (Json.to_string (Status.to_json ~registry ()) ^ "\n")
           | "" -> respond client "400 Bad Request" "text/plain" "bad request\n"
-          | _ -> respond client "404 Not Found" "text/plain" "try /metrics\n");
+          | _ ->
+            respond client "404 Not Found" "text/plain"
+              "try /metrics, /healthz or /statusz\n");
       incr served
   done

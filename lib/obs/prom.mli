@@ -13,7 +13,9 @@ val sanitize_name : ?namespace:string -> string -> string
     ['_'] and [namespace] (default ["monpos"]) is prefixed. *)
 
 val to_prometheus : ?namespace:string -> Metrics.snapshot -> string
-(** The full exposition, families in registration order. *)
+(** The full exposition, families in registration order, led by the
+    constant [monpos_build_info{version,git_rev,ocaml} 1] gauge
+    identifying the exposing build. *)
 
 val lint : string -> (unit, string list) result
 (** Check an exposition: well-formed sample/HELP/TYPE lines, label
@@ -36,6 +38,9 @@ val bound_port : Unix.file_descr -> int
 val serve :
   ?max_requests:int -> ?namespace:string -> registry:Metrics.t -> Unix.file_descr -> unit
 (** Single-threaded accept loop: answers [GET /metrics] (and [/]) with
-    a fresh snapshot of [registry], [404] elsewhere. Runs forever
-    unless [max_requests] bounds it (used by tests and smoke jobs).
-    Ignores [SIGPIPE] so dropped scrapes do not kill the process. *)
+    a fresh snapshot of [registry], [GET /healthz] with a liveness
+    body, [GET /statusz] with the live {!Status.to_json} document
+    (run manifest, uptime, phase, solver watermarks), and [404]
+    elsewhere. Runs forever unless [max_requests] bounds it (used by
+    tests and smoke jobs). Ignores [SIGPIPE] so dropped scrapes do not
+    kill the process. *)

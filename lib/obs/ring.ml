@@ -1,0 +1,44 @@
+(* Fixed-capacity overwrite-oldest ring. Single-writer by design: the
+   flight recorder keeps one ring per domain and only the owning
+   domain pushes, so push needs no synchronization. [to_list] is for
+   dump paths that run after the writers stopped (or tolerate a torn
+   tail: a concurrent push can at worst replace the oldest retained
+   slot, never mix two values in one slot). *)
+
+type 'a t = {
+  slots : 'a option array;
+  mutable next : int; (* index of the slot the next push overwrites *)
+  mutable pushed : int; (* total pushes ever, = logical end sequence *)
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; next = 0; pushed = 0 }
+
+let capacity t = Array.length t.slots
+
+let push t x =
+  t.slots.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod Array.length t.slots;
+  t.pushed <- t.pushed + 1
+
+let length t = min t.pushed (Array.length t.slots)
+
+let pushed t = t.pushed
+
+let dropped t = t.pushed - length t
+
+(* oldest first *)
+let to_list t =
+  let cap = Array.length t.slots in
+  let n = length t in
+  let start = if t.pushed <= cap then 0 else t.next in
+  List.init n (fun i ->
+      match t.slots.((start + i) mod cap) with
+      | Some x -> x
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.next <- 0;
+  t.pushed <- 0

@@ -1,0 +1,35 @@
+(** Fixed-capacity overwrite-oldest ring buffer.
+
+    The flight recorder keeps one ring per domain, pushed only by the
+    owning domain, so {!push} is a plain array store plus two integer
+    updates — no locks, no allocation beyond the boxed element. Once
+    full, each push overwrites the oldest element: the ring always
+    retains the most recent [capacity] pushes. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] makes an empty ring retaining the last
+    [capacity] elements. Raises [Invalid_argument] on a non-positive
+    capacity. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+val length : 'a t -> int
+(** Elements currently retained ([min pushed capacity]). *)
+
+val pushed : 'a t -> int
+(** Total elements ever pushed (retained or overwritten). *)
+
+val dropped : 'a t -> int
+(** Elements lost to overwriting: [pushed - length]. *)
+
+val to_list : 'a t -> 'a list
+(** Retained elements, oldest first. Safe to call concurrently with a
+    racing {!push} in the monitoring sense: a slot is either an old or
+    a new element, never a mix — but the intended use is after the
+    writer has stopped. *)
+
+val clear : 'a t -> unit

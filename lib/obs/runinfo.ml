@@ -4,12 +4,18 @@
    armed) and the command line. It is emitted as the first event of
    every traced run and stamped into bench reports. *)
 
+(* the one version string: cmdliner --version, the bench report and
+   the build_info exposition all quote it *)
+let version = "1.0.0"
+
 type t = {
   run_id : string;
   git_rev : string option;
   ocaml_version : string;
   hostname : string;
   chaos_seed : int option;
+  jobs : int option;
+  scheduler : string option;
   argv : string list;
 }
 
@@ -37,13 +43,15 @@ let detect_git_rev () =
       | _ -> None
     with Unix.Unix_error _ | Sys_error _ -> None)
 
-let capture ?chaos_seed ?argv () =
+let capture ?chaos_seed ?jobs ?scheduler ?argv () =
   {
     run_id = gen_id ();
     git_rev = detect_git_rev ();
     ocaml_version = Sys.ocaml_version;
     hostname = (try Unix.gethostname () with Unix.Unix_error _ -> "unknown");
     chaos_seed;
+    jobs;
+    scheduler;
     argv =
       (match argv with
       | Some a -> Array.to_list a
@@ -59,6 +67,9 @@ let to_fields t =
     ("hostname", Json.String t.hostname);
     ( "chaos_seed",
       match t.chaos_seed with Some s -> Json.Int s | None -> Json.Null );
+    ("jobs", match t.jobs with Some j -> Json.Int j | None -> Json.Null);
+    ( "scheduler",
+      match t.scheduler with Some s -> Json.String s | None -> Json.Null );
     ("argv", Json.List (List.map (fun a -> Json.String a) t.argv));
   ]
 

@@ -1,11 +1,57 @@
 (* Span nesting is tracked per domain: a worker domain opening spans
    must not shift the depth of spans on the main domain (or vice
    versa), or every close after a parallel solve would pair with the
-   wrong open. Each domain gets its own counter via DLS; the trace
-   record's [domain] field lets readers rebuild per-domain stacks. *)
-let nesting_key = Domain.DLS.new_key (fun () -> ref 0)
+   wrong open. Each domain gets its own stack cell via DLS; the trace
+   record's [domain] field lets readers rebuild per-domain stacks.
 
-let nesting () = Domain.DLS.get nesting_key
+   The cell holds the open span *names*, not just a depth counter, and
+   registers itself in a process-wide table: the wall-clock profiling
+   ticker reads other domains' cells to take folded-stack samples.
+   Those cross-domain reads are deliberately unsynchronized — a sample
+   may see a stack mid-push — but each field is a single word, so a
+   torn sample is at worst one frame stale, which is noise a sampling
+   profiler already accepts. *)
+
+type cell = { mutable depth : int; mutable names : string array }
+
+let registry_lock = Mutex.create ()
+
+let registry : (int * cell) list ref = ref []
+
+(* Domain ids recycle; a fresh domain re-registering an id replaces
+   its dead predecessor's cell so the table stays bounded by the live
+   domain count. *)
+let register cell =
+  let id = (Domain.self () :> int) in
+  Mutex.protect registry_lock (fun () ->
+      registry :=
+        (match List.assoc_opt id !registry with
+        | None -> !registry @ [ (id, cell) ]
+        | Some _ ->
+          List.map
+            (fun (d, c) -> if d = id then (d, cell) else (d, c))
+            !registry))
+
+let cell_key =
+  Domain.DLS.new_key (fun () ->
+      let cell = { depth = 0; names = Array.make 16 "" } in
+      register cell;
+      cell)
+
+let cell () = Domain.DLS.get cell_key
+
+(* Racy by design (see above): clamp to both counters so a torn read
+   never indexes out of bounds. Domains with no open span are
+   skipped. *)
+let live_stacks () =
+  let cells = Mutex.protect registry_lock (fun () -> !registry) in
+  List.filter_map
+    (fun (id, c) ->
+      let names = c.names in
+      let d = min c.depth (Array.length names) in
+      if d <= 0 then None
+      else Some (id, List.init d (fun i -> names.(i))))
+    cells
 
 (* Allocation histograms are in words; log-spaced bounds from 100
    words (~1 small closure) to 1e9 (~8 GB on 64-bit). *)
@@ -14,10 +60,23 @@ let alloc_buckets = [| 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
 let time ?metrics ?sink name f =
   let sink = match sink with Some s -> s | None -> Trace.current () in
   let registry = match metrics with Some m -> m | None -> Metrics.default in
-  let nesting = nesting () in
-  let depth = !nesting in
-  Trace.span_open sink ~name ~depth;
-  nesting := depth + 1;
+  let cell = cell () in
+  let depth = cell.depth in
+  if depth >= Array.length cell.names then begin
+    let bigger = Array.make (2 * Array.length cell.names) "" in
+    Array.blit cell.names 0 bigger 0 (Array.length cell.names);
+    cell.names <- bigger
+  end;
+  cell.names.(depth) <- name;
+  (* the hot span classes get head-sampled: weight 0 suppresses both
+     trace events (the pair drops together, keeping the reader's
+     depth-replay consistent) while the metrics observations below
+     stay exact *)
+  let w =
+    if Trace.enabled sink then Sampler.decide (Sampler.Span name) else 1
+  in
+  if w > 0 then Trace.span_open sink ~name ~depth;
+  cell.depth <- depth + 1;
   let g0 = Gc.quick_stat () in
   let t0 = Clock.now () in
   let finish () =
@@ -28,7 +87,7 @@ let time ?metrics ?sink name f =
        depth off its open. Pinning back to this span's own depth keeps
        each close paired with its open no matter how many levels below
        unwound exceptionally. *)
-    nesting := depth;
+    cell.depth <- depth;
     let dt = Clock.elapsed t0 in
     let g1 = Gc.quick_stat () in
     let gc =
@@ -37,10 +96,16 @@ let time ?metrics ?sink name f =
         major_words = g1.Gc.major_words -. g0.Gc.major_words;
         promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
         major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
-        top_heap_words = g1.Gc.top_heap_words - g0.Gc.top_heap_words;
+        (* top_heap_words is nominally a process watermark, but the
+           OCaml 5 runtime computes it from per-domain state and a
+           read after domain spawn/exit churn can come back lower
+           than an earlier one; a negative watermark delta carries no
+           information, so clamp it *)
+        top_heap_words = max 0 (g1.Gc.top_heap_words - g0.Gc.top_heap_words);
       }
     in
-    Trace.span_close sink ~name ~depth ~gc ~seconds:dt ();
+    if w > 0 then
+      Trace.span_close sink ~sampled_of:w ~name ~depth ~gc ~seconds:dt ();
     let labels = [ ("span", name) ] in
     Metrics.observe (Metrics.histogram ~labels registry "span.seconds") dt;
     Metrics.observe

@@ -8,7 +8,13 @@
     histograms (in words), each labeled [span=<name>]. The close event
     carries the full {!Trace.gc_delta}. Spans nest: the emitted events
     carry the nesting depth, and an enclosing span's elapsed time and
-    allocation always dominate its children's. *)
+    allocation always dominate its children's.
+
+    When adaptive head-sampling is armed ({!Sampler.configure}), hot
+    span names shed most of their trace events: a span kept at stride
+    [w] closes with [sampled_of = w], and a dropped span suppresses
+    both its open and close (metrics observations stay exact either
+    way). *)
 
 val time :
   ?metrics:Metrics.t -> ?sink:Trace.sink -> string -> (unit -> 'a) -> 'a * float
@@ -18,3 +24,11 @@ val time :
 
 val run : ?metrics:Metrics.t -> ?sink:Trace.sink -> string -> (unit -> 'a) -> 'a
 (** {!time} without the elapsed seconds. *)
+
+val live_stacks : unit -> (int * string list) list
+(** A point-in-time snapshot of every domain's open span stack,
+    outermost first, as [(domain_id, names)]; domains with no open
+    span are omitted. Reads other domains' stacks without
+    synchronization — a sample racing a push/pop may be one frame
+    stale, which is acceptable noise for the wall-clock profiling
+    ticker this feeds. *)

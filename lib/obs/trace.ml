@@ -31,6 +31,23 @@ let null =
    lines. *)
 let flush_every = 64
 
+(* One event, one line. Shared by the channel sinks and the flight
+   recorder's dump path so a dumped ring renders byte-for-byte like a
+   --trace file of the same events. *)
+let render_line buf ts ev fields =
+  Buffer.add_string buf "{\"ev\":\"";
+  Json.escape_to buf ev;
+  Buffer.add_string buf "\",\"ts\":";
+  Json.float_to buf ts;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf ",\"";
+      Json.escape_to buf k;
+      Buffer.add_string buf "\":";
+      Json.to_buffer buf v)
+    fields;
+  Buffer.add_string buf "}\n"
+
 let to_channel oc =
   let lock = Mutex.create () in
   let buf = Buffer.create 8192 in
@@ -48,18 +65,7 @@ let to_channel oc =
   in
   let emit_fn ts ev fields =
     Mutex.protect lock (fun () ->
-        Buffer.add_string buf "{\"ev\":\"";
-        Json.escape_to buf ev;
-        Buffer.add_string buf "\",\"ts\":";
-        Json.float_to buf ts;
-        List.iter
-          (fun (k, v) ->
-            Buffer.add_string buf ",\"";
-            Json.escape_to buf k;
-            Buffer.add_string buf "\":";
-            Json.to_buffer buf v)
-          fields;
-        Buffer.add_string buf "}\n";
+        render_line buf ts ev fields;
         incr pending;
         if !pending >= flush_every then flush_buf ())
   in
@@ -141,16 +147,25 @@ let with_current s f =
 (* Events from spawned domains carry a ["domain"] field so offline
    analysis can separate interleaved per-domain streams; events from
    the initial domain stay unchanged (and pay only the
-   [is_main_domain] check). *)
+   [is_main_domain] check). An event that already carries an explicit
+   ["domain"] field — the stack-sample ticker reporting on behalf of
+   other domains — is passed through untouched. *)
 let emit s ev fields =
   if s.on then begin
     let fields =
-      if Domain.is_main_domain () then fields
+      if Domain.is_main_domain () || List.mem_assoc "domain" fields then fields
       else fields @ [ ("domain", Json.Int (Domain.self () :> int)) ]
     in
     s.emit_fn (Clock.now () -. s.epoch) ev fields;
     Atomic.incr s.events
   end
+
+(* The sampling weight rides as a trailing ["sampled_of"] field and is
+   omitted at weight 1, so unsampled traces stay byte-identical to
+   those of earlier writers. *)
+let weighted sampled_of fields =
+  if sampled_of <= 1 then fields
+  else fields @ [ ("sampled_of", Json.Int sampled_of) ]
 
 type gc_delta = {
   minor_words : float;
@@ -164,35 +179,38 @@ let span_open s ~name ~depth =
   if s.on then
     emit s "span_open" [ ("name", Json.String name); ("depth", Json.Int depth) ]
 
-let span_close s ~name ~depth ?gc ~seconds () =
+let span_close s ?(sampled_of = 1) ~name ~depth ?gc ~seconds () =
   if s.on then
     emit s "span_close"
-      ([
-         ("name", Json.String name);
-         ("depth", Json.Int depth);
-         ("seconds", Json.Float seconds);
-       ]
-      @
-      match gc with
-      | None -> []
-      | Some g ->
-        [
-          ("minor_words", Json.Float g.minor_words);
-          ("major_words", Json.Float g.major_words);
-          ("promoted_words", Json.Float g.promoted_words);
-          ("major_collections", Json.Int g.major_collections);
-          ("top_heap_words", Json.Int g.top_heap_words);
-        ])
+      (weighted sampled_of
+         ([
+            ("name", Json.String name);
+            ("depth", Json.Int depth);
+            ("seconds", Json.Float seconds);
+          ]
+         @
+         match gc with
+         | None -> []
+         | Some g ->
+           [
+             ("minor_words", Json.Float g.minor_words);
+             ("major_words", Json.Float g.major_words);
+             ("promoted_words", Json.Float g.promoted_words);
+             ("major_collections", Json.Int g.major_collections);
+             ("top_heap_words", Json.Int g.top_heap_words);
+           ]))
 
-let bb_node s ~solver ~node ~depth ?bound () =
+let bb_node s ?(sampled_of = 1) ~solver ~node ~depth ?bound () =
   if s.on then
     emit s "bb_node"
-      [
-        ("solver", Json.String solver);
-        ("node", Json.Int node);
-        ("depth", Json.Int depth);
-        ("bound", match bound with Some b -> Json.Float b | None -> Json.Null);
-      ]
+      (weighted sampled_of
+         [
+           ("solver", Json.String solver);
+           ("node", Json.Int node);
+           ("depth", Json.Int depth);
+           ( "bound",
+             match bound with Some b -> Json.Float b | None -> Json.Null );
+         ])
 
 let incumbent s ~solver ~node ~objective =
   if s.on then
@@ -213,14 +231,15 @@ let bound_pruned s ~solver ~node ~bound ~incumbent =
         ("incumbent", Json.Float incumbent);
       ]
 
-let simplex_phase s ~phase ~iterations ~outcome =
+let simplex_phase s ?(sampled_of = 1) ~phase ~iterations ~outcome () =
   if s.on then
     emit s "simplex_phase"
-      [
-        ("phase", Json.Int phase);
-        ("iterations", Json.Int iterations);
-        ("outcome", Json.String outcome);
-      ]
+      (weighted sampled_of
+         [
+           ("phase", Json.Int phase);
+           ("iterations", Json.Int iterations);
+           ("outcome", Json.String outcome);
+         ])
 
 let warm_start s ~dual_feasible ~iterations ~kernel ~outcome =
   if s.on then
@@ -241,14 +260,30 @@ let greedy_pick s ~pick ~gain ~covered =
         ("covered", Json.Float covered);
       ]
 
-let flow_augmentation s ~amount ~path_cost ~routed =
+let flow_augmentation s ?(sampled_of = 1) ~amount ~path_cost ~routed () =
   if s.on then
     emit s "flow_augmentation"
-      [
-        ("amount", Json.Float amount);
-        ("path_cost", Json.Float path_cost);
-        ("routed", Json.Float routed);
-      ]
+      (weighted sampled_of
+         [
+           ("amount", Json.Float amount);
+           ("path_cost", Json.Float path_cost);
+           ("routed", Json.Float routed);
+         ])
+
+let flow_pivots s ?(sampled_of = 1) ~algo ~pivots ~objective () =
+  if s.on then
+    emit s "flow_pivots"
+      (weighted sampled_of
+         [
+           ("algo", Json.String algo);
+           ("pivots", Json.Int pivots);
+           ("objective", Json.Float objective);
+         ])
+
+let stack_sample s ~domain ~stack =
+  if s.on then
+    emit s "stack_sample"
+      [ ("stack", Json.String stack); ("domain", Json.Int domain) ]
 
 let flow_solve s ~algo ~pivots ~warm ~status =
   if s.on then

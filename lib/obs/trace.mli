@@ -87,16 +87,43 @@ type gc_delta = {
     of the major heap's high-water mark. All fields are differences of
     monotone GC counters, so they are non-negative. *)
 
+val render_line :
+  Buffer.t -> float -> string -> (string * Json.t) list -> unit
+(** Append one event as the sink line format (one JSON object plus
+    newline). Shared with the flight recorder's dump path so dumped
+    rings are byte-compatible with [--trace] files. *)
+
+(** Several high-frequency helpers below take [?sampled_of] (default
+    1): when the adaptive sampler keeps one event on behalf of a block
+    of [w] suppressed ones, the kept event carries
+    ["sampled_of": w] so offline analysis ({!Profile}, {!Converge})
+    can rescale counts exactly. Weight 1 adds no field — unsampled
+    traces are byte-identical to those of earlier writers. *)
+
 val span_open : sink -> name:string -> depth:int -> unit
 
 val span_close :
-  sink -> name:string -> depth:int -> ?gc:gc_delta -> seconds:float -> unit -> unit
+  sink ->
+  ?sampled_of:int ->
+  name:string ->
+  depth:int ->
+  ?gc:gc_delta ->
+  seconds:float ->
+  unit ->
+  unit
 (** [gc], when present, adds the span's allocation accounting as
     [minor_words]/[major_words]/[promoted_words]/[major_collections]/
     [top_heap_words] fields on the event. *)
 
 val bb_node :
-  sink -> solver:string -> node:int -> depth:int -> ?bound:float -> unit -> unit
+  sink ->
+  ?sampled_of:int ->
+  solver:string ->
+  node:int ->
+  depth:int ->
+  ?bound:float ->
+  unit ->
+  unit
 (** A branch-and-bound node was visited. [solver] is ["mip"] for the
     LP-based solver, ["cover"] for the combinatorial set-cover one. *)
 
@@ -107,7 +134,13 @@ val bound_pruned :
   sink -> solver:string -> node:int -> bound:float -> incumbent:float -> unit
 
 val simplex_phase :
-  sink -> phase:int -> iterations:int -> outcome:string -> unit
+  sink ->
+  ?sampled_of:int ->
+  phase:int ->
+  iterations:int ->
+  outcome:string ->
+  unit ->
+  unit
 
 val warm_start :
   sink ->
@@ -126,7 +159,33 @@ val warm_start :
 val greedy_pick : sink -> pick:int -> gain:float -> covered:float -> unit
 
 val flow_augmentation :
-  sink -> amount:float -> path_cost:float -> routed:float -> unit
+  sink ->
+  ?sampled_of:int ->
+  amount:float ->
+  path_cost:float ->
+  routed:float ->
+  unit ->
+  unit
+
+val flow_pivots :
+  sink ->
+  ?sampled_of:int ->
+  algo:string ->
+  pivots:int ->
+  objective:float ->
+  unit ->
+  unit
+(** Periodic progress from inside a long network-simplex solve: the
+    pivot count and current (shifted) objective every pivot batch, so
+    a live consumer can watch a flow solve converge. High-frequency
+    and therefore sampled. *)
+
+val stack_sample :
+  sink -> domain:int -> stack:string -> unit
+(** One wall-clock sample of a domain's open-span stack, taken by the
+    profiling ticker on behalf of [domain]: [stack] is the
+    semicolon-joined span names, outermost first. The explicit
+    [domain] field overrides the emitting (ticker) domain's id. *)
 
 val flow_solve :
   sink -> algo:string -> pivots:int -> warm:bool -> status:string -> unit

@@ -5,8 +5,15 @@ type event =
       depth : int;
       seconds : float;
       gc : Trace.gc_delta option;
+      sampled_of : int;
     }
-  | Bb_node of { solver : string; node : int; depth : int; bound : float option }
+  | Bb_node of {
+      solver : string;
+      node : int;
+      depth : int;
+      bound : float option;
+      sampled_of : int;
+    }
   | Incumbent of { solver : string; node : int; objective : float }
   | Bound_pruned of {
       solver : string;
@@ -20,9 +27,25 @@ type event =
       kernel : string;
       outcome : string;
     }
-  | Simplex_phase of { phase : int; iterations : int; outcome : string }
+  | Simplex_phase of {
+      phase : int;
+      iterations : int;
+      outcome : string;
+      sampled_of : int;
+    }
   | Greedy_pick of { pick : int; gain : float; covered : float }
-  | Flow_augmentation of { amount : float; path_cost : float; routed : float }
+  | Flow_augmentation of {
+      amount : float;
+      path_cost : float;
+      routed : float;
+      sampled_of : int;
+    }
+  | Flow_pivots of {
+      algo : string;
+      pivots : int;
+      objective : float;
+      sampled_of : int;
+    }
   | Flow_solve of { algo : string; pivots : int; warm : bool; status : string }
   | Presolve_reduction of {
       rows_dropped : int;
@@ -38,6 +61,7 @@ type event =
   | Recovery of { stage : string; detail : string }
   | Deadline_hit of { phase : string; elapsed : float; budget : float option }
   | Chaos_inject of { site : string }
+  | Stack_sample of { stack : string }
   | Run_info of {
       run_id : string;
       git_rev : string option;
@@ -64,12 +88,14 @@ let event_name = function
   | Simplex_phase _ -> "simplex_phase"
   | Greedy_pick _ -> "greedy_pick"
   | Flow_augmentation _ -> "flow_augmentation"
+  | Flow_pivots _ -> "flow_pivots"
   | Flow_solve _ -> "flow_solve"
   | Presolve_reduction _ -> "presolve_reduction"
   | Ladder_descent _ -> "ladder_descent"
   | Recovery _ -> "recovery"
   | Deadline_hit _ -> "deadline_hit"
   | Chaos_inject _ -> "chaos_inject"
+  | Stack_sample _ -> "stack_sample"
   | Run_info _ -> "run_info"
   | Unknown ev -> ev
 
@@ -89,6 +115,9 @@ let decode ~ev fields =
   let bool k = Option.bind (field k) Json.as_bool in
   (* present-but-null (or absent) numeric fields *)
   let opt_num k = num k in
+  (* the writer omits [sampled_of] at weight 1 so unsampled traces are
+     byte-identical to pre-sampler writers *)
+  let sampled_of () = Option.value (int "sampled_of") ~default:1 in
   let decoded =
     match ev with
     | "span_open" ->
@@ -124,12 +153,20 @@ let decode ~ev fields =
             }
         | _ -> None
       in
-      Some (Span_close { name; depth; seconds; gc })
+      Some (Span_close { name; depth; seconds; gc; sampled_of = sampled_of () })
     | "bb_node" ->
       let* solver = str "solver" in
       let* node = int "node" in
       let* depth = int "depth" in
-      Some (Bb_node { solver; node; depth; bound = opt_num "bound" })
+      Some
+        (Bb_node
+           {
+             solver;
+             node;
+             depth;
+             bound = opt_num "bound";
+             sampled_of = sampled_of ();
+           })
     | "incumbent" ->
       let* solver = str "solver" in
       let* node = int "node" in
@@ -156,7 +193,8 @@ let decode ~ev fields =
       let* phase = int "phase" in
       let* iterations = int "iterations" in
       let* outcome = str "outcome" in
-      Some (Simplex_phase { phase; iterations; outcome })
+      Some
+        (Simplex_phase { phase; iterations; outcome; sampled_of = sampled_of () })
     | "greedy_pick" ->
       let* pick = int "pick" in
       let* gain = num "gain" in
@@ -166,7 +204,14 @@ let decode ~ev fields =
       let* amount = num "amount" in
       let* path_cost = num "path_cost" in
       let* routed = num "routed" in
-      Some (Flow_augmentation { amount; path_cost; routed })
+      Some
+        (Flow_augmentation
+           { amount; path_cost; routed; sampled_of = sampled_of () })
+    | "flow_pivots" ->
+      let* algo = str "algo" in
+      let* pivots = int "pivots" in
+      let* objective = num "objective" in
+      Some (Flow_pivots { algo; pivots; objective; sampled_of = sampled_of () })
     | "flow_solve" ->
       let* algo = str "algo" in
       let* pivots = int "pivots" in
@@ -195,6 +240,9 @@ let decode ~ev fields =
     | "chaos_inject" ->
       let* site = str "site" in
       Some (Chaos_inject { site })
+    | "stack_sample" ->
+      let* stack = str "stack" in
+      Some (Stack_sample { stack })
     | "run_info" ->
       let* run_id = str "run_id" in
       let argv =
@@ -236,25 +284,38 @@ let of_json j =
       in
       Some { ts; domain; event = decode ~ev fields })
 
-type read = { records : record list; malformed : int; truncated : bool }
+type read = {
+  records : record list;
+  malformed : int;
+  unknown : int;
+  truncated : bool;
+}
 
 let read_string s =
   let results = Json.parse_lines s in
   let last = List.length results - 1 in
   let records = ref [] and malformed = ref 0 and truncated = ref false in
+  let unknown = ref 0 in
   List.iteri
     (fun i r ->
       match r with
       | Ok j -> (
         match of_json j with
-        | Some rec_ -> records := rec_ :: !records
+        | Some rec_ ->
+          (match rec_.event with Unknown _ -> incr unknown | _ -> ());
+          records := rec_ :: !records
         | None -> incr malformed)
       | Error _ ->
         (* a malformed final line is a truncated write (the process
            died mid-event), not a corrupt trace *)
         if i = last then truncated := true else incr malformed)
     results;
-  { records = List.rev !records; malformed = !malformed; truncated = !truncated }
+  {
+    records = List.rev !records;
+    malformed = !malformed;
+    unknown = !unknown;
+    truncated = !truncated;
+  }
 
 let read_file path =
   read_string (In_channel.with_open_bin path In_channel.input_all)

@@ -17,8 +17,18 @@ type event =
       gc : Trace.gc_delta option;
           (** allocation accounting; [None] for traces written before
               GC sampling existed *)
+      sampled_of : int;
+          (** head-sampling weight: this event stands for [sampled_of]
+              occurrences (1 — the decode default when the field is
+              absent — means unsampled) *)
     }
-  | Bb_node of { solver : string; node : int; depth : int; bound : float option }
+  | Bb_node of {
+      solver : string;
+      node : int;
+      depth : int;
+      bound : float option;
+      sampled_of : int;
+    }
   | Incumbent of { solver : string; node : int; objective : float }
   | Bound_pruned of {
       solver : string;
@@ -32,9 +42,27 @@ type event =
       kernel : string;
       outcome : string;
     }
-  | Simplex_phase of { phase : int; iterations : int; outcome : string }
+  | Simplex_phase of {
+      phase : int;
+      iterations : int;
+      outcome : string;
+      sampled_of : int;
+    }
   | Greedy_pick of { pick : int; gain : float; covered : float }
-  | Flow_augmentation of { amount : float; path_cost : float; routed : float }
+  | Flow_augmentation of {
+      amount : float;
+      path_cost : float;
+      routed : float;
+      sampled_of : int;
+    }
+  | Flow_pivots of {
+      algo : string;
+      pivots : int;
+      objective : float;
+      sampled_of : int;
+    }
+      (** a batch of network-simplex pivots inside one flow solve:
+          cumulative pivot count and current (shifted) objective *)
   | Flow_solve of { algo : string; pivots : int; warm : bool; status : string }
       (** one min-cost-flow solve: kernel name, pivot count (0 for
           SSP), whether the basis warm started, and final status *)
@@ -55,6 +83,10 @@ type event =
       (** a wall-clock budget expired inside [phase] *)
   | Chaos_inject of { site : string }
       (** the fault-injection harness fired at [site] *)
+  | Stack_sample of { stack : string }
+      (** one wall-clock profiler tick: the sampled domain's open span
+          stack, outermost first, [;]-joined (folded-stack format);
+          the sampled domain is the record's [domain] field *)
   | Run_info of {
       run_id : string;
       git_rev : string option;
@@ -92,6 +124,10 @@ type read = {
   malformed : int;
       (** lines that were not parseable trace events (excluding a
           truncated final line) *)
+  unknown : int;
+      (** records that decoded as {!Unknown} — events this reader's
+          taxonomy does not cover, or known events with missing or
+          mistyped required fields *)
   truncated : bool;
       (** the final line failed to parse — an interrupted write *)
 }

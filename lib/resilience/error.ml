@@ -13,6 +13,9 @@ let parse_error ~file ~line msg = raise (Error (Parse_error { file; line; msg })
 let numerical ~stage ~detail = raise (Error (Numerical { stage; detail }))
 
 let deadline_exceeded ~phase ~elapsed =
+  (* a blown budget is exactly the moment the recent event history is
+     worth keeping: snapshot the flight recorder before unwinding *)
+  Monpos_obs.Flightrec.trigger ~reason:"deadline_exceeded";
   raise (Error (Deadline_exceeded { phase; elapsed }))
 
 let infeasible what = raise (Error (Infeasible_model { what }))

@@ -10,6 +10,7 @@ let () =
       ("obs.reader", Test_obs_reader.suite);
       ("obs.prom", Test_prom.suite);
       ("obs.diff", Test_diff.suite);
+      ("obs.flight", Test_flight.suite);
       ("graph", Test_graph.suite);
       ("flow", Test_flow.suite);
       ("flow.prop", Test_flow_prop.suite);

@@ -24,14 +24,14 @@ let span ?alloc name seconds =
     r (Reader.Span_open { name; depth = 0 });
     r
       (Reader.Span_close
-         { name; depth = 0; seconds; gc = Option.map gc_words alloc });
+         { name; depth = 0; seconds; gc = Option.map gc_words alloc; sampled_of = 1 });
   ]
 
 let bb_nodes solver n =
   List.init n (fun i ->
-      r (Reader.Bb_node { solver; node = i; depth = 0; bound = None }))
+      r (Reader.Bb_node { solver; node = i; depth = 0; bound = None; sampled_of = 1 }))
 
-let pivots n = [ r (Reader.Simplex_phase { phase = 2; iterations = n; outcome = "optimal" }) ]
+let pivots n = [ r (Reader.Simplex_phase { phase = 2; iterations = n; outcome = "optimal"; sampled_of = 1 }) ]
 
 let chaos_manifest seed =
   [
@@ -47,7 +47,7 @@ let chaos_manifest seed =
          });
   ]
 
-let read records = { Reader.records; malformed = 0; truncated = false }
+let read records = { Reader.records; malformed = 0; unknown = 0; truncated = false }
 
 let baseline () =
   read

@@ -330,9 +330,9 @@ let test_trace_lines_parse () =
         Trace.bb_node sink ~solver:"mip" ~node:2 ~depth:1 ();
         Trace.incumbent sink ~solver:"cover" ~node:2 ~objective:4.0;
         Trace.bound_pruned sink ~solver:"mip" ~node:3 ~bound:nan ~incumbent:4.0;
-        Trace.simplex_phase sink ~phase:2 ~iterations:17 ~outcome:"optimal";
+        Trace.simplex_phase sink ~phase:2 ~iterations:17 ~outcome:"optimal" ();
         Trace.greedy_pick sink ~pick:9 ~gain:0.25 ~covered:0.75;
-        Trace.flow_augmentation sink ~amount:1.0 ~path_cost:3.0 ~routed:1.0;
+        Trace.flow_augmentation sink ~amount:1.0 ~path_cost:3.0 ~routed:1.0 ();
         Trace.presolve_reduction sink ~rows_dropped:2 ~bounds_tightened:1
           ~fixed_vars:0;
         Trace.emit sink "custom" [ ("weird", Json.String "a\"b\nc") ])

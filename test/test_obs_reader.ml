@@ -100,9 +100,9 @@ let test_reader_typed_decode () =
         Trace.bound_pruned sink ~solver:"mip" ~node:3 ~bound:nan ~incumbent:4.0;
         Trace.warm_start sink ~dual_feasible:true ~iterations:7 ~kernel:"sparse_lu"
           ~outcome:"reoptimal";
-        Trace.simplex_phase sink ~phase:2 ~iterations:17 ~outcome:"optimal";
+        Trace.simplex_phase sink ~phase:2 ~iterations:17 ~outcome:"optimal" ();
         Trace.greedy_pick sink ~pick:9 ~gain:0.25 ~covered:0.75;
-        Trace.flow_augmentation sink ~amount:1.0 ~path_cost:3.0 ~routed:1.0;
+        Trace.flow_augmentation sink ~amount:1.0 ~path_cost:3.0 ~routed:1.0 ();
         Trace.flow_solve sink ~algo:"netsimplex" ~pivots:42 ~warm:true
           ~status:"optimal";
         Trace.presolve_reduction sink ~rows_dropped:2 ~bounds_tightened:1
@@ -113,15 +113,15 @@ let test_reader_typed_decode () =
   Alcotest.(check bool) "not truncated" false r.Reader.truncated;
   match List.map (fun rec_ -> rec_.Reader.event) r.Reader.records with
   | [
-   Reader.Bb_node { solver = "mip"; node = 1; depth = 0; bound = Some 1.5 };
-   Reader.Bb_node { solver = "mip"; node = 2; depth = 1; bound = None };
+   Reader.Bb_node { solver = "mip"; node = 1; depth = 0; bound = Some 1.5; sampled_of = 1 };
+   Reader.Bb_node { solver = "mip"; node = 2; depth = 1; bound = None; sampled_of = 1 };
    Reader.Incumbent { solver = "mip"; node = 2; objective = 4.0 };
    Reader.Bound_pruned { solver = "mip"; node = 3; bound = None; incumbent = Some 4.0 };
    Reader.Warm_start
      { dual_feasible = true; iterations = 7; kernel = "sparse_lu"; outcome = "reoptimal" };
-   Reader.Simplex_phase { phase = 2; iterations = 17; outcome = "optimal" };
+   Reader.Simplex_phase { phase = 2; iterations = 17; outcome = "optimal"; sampled_of = 1 };
    Reader.Greedy_pick { pick = 9; gain = 0.25; covered = 0.75 };
-   Reader.Flow_augmentation { amount = 1.0; path_cost = 3.0; routed = 1.0 };
+   Reader.Flow_augmentation { amount = 1.0; path_cost = 3.0; routed = 1.0; sampled_of = 1 };
    Reader.Flow_solve
      { algo = "netsimplex"; pivots = 42; warm = true; status = "optimal" };
    Reader.Presolve_reduction { rows_dropped = 2; bounds_tightened = 1; fixed_vars = 0 };
@@ -190,10 +190,10 @@ let test_profile_tree () =
       [
         (0.0, Reader.Span_open { name = "outer"; depth = 0 });
         (0.1, Reader.Span_open { name = "inner"; depth = 1 });
-        (1.1, Reader.Span_close { name = "inner"; depth = 1; seconds = 1.0; gc = None });
+        (1.1, Reader.Span_close { name = "inner"; depth = 1; seconds = 1.0; gc = None; sampled_of = 1 });
         (1.2, Reader.Span_open { name = "inner"; depth = 1 });
-        (2.2, Reader.Span_close { name = "inner"; depth = 1; seconds = 1.0; gc = None });
-        (5.0, Reader.Span_close { name = "outer"; depth = 0; seconds = 5.0; gc = None });
+        (2.2, Reader.Span_close { name = "inner"; depth = 1; seconds = 1.0; gc = None; sampled_of = 1 });
+        (5.0, Reader.Span_close { name = "outer"; depth = 0; seconds = 5.0; gc = None; sampled_of = 1 });
       ]
   in
   let p = Profile.of_records records in
@@ -236,17 +236,17 @@ let test_converge () =
   let r event ts = { Reader.ts; domain = 0; event } in
   let records =
     [
-      r (Reader.Bb_node { solver = "mip"; node = 1; depth = 0; bound = Some 10.0 }) 0.1;
+      r (Reader.Bb_node { solver = "mip"; node = 1; depth = 0; bound = Some 10.0; sampled_of = 1 }) 0.1;
       r (Reader.Incumbent { solver = "mip"; node = 1; objective = 8.0 }) 0.2;
       r (Reader.Warm_start
            { dual_feasible = true; iterations = 5; kernel = "sparse_lu"; outcome = "reoptimal" })
         0.25;
-      r (Reader.Bb_node { solver = "mip"; node = 2; depth = 1; bound = Some 9.0 }) 0.3;
+      r (Reader.Bb_node { solver = "mip"; node = 2; depth = 1; bound = Some 9.0; sampled_of = 1 }) 0.3;
       r (Reader.Bound_pruned
            { solver = "mip"; node = 2; bound = Some 9.0; incumbent = Some 8.0 })
         0.4;
-      r (Reader.Simplex_phase { phase = 2; iterations = 11; outcome = "optimal" }) 0.45;
-      r (Reader.Bb_node { solver = "cover"; node = 1; depth = 0; bound = None }) 0.5;
+      r (Reader.Simplex_phase { phase = 2; iterations = 11; outcome = "optimal"; sampled_of = 1 }) 0.45;
+      r (Reader.Bb_node { solver = "cover"; node = 1; depth = 0; bound = None; sampled_of = 1 }) 0.5;
       r (Reader.Incumbent { solver = "cover"; node = 1; objective = 3.0 }) 0.6;
     ]
   in
@@ -538,6 +538,8 @@ let test_run_info_roundtrip () =
       ocaml_version = "5.1.1";
       hostname = "boxen";
       chaos_seed = Some 42;
+      jobs = Some 4;
+      scheduler = Some "wave";
       argv = [ "monitorctl"; "passive"; "--trace"; "t.jsonl" ];
     }
   in

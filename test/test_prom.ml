@@ -238,6 +238,62 @@ let test_serve_scrape () =
   Alcotest.(check bool) "404 elsewhere" true
     (String.length missing >= 12 && String.sub missing 0 12 = "HTTP/1.1 404")
 
+let contains text needle = Astring.String.is_infix ~affix:needle text
+
+let test_build_info_on_every_exposition () =
+  (* the constant-gauge build-identity idiom: value 1, identity in the
+     labels, present even on an empty registry, and lint-clean *)
+  let text = Prom.to_prometheus (Metrics.snapshot (Metrics.create ())) in
+  check_lint text;
+  Alcotest.(check bool) "build_info with the release version" true
+    (contains text
+       (Printf.sprintf "monpos_build_info{version=\"%s\",git_rev=\""
+          Monpos_obs.Runinfo.version));
+  Alcotest.(check bool) "carries the compiler version" true
+    (contains text (Printf.sprintf "ocaml=\"%s\"} 1" Sys.ocaml_version));
+  (* follows the exposition's namespace *)
+  let ns =
+    Prom.to_prometheus ~namespace:"acme"
+      (Metrics.snapshot (Metrics.create ()))
+  in
+  check_lint ns;
+  Alcotest.(check bool) "namespaced build_info" true
+    (contains ns "acme_build_info{version=")
+
+let test_serve_health_and_status () =
+  let t = Metrics.create () in
+  Metrics.set (Metrics.gauge t "mip.incumbent") 7.0;
+  let fd = Prom.listen "127.0.0.1:0" in
+  let port = Prom.bound_port fd in
+  let server =
+    Domain.spawn (fun () -> Prom.serve ~max_requests:2 ~registry:t fd)
+  in
+  let health = http_get port "/healthz" in
+  let status = http_get port "/statusz" in
+  Domain.join server;
+  Unix.close fd;
+  let hh, hbody = header_body health in
+  Alcotest.(check bool) "healthz is 200" true
+    (String.length hh >= 15 && String.sub hh 0 15 = "HTTP/1.1 200 OK");
+  Alcotest.(check string) "healthz body" "ok\n" hbody;
+  let sh, sbody = header_body status in
+  Alcotest.(check bool) "statusz is 200" true
+    (String.length sh >= 15 && String.sub sh 0 15 = "HTTP/1.1 200 OK");
+  Alcotest.(check bool) "statusz is json" true (contains sh "application/json");
+  match Monpos_obs.Json.parse sbody with
+  | Error msg -> Alcotest.failf "statusz does not parse: %s" msg
+  | Ok (Monpos_obs.Json.Obj fields) ->
+    List.iter
+      (fun k ->
+        Alcotest.(check bool) (Printf.sprintf "statusz has %S" k) true
+          (List.mem_assoc k fields))
+      [ "uptime_seconds"; "phase"; "solver"; "obs" ];
+    (* watermark gauges of the scraped registry surface in the
+       document *)
+    Alcotest.(check bool) "statusz carries the incumbent watermark" true
+      (contains sbody "\"incumbent\":7")
+  | Ok _ -> Alcotest.fail "statusz must be a json object"
+
 let test_listen_rejects_garbage () =
   Alcotest.(check bool) "no port" true
     (match Prom.listen "localhost" with
@@ -262,6 +318,10 @@ let suite =
     Alcotest.test_case "lint accepts empty registry" `Quick
       test_lint_accepts_empty_registry;
     Alcotest.test_case "serve answers a scrape" `Quick test_serve_scrape;
+    Alcotest.test_case "build_info heads every exposition" `Quick
+      test_build_info_on_every_exposition;
+    Alcotest.test_case "serve answers /healthz and /statusz" `Quick
+      test_serve_health_and_status;
     Alcotest.test_case "listen rejects bad specs" `Quick
       test_listen_rejects_garbage;
   ]
