@@ -32,21 +32,36 @@ module Mip = Monpos_lp.Mip
 module Simplex = Monpos_lp.Simplex
 module Mincost = Monpos_flow.Mincost
 module Rerror = Monpos_resilience.Error
+module Preempt = Monpos_resilience.Preempt
+module Synthetic = Monpos_topo.Synthetic
+module Traffic = Monpos_traffic.Traffic
 open Cmdliner
 
 (* Exit codes (also in the man pages): 2 bad input, 3 degraded result,
-   4 numerical/internal failure — see Monpos_resilience.Error.exit_code. *)
+   4 numerical/internal failure, 5 preempted — see
+   Monpos_resilience.Error.exit_code and Monpos_resilience.Preempt. *)
 let exits =
   Cmd.Exit.info 2
     ~doc:
       "on bad input: an unparsable topology/demand file, an unknown \
-       method or sample name, or an infeasible coverage target."
+       method or sample name, an infeasible coverage target, or an \
+       unwritable $(b,--checkpoint)/$(b,--flight-dump) destination \
+       (validated at startup)."
   :: Cmd.Exit.info 3
        ~doc:
          "on a degraded result: a wall-clock deadline expired and the \
           degradation ladder answered from a rung below proven \
           optimality (the placement printed is still feasible)."
   :: Cmd.Exit.info 4 ~doc:"on a numerical failure or internal error."
+  :: Cmd.Exit.info 5
+       ~doc:
+         "when the solve was preempted by SIGINT/SIGTERM: the search \
+          stopped cooperatively at the next wave barrier, the answer \
+          printed is the incumbent with its LP-certified bound, and \
+          with $(b,--checkpoint) set a final checkpoint was written \
+          for $(b,monitorctl resume). A second signal skips the \
+          barrier and exits immediately with 130 (SIGINT) or 143 \
+          (SIGTERM)."
   :: Cmd.Exit.defaults
 
 (* Command-line mistakes share the parse-error taxonomy (and its exit
@@ -193,8 +208,41 @@ let start_stack_ticker sink hz =
    destination — becomes a one-line message and a documented exit code
    instead of a backtrace; any other uncaught exception snapshots the
    flight recorder before propagating. *)
-let with_obs ?jobs ?scheduler obs f =
+
+(* Fail fast (Io_error, exit 2) on an unwritable --checkpoint or
+   --flight-dump destination: both are written late in the run — at a
+   wave barrier, or when something has already gone wrong — and a
+   solver that only discovers the bad path then has burned the search
+   (or lost the dump). Mirrors the flight recorder's own mkdir -p so a
+   creatable directory passes. *)
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let validate_writable ~path dir =
+  let dir = if dir = "" then "." else dir in
+  (try mkdir_p dir
+   with Unix.Unix_error (e, _, _) ->
+     Rerror.io_error ~path (Unix.error_message e));
+  let probe =
+    Filename.concat dir (Printf.sprintf ".monpos-writable-%d" (Unix.getpid ()))
+  in
+  (try Out_channel.with_open_bin probe (fun _ -> ())
+   with Sys_error msg -> Rerror.io_error ~path msg);
+  try Sys.remove probe with Sys_error _ -> ()
+
+let with_obs ?jobs ?scheduler ?checkpoint obs f =
   try
+    Option.iter
+      (fun p -> validate_writable ~path:p (Filename.dirname p))
+      checkpoint;
+    Option.iter (fun d -> validate_writable ~path:d d) obs.flight_dump;
+    (* solver-backed subcommands get cooperative preemption: first
+       signal stops at the next wave barrier, second one exits hard *)
+    Option.iter (fun _ -> Preempt.install ()) jobs;
     Option.iter
       (fun threshold -> Monpos_obs.Sampler.configure ~threshold)
       obs.trace_sample;
@@ -310,7 +358,35 @@ let solver_term =
     in
     Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
-  let make cold no_presolve dense time_limit jobs (base : Mip.options) =
+  let checkpoint_arg =
+    let doc =
+      "Write crash-recovery checkpoints of the branch-and-bound state \
+       to $(docv): atomic tmp-file + rename replaces, at wave barriers \
+       of the deterministic scheduler, every $(b,--checkpoint-every) \
+       seconds and once more when the solve stops at a limit or is \
+       preempted. Continue an interrupted solve with $(b,monitorctl \
+       resume) $(docv) — the resumed result is bit-identical to the \
+       uninterrupted one. The destination directory is validated \
+       writable at startup (exit 2 otherwise)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc =
+      "Minimum wall-clock seconds between periodic checkpoint writes \
+       (default 60; 0 checkpoints at every wave barrier — crash \
+       drills)."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "checkpoint-every" ] ~docv:"SECS" ~doc)
+  in
+  let make cold no_presolve dense time_limit jobs checkpoint checkpoint_every
+      (base : Mip.options) =
     {
       base with
       Mip.warm_start = not cold;
@@ -318,11 +394,15 @@ let solver_term =
       kernel = (if dense then Simplex.Dense else Simplex.Sparse_lu);
       time_limit = Option.value time_limit ~default:base.Mip.time_limit;
       jobs = Option.value jobs ~default:base.Mip.jobs;
+      checkpoint =
+        (match checkpoint with None -> base.Mip.checkpoint | c -> c);
+      checkpoint_every =
+        Option.value checkpoint_every ~default:base.Mip.checkpoint_every;
     }
   in
   Term.(
     const make $ cold_arg $ no_presolve_arg $ dense_kernel_arg $ time_limit_arg
-    $ jobs_arg)
+    $ jobs_arg $ checkpoint_arg $ checkpoint_every_arg)
 
 let strict_arg =
   let doc =
@@ -352,10 +432,16 @@ let flow_kernel_arg =
 
 (* Print how a ladder solve went and turn its outcome into (value,
    exit code): a degraded answer is still printed but exits 3 so
-   scripts can tell a proven optimum from a best effort. *)
+   scripts can tell a proven optimum from a best effort, and a
+   preempted solve exits 5 — its answer flowed through the same
+   incumbent + certified-gap rung, but the cause was a signal, not a
+   budget. *)
 let report_outcome name (o : 'a Resilient.outcome) =
   Format.printf "%s resilience: %a@." name Resilient.pp_outcome o;
-  (o.Resilient.value, if Resilient.degraded o then 3 else 0)
+  ( o.Resilient.value,
+    if Preempt.requested () then 5
+    else if Resilient.degraded o then 3
+    else 0 )
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments                                                    *)
@@ -484,14 +570,35 @@ let passive_cmd =
     let doc = "Write a Graphviz rendering with monitored links highlighted." in
     Arg.(value & opt (some string) None & info [ "dot" ] ~doc)
   in
+  let waxman_arg =
+    let doc =
+      "Solve on a synthetic Waxman random topology with $(docv) nodes \
+       (alpha 0.22, beta 0.35, derived from $(b,--seed)) instead of a \
+       POP preset — searches large enough to interrupt, which is what \
+       the crash/resume CI drill needs."
+    in
+    Arg.(value & opt (some int) None & info [ "waxman" ] ~docv:"N" ~doc)
+  in
   let run obs tune strict preset seed sample topo demands k method_ budget
-      installed dot flow_kernel =
+      installed dot flow_kernel waxman =
     let options = tune Mip.default_options in
     with_obs
       ~jobs:(Mip.resolved_jobs options)
-      ~scheduler:(Mip.scheduler_mode options) obs
+      ~scheduler:(Mip.scheduler_mode options)
+      ?checkpoint:options.Mip.checkpoint obs
     @@ fun () ->
-    let _, inst = load_instance ?sample ?topo ?demands preset seed in
+    let inst =
+      match waxman with
+      | Some nn ->
+        let g = Synthetic.waxman ~n:nn ~alpha:0.22 ~beta:0.35 ~seed in
+        let nodes = Array.init (Graph.num_nodes g) (fun i -> i) in
+        Prng.shuffle (Prng.create 17) nodes;
+        let count = min (max 12 (nn / 6)) (Array.length nodes) in
+        let endpoints = Array.to_list (Array.sub nodes 0 count) in
+        let matrix = Traffic.generate g ~endpoints ~seed:(seed * 131) in
+        Instance.make g matrix
+      | None -> snd (load_instance ?sample ?topo ?demands preset seed)
+    in
     let parse_edges s =
       List.map
         (fun w ->
@@ -543,7 +650,7 @@ let passive_cmd =
     Term.(
       const run $ obs_term $ solver_term $ strict_arg $ preset_arg $ seed_arg
       $ sample_arg $ topo_arg $ demands_arg $ coverage_arg $ method_arg
-      $ budget_arg $ installed_arg $ dot_arg $ flow_kernel_arg)
+      $ budget_arg $ installed_arg $ dot_arg $ flow_kernel_arg $ waxman_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sampling                                                            *)
@@ -561,7 +668,8 @@ let sampling_cmd =
     let options = tune Sampling.default_milp_options in
     with_obs
       ~jobs:(Mip.resolved_jobs options)
-      ~scheduler:(Mip.scheduler_mode options) obs
+      ~scheduler:(Mip.scheduler_mode options)
+      ?checkpoint:options.Mip.checkpoint obs
     @@ fun () ->
     let _, inst = load_instance preset seed in
     let costs =
@@ -620,7 +728,8 @@ let active_cmd =
     let options = tune Mip.default_options in
     with_obs
       ~jobs:(Mip.resolved_jobs options)
-      ~scheduler:(Mip.scheduler_mode options) obs
+      ~scheduler:(Mip.scheduler_mode options)
+      ?checkpoint:options.Mip.checkpoint obs
     @@ fun () ->
     let pop = Pop.make_preset preset ~seed in
     let routers = Array.of_list (Pop.routers pop) in
@@ -931,6 +1040,120 @@ let analyze_cmd =
       const run $ file_arg $ profile_arg $ converge_arg $ folded_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
+(* resume                                                              *)
+
+let resume_cmd =
+  let ckpt_arg =
+    let doc =
+      "Checkpoint file written by a $(b,--checkpoint) solve (any \
+       MIP-backed subcommand)."
+    in
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"CHECKPOINT" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains for the resumed search (results are identical \
+       for every value, including across the interrupted/resumed \
+       boundary)."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let time_limit_arg =
+    let doc =
+      "Total wall-clock budget in seconds for the original solve: the \
+       elapsed time recorded in the checkpoint is subtracted, so \
+       repeated crash/resume cycles cannot stretch a bounded run."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "time-limit" ] ~docv:"SECS" ~doc)
+  in
+  let max_nodes_arg =
+    let doc = "Branch-and-bound node budget for this run." in
+    Arg.(value & opt (some int) None & info [ "max-nodes" ] ~docv:"N" ~doc)
+  in
+  let checkpoint_arg =
+    let doc =
+      "Where further checkpoints of the resumed run go (default: \
+       overwrite $(b,CHECKPOINT) in place)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc =
+      "Minimum seconds between periodic checkpoint writes (default \
+       60; 0 writes at every wave barrier)."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "checkpoint-every" ] ~docv:"SECS" ~doc)
+  in
+  let run obs ckpt jobs time_limit max_nodes checkpoint checkpoint_every =
+    let d = Mip.default_options in
+    let options =
+      {
+        d with
+        Mip.jobs = Option.value jobs ~default:d.Mip.jobs;
+        time_limit = Option.value time_limit ~default:d.Mip.time_limit;
+        max_nodes = Option.value max_nodes ~default:d.Mip.max_nodes;
+        checkpoint;
+        checkpoint_every =
+          Option.value checkpoint_every ~default:d.Mip.checkpoint_every;
+      }
+    in
+    with_obs
+      ~jobs:(Mip.resolved_jobs options)
+      ~scheduler:"wave"
+      ~checkpoint:(Option.value checkpoint ~default:ckpt)
+      obs
+    @@ fun () ->
+    let r = Mip.resume ~options ckpt in
+    let status_name =
+      match r.Mip.status with
+      | Mip.Optimal -> "optimal"
+      | Mip.Feasible -> "feasible"
+      | Mip.Infeasible -> "infeasible"
+      | Mip.Unbounded -> "unbounded"
+      | Mip.No_solution -> "no-solution"
+    in
+    (* one greppable line: the crash/resume CI drill (and any script
+       wrapping a preemptible solve) parses these fields *)
+    Format.printf
+      "status=%s objective=%.6f bound=%.6f gap=%.6g nodes=%d preempted=%b@."
+      status_name r.Mip.objective r.Mip.bound r.Mip.gap r.Mip.nodes
+      r.Mip.preempted;
+    (match r.Mip.solution with
+    | Some x ->
+      let nz = Array.fold_left (fun a v -> if v <> 0.0 then a + 1 else a) 0 x in
+      Format.printf "solution: %d variable(s), %d nonzero@." (Array.length x)
+        nz
+    | None -> ());
+    if r.Mip.preempted then 5
+    else
+      match r.Mip.status with
+      | Mip.Optimal -> 0
+      | Mip.Feasible | Mip.No_solution -> 3
+      | Mip.Infeasible -> 2
+      | Mip.Unbounded -> 4
+  in
+  let doc =
+    "Resume an interrupted $(b,--checkpoint) solve. The search-shaping \
+     options (branching, tolerances, kernel, wave size) come from the \
+     checkpoint — only run-environment knobs can be set here — and the \
+     resumed run reaches a result bit-identical to the uninterrupted \
+     one, for any $(b,--jobs) on either side."
+  in
+  Cmd.v
+    (Cmd.info "resume" ~doc ~exits)
+    Term.(
+      const run $ obs_term $ ckpt_arg $ jobs_arg $ time_limit_arg
+      $ max_nodes_arg $ checkpoint_arg $ checkpoint_every_arg)
+
+(* ------------------------------------------------------------------ *)
 (* metrics-serve                                                       *)
 
 let metrics_serve_cmd =
@@ -992,7 +1215,20 @@ let metrics_serve_cmd =
       (match requests with
       | Some n -> Printf.sprintf " for %d request(s)" n
       | None -> "");
-    Prom.serve ?max_requests:requests ~registry:Obs_metrics.default fd;
+    (* SIGINT/SIGTERM (handlers installed by with_obs) only set the
+       preemption flag; the serve loop re-checks it after every
+       request and every interrupted accept, finishes the in-flight
+       response, and falls out here for an orderly exit 0: shutdown
+       event, socket closed, warm-up solve joined (it polls the same
+       flag, so a signal accelerates it too). *)
+    let served =
+      Prom.serve ?max_requests:requests ~should_stop:Preempt.requested
+        ~registry:Obs_metrics.default fd
+    in
+    Obs_trace.server_shutdown (Obs_trace.current ()) ~served;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if Preempt.requested () then
+      Format.printf "shutdown requested; served %d request(s)@." served;
     match Option.map Domain.join warmup with
     | None | Some (Ok _) -> 0
     | Some (Error msg) ->
@@ -1109,6 +1345,7 @@ let () =
             dynamic_cmd;
             campaign_cmd;
             sweep_cmd;
+            resume_cmd;
             analyze_cmd;
             metrics_serve_cmd;
             diff_cmd;

@@ -3,9 +3,13 @@ module Metrics = Monpos_obs.Metrics
 module Clock = Monpos_obs.Clock
 module Sampler = Monpos_obs.Sampler
 module Status = Monpos_obs.Status
+module Json = Monpos_obs.Json
+module Flightrec = Monpos_obs.Flightrec
 module Error = Monpos_resilience.Error
 module Deadline = Monpos_resilience.Deadline
 module Chaos = Monpos_resilience.Chaos
+module Preempt = Monpos_resilience.Preempt
+module Ckpt = Monpos_resilience.Checkpoint
 module Prng = Monpos_util.Prng
 module Wsdeque = Monpos_util.Wsdeque
 module H = Monpos_util.Heap
@@ -23,6 +27,25 @@ let m_prunes = lazy (Metrics.counter Metrics.default "mip.prunes")
 let m_solves = lazy (Metrics.counter Metrics.default "mip.solves")
 
 let m_steals = lazy (Metrics.counter Metrics.default "mip.steals")
+
+let m_worker_failures =
+  lazy (Metrics.counter Metrics.default "mip.worker_failures")
+
+(* checkpoint write count plus the wall-clock instant of the last
+   write: /statusz derives the operator-facing "checkpoint age" (how
+   much search a crash right now would lose) from the pair. *)
+let m_ck_writes = lazy (Metrics.counter Metrics.default "checkpoint.writes")
+
+let m_g_ck_clock =
+  lazy (Metrics.gauge Metrics.default "checkpoint.last_write_clock")
+
+(* cumulative seconds this solve spent serializing + atomically
+   replacing checkpoint files: the direct numerator of the checkpoint
+   overhead, which the ckoverhead bench gates as a fraction of the
+   solve wall (a paired wall-clock diff cannot resolve sub-percent
+   costs on a shared machine) *)
+let m_g_ck_seconds =
+  lazy (Metrics.gauge Metrics.default "checkpoint.write_seconds")
 
 (* Search-progress watermarks for live introspection (/statusz):
    last-published incumbent objective, best known relaxation bound,
@@ -65,6 +88,8 @@ type options = {
   jobs : int;
   deterministic : bool;
   wave : int;
+  checkpoint : string option;
+  checkpoint_every : float;
   log : bool;
 }
 
@@ -88,6 +113,8 @@ let default_options =
     jobs = env_jobs ();
     deterministic = true;
     wave = 16;
+    checkpoint = None;
+    checkpoint_every = 60.0;
     log = false;
   }
 
@@ -101,6 +128,7 @@ type result = {
   nodes : int;
   gap : float;
   deadline_hit : bool;
+  preempted : bool;
 }
 
 type node = {
@@ -199,7 +227,16 @@ type task = {
   t_num : int;
   t_dive : bool;
   mutable t_outcome : outcome;
+  (* how many worker slots have already died while holding this task;
+     the supervisor requeues up to a small cap, past which the failure
+     is evidently the task's own (a deterministic bug) and propagates *)
+  mutable t_tries : int;
 }
+
+(* chaos site [domain.die]: the injected fail-stop worker death. The
+   exception deliberately is not [Error.Error] — the supervisor must
+   treat it like any other unexpected worker crash. *)
+exception Worker_killed of int
 
 (* A pool of [jobs - 1] spawned worker domains plus the coordinator
    (slot 0). Work arrives in waves: the coordinator publishes a
@@ -219,31 +256,47 @@ type pool = {
   mutable p_remaining : int;
   mutable p_quit : bool;
   mutable p_failure : exn option;
+  (* fail-stop supervision state: a slot whose task raised is marked
+     dead, its unfinished work moves to [p_retry] (guarded by
+     [p_lock]), and the surviving slots drain it. Slot 0 (the
+     coordinator) is never marked dead — a coordinator failure
+     propagates, exactly as before. *)
+  p_dead : bool array;
+  p_retry : task Queue.t;
   p_steals : int array;
   p_idle : float array;
   p_nodes_w : Metrics.counter array;
-  p_process : task -> unit;
+  p_process : int -> task -> unit;
+  p_sink : Trace.sink;
   mutable p_domains : unit Domain.t array;
 }
+
+let take_retry pool =
+  Mutex.protect pool.p_lock (fun () ->
+      if Queue.is_empty pool.p_retry then None
+      else Some (Queue.pop pool.p_retry))
 
 let find_task pool w prng =
   match Wsdeque.pop pool.p_deques.(w) with
   | Some _ as t -> t
-  | None ->
-    let start = Prng.int prng pool.p_jobs in
-    let rec sweep i =
-      if i = pool.p_jobs then None
-      else
-        let v = (start + i) mod pool.p_jobs in
-        if v = w then sweep (i + 1)
+  | None -> (
+    match take_retry pool with
+    | Some _ as t -> t
+    | None ->
+      let start = Prng.int prng pool.p_jobs in
+      let rec sweep i =
+        if i = pool.p_jobs then None
         else
-          match Wsdeque.steal pool.p_deques.(v) with
-          | Some _ as t ->
-            pool.p_steals.(w) <- pool.p_steals.(w) + 1;
-            t
-          | None -> sweep (i + 1)
-    in
-    sweep 0
+          let v = (start + i) mod pool.p_jobs in
+          if v = w then sweep (i + 1)
+          else
+            match Wsdeque.steal pool.p_deques.(v) with
+            | Some _ as t ->
+              pool.p_steals.(w) <- pool.p_steals.(w) + 1;
+              t
+            | None -> sweep (i + 1)
+      in
+      sweep 0)
 
 let record_failure pool e =
   Mutex.protect pool.p_lock (fun () ->
@@ -256,27 +309,81 @@ let task_done pool =
       pool.p_remaining <- pool.p_remaining - 1;
       if pool.p_remaining = 0 then Condition.broadcast pool.p_cond)
 
+(* Fail-stop containment for a dying worker slot: the slot is marked
+   dead, the failed task and everything still sitting in the slot's
+   own deque move to the retry queue, and the survivors are woken to
+   drain it. [p_remaining] is deliberately not decremented for the
+   requeued tasks — the wave barrier completes only once a survivor
+   has actually finished them, so a merge never sees an [O_pending]
+   outcome. Re-solving a node LP is deterministic, so the wave's
+   results are bit-identical to an undisturbed run. *)
+let supervise_failure pool w t e =
+  t.t_tries <- t.t_tries + 1;
+  Mutex.protect pool.p_lock (fun () ->
+      pool.p_dead.(w) <- true;
+      Queue.push t pool.p_retry;
+      let rec drain_own () =
+        match Wsdeque.pop pool.p_deques.(w) with
+        | Some t' ->
+          Queue.push t' pool.p_retry;
+          drain_own ()
+        | None -> ()
+      in
+      drain_own ();
+      Condition.broadcast pool.p_cond);
+  Metrics.incr (Lazy.force m_worker_failures);
+  if Trace.enabled pool.p_sink then
+    Trace.worker_failure pool.p_sink ~slot:w ~reason:(Printexc.to_string e);
+  Flightrec.trigger ~reason:"worker_failure"
+
 let rec drain_wave pool w prng =
-  match find_task pool w prng with
-  | Some t ->
-    (try pool.p_process t with e -> record_failure pool e);
-    Metrics.incr pool.p_nodes_w.(w);
-    task_done pool;
-    drain_wave pool w prng
-  | None ->
-    (* nothing stealable: either the wave is done or every remaining
-       task is in flight on another slot — wait for the zero broadcast *)
-    let finished =
-      Mutex.protect pool.p_lock (fun () ->
-          if pool.p_remaining > 0 && not pool.p_quit then begin
-            let t0 = Clock.now () in
-            Condition.wait pool.p_cond pool.p_lock;
-            pool.p_idle.(w) <- pool.p_idle.(w) +. (Clock.now () -. t0);
-            false
-          end
-          else true)
-    in
-    if not finished then drain_wave pool w prng
+  if pool.p_dead.(w) then ()
+  else
+    match find_task pool w prng with
+    | Some t -> (
+      match
+        (* the die site fires only on a task's first attempt: a worker
+           picking up a requeued task must not die on it again, or a
+           single unlucky task could fell every slot in turn *)
+        if
+          w > 0 && t.t_tries = 0
+          && Chaos.fire ~scoped:false ~site:"domain.die" ~p:0.02 ()
+        then raise (Worker_killed w)
+        else pool.p_process w t
+      with
+      | () ->
+        Metrics.incr pool.p_nodes_w.(w);
+        task_done pool;
+        drain_wave pool w prng
+      | exception e ->
+        (* Typed solver errors ([Error.Error]) are findings about the
+           model, not the worker — they propagate whole. So does any
+           failure on slot 0 (losing the coordinator means losing the
+           merge), and a task that has already killed several slots. *)
+        let supervisable =
+          w > 0 && t.t_tries < 3
+          && (match e with Error.Error _ -> false | _ -> true)
+        in
+        if supervisable then supervise_failure pool w t e
+        else begin
+          record_failure pool e;
+          task_done pool;
+          drain_wave pool w prng
+        end)
+    | None ->
+      (* nothing stealable: either the wave is done or every remaining
+         task is in flight on another slot — wait for the zero broadcast *)
+      let finished =
+        Mutex.protect pool.p_lock (fun () ->
+            if pool.p_remaining > 0 && not pool.p_quit then begin
+              let t0 = Clock.now () in
+              Condition.wait pool.p_cond pool.p_lock;
+              pool.p_idle.(w) <- pool.p_idle.(w) +. (Clock.now () -. t0);
+              false
+            end
+            else true)
+      in
+      if not finished then drain_wave pool w prng
 
 let rec worker_loop pool w prng my_gen sink =
   let next =
@@ -308,10 +415,13 @@ let create_pool ~jobs ~prngs ~process ~sink =
       p_remaining = 0;
       p_quit = false;
       p_failure = None;
+      p_dead = Array.make jobs false;
+      p_retry = Queue.create ();
       p_steals = Array.make jobs 0;
       p_idle = Array.make jobs 0.0;
       p_nodes_w = Array.init jobs m_nodes_w;
       p_process = process;
+      p_sink = sink;
       p_domains = [||];
     }
   in
@@ -328,8 +438,19 @@ let run_wave pool prng0 tasks =
       pool.p_remaining <- n;
       pool.p_generation <- pool.p_generation + 1;
       Condition.broadcast pool.p_cond);
+  (* deal only to surviving slots: a dead slot's deque has no owner to
+     pop it, and while thieves could still steal from it, leaving work
+     there would make the common case (no thief looks) a stall *)
+  let alive =
+    let l = ref [] in
+    for w = pool.p_jobs - 1 downto 0 do
+      if not pool.p_dead.(w) then l := w :: !l
+    done;
+    Array.of_list !l
+  in
   List.iteri
-    (fun i t -> Wsdeque.push pool.p_deques.(i mod pool.p_jobs) t)
+    (fun i t ->
+      Wsdeque.push pool.p_deques.(alive.(i mod Array.length alive)) t)
     tasks;
   (* second broadcast: a worker that woke on the generation bump,
      found the deques still empty and went back to waiting needs a
@@ -372,7 +493,491 @@ let resolved_jobs options =
 
 let scheduler_mode options = if options.deterministic then "wave" else "async"
 
-let solve ?(options = default_options) model =
+(* ---- checkpoint (de)serialization ---------------------------------
+
+   The checkpoint captures the deterministic wave scheduler's complete
+   search state at a wave barrier: the (post-presolve) model, the
+   search-shaping options, the open-node frontier with bounds and
+   warm-start bases, the incumbent, the pseudocost tables, the worker
+   PRNG stream positions and the run manifest. Two representation
+   choices carry the determinism-under-resume contract:
+
+   - every float travels as a hexadecimal literal ("%h"), so bounds,
+     coefficients, scores and PRNG-derived values round-trip
+     bit-exactly — resumed arithmetic starts from the very same bits;
+
+   - the heap is stored as its verbatim internal array (Heap.snapshot
+     / Heap.restore), not as a sorted drain: a rebuild by re-pushing
+     would reorder equal keys and change which of two tied nodes is
+     expanded first.
+
+   The container (header, checksum trailer, atomic tmp-then-rename
+   replace) is Monpos_resilience.Checkpoint; this block only encodes
+   and decodes the body lines. *)
+
+let ck_magic = "monpos-mip-checkpoint"
+
+let ck_version = 1
+
+(* everything [resume] needs to restart [solve_gen] mid-search *)
+type saved = {
+  s_path : string;
+  s_options : options;
+  s_model : Model.t;
+  s_elapsed : float;
+  s_nodes : int;
+  s_next_seq : int;
+  s_best_open : float;
+  s_stopped : bool;
+  s_deadline_stop : bool;
+  s_infeasible_root : bool;
+  s_incumbent : Incumbent.cand option;
+  s_pc : (int * float * int * float * int) list;
+  s_prngs : (int64 * int64) array;
+  s_heap_keys : float array;
+  s_heap_nodes : node array;
+}
+
+let ck_float = Printf.sprintf "%h"
+
+let ck_b b = if b then "1" else "0"
+
+let ck_encode ~model ~options ~elapsed ~nodes ~next_seq ~best_open ~stopped
+    ~deadline_stop ~infeasible_root ~incumbent ~pc ~prngs ~queue =
+  let n = Model.num_vars model in
+  let lines = ref [] in
+  let add l = lines := l :: !lines in
+  let buf = Buffer.create 256 in
+  let flush_line () =
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    add s
+  in
+  add
+    (Printf.sprintf "dir %s"
+       (match Model.direction model with
+       | Model.Minimize -> "min"
+       | Model.Maximize -> "max"));
+  add
+    (Printf.sprintf "opts %s %s %s %d %s %s %d"
+       (match options.branching with
+       | Pseudocost -> "pc"
+       | Most_fractional -> "mf")
+       (ck_float options.gap_tolerance)
+       (ck_float options.integrality_tol)
+       options.heuristic_period (ck_b options.warm_start)
+       (match options.kernel with
+       | Simplex.Sparse_lu -> "sparse"
+       | Simplex.Dense -> "dense")
+       options.wave);
+  add (Printf.sprintf "elapsed %s" (ck_float elapsed));
+  add (Printf.sprintf "vars %d" n);
+  for v = 0 to n - 1 do
+    let hv = Model.var_of_index model v in
+    add
+      (Printf.sprintf "v %s %s %s %s"
+         (ck_float (Model.var_lb model hv))
+         (ck_float (Model.var_ub model hv))
+         (ck_float (Model.var_obj model hv))
+         (match Model.var_kind model hv with
+         | Model.Continuous -> "c"
+         | Model.Integer -> "i"
+         | Model.Binary -> "b"))
+  done;
+  add (Printf.sprintf "constrs %d" (Model.num_constrs model));
+  Model.iter_constrs model (fun _ terms sense rhs ->
+      Buffer.add_string buf "c ";
+      Buffer.add_string buf
+        (match sense with Model.Le -> "le" | Model.Ge -> "ge" | Model.Eq -> "eq");
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (ck_float rhs);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (List.length terms));
+      List.iter
+        (fun (c, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (ck_float c);
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int v))
+        terms;
+      flush_line ());
+  add
+    (Printf.sprintf "state %d %d %s %s %s %s" nodes next_seq
+       (ck_float best_open) (ck_b stopped) (ck_b deadline_stop)
+       (ck_b infeasible_root));
+  (match incumbent with
+  | None -> add "inc none"
+  | Some c ->
+    Buffer.add_string buf "inc ";
+    Buffer.add_string buf (ck_float c.Incumbent.score);
+    let k1, k2 = c.Incumbent.key in
+    Buffer.add_string buf
+      (Printf.sprintf " %d %d %d" k1 k2 (Array.length c.Incumbent.x));
+    Array.iter
+      (fun x ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (ck_float x))
+      c.Incumbent.x;
+    flush_line ());
+  for v = 0 to n - 1 do
+    if pc.pc_down_n.(v) > 0 || pc.pc_up_n.(v) > 0 then
+      add
+        (Printf.sprintf "pc %d %s %d %s %d" v
+           (ck_float pc.pc_down.(v))
+           pc.pc_down_n.(v)
+           (ck_float pc.pc_up.(v))
+           pc.pc_up_n.(v))
+  done;
+  add (Printf.sprintf "prngs %d" (Array.length prngs));
+  Array.iteri
+    (fun w g ->
+      let s, gm = Prng.state g in
+      add (Printf.sprintf "g %d %Ld %Ld" w s gm))
+    prngs;
+  let keys, frontier = H.snapshot queue in
+  add (Printf.sprintf "heap %d" (Array.length keys));
+  Array.iteri
+    (fun i key ->
+      let nd = frontier.(i) in
+      Buffer.add_string buf "h ";
+      Buffer.add_string buf (ck_float key);
+      Buffer.add_string buf (Printf.sprintf " %d %d" nd.seq nd.depth);
+      (match nd.branched with
+      | None -> Buffer.add_string buf " -"
+      | Some (v, dir, score, frac) ->
+        Buffer.add_string buf
+          (Printf.sprintf " %d %s %s %s" v
+             (match dir with `Down -> "d" | `Up -> "u")
+             (ck_float score) (ck_float frac)));
+      (match nd.start_basis with
+      | None -> Buffer.add_string buf " -"
+      | Some b ->
+        Buffer.add_string buf (Printf.sprintf " %d" (Array.length b));
+        Array.iter
+          (fun bi ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (string_of_int bi))
+          b);
+      Array.iter
+        (fun x ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (ck_float x))
+        nd.lower;
+      Array.iter
+        (fun x ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (ck_float x))
+        nd.upper;
+      flush_line ())
+    keys;
+  (* the run manifest rides along verbatim, so a checkpoint identifies
+     the run (host, argv, git revision) that produced it *)
+  (match Status.manifest () with
+  | Some j -> add ("manifest " ^ Json.to_string j)
+  | None -> ());
+  List.rev !lines
+
+let ck_decode ~path body =
+  let arr = Array.of_list body in
+  (* body line [i] sits at file line [i + 2]: line 1 is the header *)
+  let fail i msg = Error.parse_error ~file:path ~line:(i + 2) msg in
+  let idx = ref 0 in
+  let peek () = if !idx < Array.length arr then Some arr.(!idx) else None in
+  let next what =
+    match peek () with
+    | Some l ->
+      incr idx;
+      (l, !idx - 1)
+    | None -> fail (Array.length arr) ("truncated checkpoint: wanted " ^ what)
+  in
+  let toks what =
+    let l, i = next what in
+    (String.split_on_char ' ' l, i)
+  in
+  let pfloat i s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> fail i (Printf.sprintf "bad float %S" s)
+  in
+  let pint i s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail i (Printf.sprintf "bad int %S" s)
+  in
+  let pint64 i s =
+    match Int64.of_string_opt s with
+    | Some v -> v
+    | None -> fail i (Printf.sprintf "bad int64 %S" s)
+  in
+  let pbool i s =
+    match s with
+    | "1" -> true
+    | "0" -> false
+    | _ -> fail i (Printf.sprintf "bad flag %S" s)
+  in
+  let direction =
+    match toks "dir" with
+    | [ "dir"; "min" ], _ -> Model.Minimize
+    | [ "dir"; "max" ], _ -> Model.Maximize
+    | _, i -> fail i "bad dir record"
+  in
+  let s_options =
+    match toks "opts" with
+    | [ "opts"; br; gap; itol; heur; warm; kernel; wave ], i ->
+      {
+        default_options with
+        branching =
+          (match br with
+          | "pc" -> Pseudocost
+          | "mf" -> Most_fractional
+          | _ -> fail i (Printf.sprintf "bad branching %S" br));
+        gap_tolerance = pfloat i gap;
+        integrality_tol = pfloat i itol;
+        heuristic_period = pint i heur;
+        warm_start = pbool i warm;
+        kernel =
+          (match kernel with
+          | "sparse" -> Simplex.Sparse_lu
+          | "dense" -> Simplex.Dense
+          | _ -> fail i (Printf.sprintf "bad kernel %S" kernel));
+        wave = pint i wave;
+        presolve = false;
+        deterministic = true;
+      }
+    | _, i -> fail i "bad opts record"
+  in
+  let s_elapsed =
+    match toks "elapsed" with
+    | [ "elapsed"; e ], i -> pfloat i e
+    | _, i -> fail i "bad elapsed record"
+  in
+  let n =
+    match toks "vars" with
+    | [ "vars"; n ], i -> pint i n
+    | _, i -> fail i "bad vars record"
+  in
+  let model = Model.create ~name:"resumed" direction in
+  for _ = 1 to n do
+    match toks "v" with
+    | [ "v"; lb; ub; obj; kind ], i ->
+      let kind =
+        match kind with
+        | "c" -> Model.Continuous
+        | "i" -> Model.Integer
+        | "b" -> Model.Binary
+        | _ -> fail i (Printf.sprintf "bad var kind %S" kind)
+      in
+      ignore
+        (Model.add_var model ~lb:(pfloat i lb) ~ub:(pfloat i ub)
+           ~obj:(pfloat i obj) kind)
+    | _, i -> fail i "bad v record"
+  done;
+  let m =
+    match toks "constrs" with
+    | [ "constrs"; m ], i -> pint i m
+    | _, i -> fail i "bad constrs record"
+  in
+  for _ = 1 to m do
+    match toks "c" with
+    | "c" :: sense :: rhs :: k :: rest, i ->
+      let sense =
+        match sense with
+        | "le" -> Model.Le
+        | "ge" -> Model.Ge
+        | "eq" -> Model.Eq
+        | _ -> fail i (Printf.sprintf "bad sense %S" sense)
+      in
+      let k = pint i k in
+      let rec take acc j rest =
+        if j = k then (List.rev acc, rest)
+        else
+          match rest with
+          | c :: v :: rest ->
+            take
+              ((pfloat i c, Model.var_of_index model (pint i v)) :: acc)
+              (j + 1) rest
+          | _ -> fail i "truncated constraint terms"
+      in
+      let terms, rest = take [] 0 rest in
+      if rest <> [] then fail i "trailing constraint tokens";
+      Model.add_constr model terms sense (pfloat i rhs)
+    | _, i -> fail i "bad c record"
+  done;
+  let s_nodes, s_next_seq, s_best_open, s_stopped, s_deadline_stop,
+      s_infeasible_root =
+    match toks "state" with
+    | [ "state"; nodes; seq; best; stopped; dstop; infroot ], i ->
+      ( pint i nodes,
+        pint i seq,
+        pfloat i best,
+        pbool i stopped,
+        pbool i dstop,
+        pbool i infroot )
+    | _, i -> fail i "bad state record"
+  in
+  let s_incumbent =
+    match toks "inc" with
+    | [ "inc"; "none" ], _ -> None
+    | "inc" :: score :: k1 :: k2 :: len :: rest, i ->
+      let len = pint i len in
+      if List.length rest <> len then fail i "truncated incumbent vector";
+      let x = Array.of_list (List.map (pfloat i) rest) in
+      Some
+        { Incumbent.score = pfloat i score; key = (pint i k1, pint i k2); x }
+    | _, i -> fail i "bad inc record"
+  in
+  let rec pc_rows acc =
+    match peek () with
+    | Some l when String.length l > 3 && String.sub l 0 3 = "pc " -> (
+      match toks "pc" with
+      | [ "pc"; v; d; dn; u; un ], i ->
+        pc_rows ((pint i v, pfloat i d, pint i dn, pfloat i u, pint i un) :: acc)
+      | _, i -> fail i "bad pc record")
+    | _ -> List.rev acc
+  in
+  let s_pc = pc_rows [] in
+  let nprngs =
+    match toks "prngs" with
+    | [ "prngs"; c ], i -> pint i c
+    | _, i -> fail i "bad prngs record"
+  in
+  let s_prngs =
+    Array.init nprngs (fun w ->
+        match toks "g" with
+        | [ "g"; slot; st; gm ], i ->
+          if pint i slot <> w then fail i "prng slots out of order";
+          (pint64 i st, pint64 i gm)
+        | _, i -> fail i "bad g record")
+  in
+  let hlen =
+    match toks "heap" with
+    | [ "heap"; c ], i -> pint i c
+    | _, i -> fail i "bad heap record"
+  in
+  let s_heap_keys = Array.make hlen 0.0 in
+  let dummy =
+    {
+      lower = [||];
+      upper = [||];
+      depth = 0;
+      seq = 0;
+      branched = None;
+      start_basis = None;
+    }
+  in
+  let s_heap_nodes = Array.make hlen dummy in
+  for slot = 0 to hlen - 1 do
+    match toks "h" with
+    | "h" :: key :: seq :: depth :: rest, i ->
+      let branched, rest =
+        match rest with
+        | "-" :: rest -> (None, rest)
+        | v :: d :: score :: frac :: rest ->
+          let dir =
+            match d with
+            | "d" -> `Down
+            | "u" -> `Up
+            | _ -> fail i (Printf.sprintf "bad branch direction %S" d)
+          in
+          (Some (pint i v, dir, pfloat i score, pfloat i frac), rest)
+        | _ -> fail i "truncated node record"
+      in
+      let start_basis, rest =
+        match rest with
+        | "-" :: rest -> (None, rest)
+        | sz :: rest ->
+          let sz = pint i sz in
+          let b = Array.make sz 0 in
+          let rec take j rest =
+            if j = sz then rest
+            else
+              match rest with
+              | x :: rest ->
+                b.(j) <- pint i x;
+                take (j + 1) rest
+              | [] -> fail i "truncated basis"
+          in
+          (Some b, take 0 rest)
+        | [] -> fail i "truncated node record"
+      in
+      let floats count what rest =
+        let a = Array.make count 0.0 in
+        let rec take j rest =
+          if j = count then rest
+          else
+            match rest with
+            | x :: rest ->
+              a.(j) <- pfloat i x;
+              take (j + 1) rest
+            | [] -> fail i ("truncated " ^ what)
+        in
+        (a, take 0 rest)
+      in
+      let lower, rest = floats n "node lower bounds" rest in
+      let upper, rest = floats n "node upper bounds" rest in
+      if rest <> [] then fail i "trailing node tokens";
+      s_heap_keys.(slot) <- pfloat i key;
+      s_heap_nodes.(slot) <-
+        {
+          lower;
+          upper;
+          depth = pint i depth;
+          seq = pint i seq;
+          branched;
+          start_basis;
+        }
+    | _, i -> fail i "bad h record"
+  done;
+  (* optional trailing manifest line: informational, not restored *)
+  (match peek () with
+  | Some l when String.length l >= 9 && String.sub l 0 9 = "manifest " ->
+    incr idx
+  | _ -> ());
+  if !idx <> Array.length arr then
+    fail !idx "trailing records after checkpoint body";
+  {
+    s_path = path;
+    s_options;
+    s_model = model;
+    s_elapsed;
+    s_nodes;
+    s_next_seq;
+    s_best_open;
+    s_stopped;
+    s_deadline_stop;
+    s_infeasible_root;
+    s_incumbent;
+    s_pc;
+    s_prngs;
+    s_heap_keys;
+    s_heap_nodes;
+  }
+
+(* chaos site [process.kill]: a self-delivered SIGKILL right after a
+   durable checkpoint write — the harshest crash the checkpoint layer
+   claims to survive, placed at the exact moment the claim is
+   strongest. Gated behind MONPOS_CHAOS_KILL because a stray fire
+   would take the whole test runner down with it. With the chaos
+   lottery armed the site draws from its per-site stream; without it
+   the kill is deterministic on the first write — which is what the
+   CI crash/resume identity check uses, keeping chaos draws out of
+   the bit-identity comparison. *)
+let kill_armed = lazy (Sys.getenv_opt "MONPOS_CHAOS_KILL" <> None)
+
+let process_kill_site () =
+  if Lazy.force kill_armed then begin
+    let fire =
+      if Chaos.active () then
+        Chaos.fire ~scoped:false ~site:"process.kill" ~p:0.5 ()
+      else true
+    in
+    if fire then Unix.kill (Unix.getpid ()) Sys.sigkill
+  end
+
+(* The one search routine behind both [solve] and [resume]: [restore]
+   carries a decoded checkpoint, and every piece of search state below
+   initializes from it when present. *)
+let solve_gen ~options ~(restore : saved option) model =
   Monpos_obs.Span.run "mip.solve" @@ fun () ->
   Status.with_phase "mip.solve" @@ fun () ->
   let sink = Trace.current () in
@@ -396,6 +1001,13 @@ let solve ?(options = default_options) model =
       options.time_limit *. 0.1
     else options.time_limit
   in
+  (* a resumed run inherits the original run's wall-clock budget minus
+     what it had already consumed, so crash/resume cycles cannot
+     stretch a time-limited solve without bound *)
+  let elapsed_base =
+    match restore with Some s -> s.s_elapsed | None -> 0.0
+  in
+  let budget = Float.max 0.001 (budget -. elapsed_base) in
   let deadline = Deadline.of_budget budget in
   let deadline_stop = ref false in
   (* Root presolve: every reduction is exact and preserves variable
@@ -418,6 +1030,7 @@ let solve ?(options = default_options) model =
       nodes = 0;
       gap = infinity;
       deadline_hit = false;
+      preempted = false;
     }
   else begin
   let problem = Simplex.of_model model in
@@ -526,6 +1139,13 @@ let solve ?(options = default_options) model =
       if !best = -1 then None else Some !best
   in
   let incumbent = Incumbent.create () in
+  (* a restored incumbent re-enters the lattice silently: it was
+     already counted, traced and logged by the run that found it *)
+  let () =
+    match restore with
+    | Some { s_incumbent = Some c; _ } -> ignore (Incumbent.publish incumbent c)
+    | _ -> ()
+  in
   let inc_score_now () =
     match Incumbent.get incumbent with
     | Some c -> c.Incumbent.score
@@ -648,8 +1268,15 @@ let solve ?(options = default_options) model =
      deterministic to construct, irrelevant to results (stealing only
      moves a node between domains) *)
   let worker_prngs =
-    let base = Prng.create 0x6d6f6e50 in
-    Array.init jobs (fun _ -> Prng.split base)
+    (* restored positions keep the steal streams where the crashed run
+       left them; on a jobs mismatch fresh streams are equally valid —
+       steal order never affects results *)
+    match restore with
+    | Some s when Array.length s.s_prngs = jobs ->
+      Array.map Prng.of_state s.s_prngs
+    | _ ->
+      let base = Prng.create 0x6d6f6e50 in
+      Array.init jobs (fun _ -> Prng.split base)
   in
   let root =
     {
@@ -663,11 +1290,32 @@ let solve ?(options = default_options) model =
       start_basis = None;
     }
   in
-  let nodes = ref 0 in
-  let best_open_bound = ref neg_infinity in
+  let nodes = ref (match restore with Some s -> s.s_nodes | None -> 0) in
+  let best_open_bound =
+    ref (match restore with Some s -> s.s_best_open | None -> neg_infinity)
+  in
   let root_unbounded = ref false in
-  let infeasible_root = ref true in
-  let stopped_at_limit = ref false in
+  let infeasible_root =
+    ref (match restore with Some s -> s.s_infeasible_root | None -> true)
+  in
+  (* Two tiers of stop flags. [merge_*] is what checkpoints persist:
+     stops observed at merges (node iteration limits, in-flight
+     deadline hits) are genuine search state that must survive a
+     resume. A halt caused by this run's own max_nodes cut, deadline
+     or preemption is an artifact of the interruption — the resumed
+     run keeps searching — so it is absorbed only by the outer
+     [stopped_at_limit]/[deadline_stop] flags that drive this run's
+     result. Persisting the outer flags would permanently poison a
+     resumed result's status. *)
+  let merge_stopped =
+    ref (match restore with Some s -> s.s_stopped | None -> false)
+  in
+  let merge_deadline =
+    ref (match restore with Some s -> s.s_deadline_stop | None -> false)
+  in
+  let stopped_at_limit = ref !merge_stopped in
+  let () = if !merge_deadline then deadline_stop := true in
+  let preempted = ref false in
 
   (* -------------- deterministic wave scheduler -------------------
 
@@ -683,9 +1331,27 @@ let solve ?(options = default_options) model =
      bound and gap are therefore identical for every [jobs] value. *)
   let solve_deterministic () =
     let queue = H.create () in
-    H.push queue neg_infinity root;
     let next_seq = ref 1 in
     let pc = pc_create n in
+    (match restore with
+    | Some s ->
+      (* verbatim internal arrays: pop order among equal keys is part
+         of the determinism contract (see Heap.snapshot) *)
+      H.restore queue s.s_heap_keys s.s_heap_nodes;
+      next_seq := s.s_next_seq;
+      List.iter
+        (fun (v, d, dn, u, un) ->
+          if v >= 0 && v < n then begin
+            pc.pc_down.(v) <- d;
+            pc.pc_down_n.(v) <- dn;
+            pc.pc_up.(v) <- u;
+            pc.pc_up_n.(v) <- un
+          end)
+        s.s_pc;
+      if Trace.enabled sink then
+        Trace.checkpoint_resume sink ~path:s.s_path ~nodes:s.s_nodes
+          ~frontier:(H.size queue)
+    | None -> H.push queue neg_infinity root);
     let process_task (t : task) =
       (* Scoped chaos is suppressed during node processing: a fault
          injected into one node LP (say a singular warm basis) is
@@ -725,7 +1391,10 @@ let solve ?(options = default_options) model =
     in
     let inline_nodes = lazy (m_nodes_w 0) in
     let pool =
-      lazy (create_pool ~jobs ~prngs:worker_prngs ~process:process_task ~sink)
+      lazy
+        (create_pool ~jobs ~prngs:worker_prngs
+           ~process:(fun _w t -> process_task t)
+           ~sink)
     in
     let process_inline t =
       process_task t;
@@ -754,11 +1423,14 @@ let solve ?(options = default_options) model =
            would loop, so give up on this subtree pessimistically by
            keeping it open in the bound accounting *)
         best_open_bound := min !best_open_bound t.t_bound;
+        merge_stopped := true;
         stopped_at_limit := true
       | O_deadline ->
         (* same pessimistic accounting; the collection loop notices
            the expired deadline on the next wave *)
         best_open_bound := min !best_open_bound t.t_bound;
+        merge_stopped := true;
+        merge_deadline := true;
         stopped_at_limit := true;
         deadline_stop := true
       | O_unbounded ->
@@ -831,69 +1503,130 @@ let solve ?(options = default_options) model =
               H.push queue score down;
             if up.lower.(v) <= up.upper.(v) +. 1e-9 then H.push queue score up)
     in
+    (* Checkpoint writes happen here — at a wave barrier, on the
+       coordinating domain, with no task in flight — so the heap, the
+       pseudocosts and [next_seq] are a consistent snapshot of the
+       search. [merge_*] (not the outer stop flags) are what goes to
+       disk; see their definition above. *)
+    let last_ck = ref (Clock.now ()) in
+    let ck_seconds = ref 0.0 in
+    let write_checkpoint () =
+      match options.checkpoint with
+      | None -> ()
+      | Some path ->
+        let t0 = Clock.now () in
+        let lines =
+          ck_encode ~model ~options
+            ~elapsed:(elapsed_base +. Deadline.elapsed deadline)
+            ~nodes:!nodes ~next_seq:!next_seq ~best_open:!best_open_bound
+            ~stopped:!merge_stopped ~deadline_stop:!merge_deadline
+            ~infeasible_root:!infeasible_root
+            ~incumbent:(Incumbent.get incumbent)
+            ~pc ~prngs:worker_prngs ~queue
+        in
+        Ckpt.write ~path ~magic:ck_magic ~version:ck_version lines;
+        let dt = Clock.now () -. t0 in
+        ck_seconds := !ck_seconds +. dt;
+        Metrics.incr (Lazy.force m_ck_writes);
+        Metrics.set (Lazy.force m_g_ck_clock) (Clock.now ());
+        Metrics.set (Lazy.force m_g_ck_seconds) !ck_seconds;
+        if Trace.enabled sink then
+          Trace.checkpoint_write sink ~path ~nodes:!nodes
+            ~frontier:(H.size queue) ~seconds:dt;
+        last_ck := Clock.now ();
+        process_kill_site ()
+    in
     Fun.protect
       ~finally:(fun () -> if Lazy.is_val pool then shutdown (Lazy.force pool))
     @@ fun () ->
     while !searching do
-      let halt = ref false in
-      let rev_tasks = ref [] in
-      let count = ref 0 in
-      let filling = ref true in
-      while !filling && !count < wave_size do
-        match H.pop_min queue with
-        | None -> filling := false
-        | Some (parent_bound, node) ->
-          if !nodes >= options.max_nodes || Deadline.expired deadline then begin
-            if Deadline.expired deadline then deadline_stop := true;
-            stopped_at_limit := true;
-            best_open_bound := min !best_open_bound parent_bound;
-            halt := true;
-            filling := false
-          end
-          else if within_gap_of_incumbent parent_bound then begin
-            (* best-first: every remaining node is at least as bad *)
-            if Trace.enabled sink then
-              Trace.bound_pruned sink ~solver:"mip" ~node:!nodes
-                ~bound:(of_score parent_bound)
-                ~incumbent:(of_score (inc_score_now ()));
-            best_open_bound := min !best_open_bound parent_bound;
-            halt := true;
-            filling := false
-          end
-          else begin
-            incr nodes;
-            incr count;
-            Metrics.incr (Lazy.force m_nodes);
-            publish_bound_watermark parent_bound;
-            if Trace.enabled sink then begin
-              let w = Sampler.decide Sampler.Bb_node in
-              if w > 0 then
-                Trace.bb_node sink ~sampled_of:w ~solver:"mip" ~node:!nodes
-                  ~depth:node.depth ~bound:(of_score parent_bound) ()
-            end;
-            let t_dive =
-              options.heuristic_period > 0
-              && (!nodes = 1 || !nodes mod options.heuristic_period = 0)
-            in
-            rev_tasks :=
-              {
-                t_node = node;
-                t_bound = parent_bound;
-                t_num = !nodes;
-                t_dive;
-                t_outcome = O_pending;
-              }
-              :: !rev_tasks
-          end
-      done;
-      let tasks = List.rev !rev_tasks in
-      if tasks = [] && not !halt then searching := false
+      if Preempt.requested () then begin
+        (* cooperative preemption lands exactly like a node-budget
+           stop: the incumbent and the certified bound remain valid,
+           and the final checkpoint below captures the frontier *)
+        preempted := true;
+        stopped_at_limit := true;
+        searching := false;
+        if Trace.enabled sink then
+          Trace.preempt_stop sink ~phase:"mip" ~nodes:!nodes;
+        Flightrec.trigger ~reason:"preempt"
+      end
       else begin
-        run_tasks tasks;
-        List.iter merge tasks;
-        if !halt then searching := false
+        let halt = ref false in
+        let rev_tasks = ref [] in
+        let count = ref 0 in
+        let filling = ref true in
+        while !filling && !count < wave_size do
+          match H.min queue with
+          | None -> filling := false
+          | Some (parent_bound, node) ->
+            if !nodes >= options.max_nodes || Deadline.expired deadline
+            then begin
+              (* peek, don't pop: the node stays on the heap so the
+                 final checkpoint and the post-loop drain both see the
+                 complete frontier *)
+              if Deadline.expired deadline then deadline_stop := true;
+              stopped_at_limit := true;
+              halt := true;
+              filling := false
+            end
+            else if within_gap_of_incumbent parent_bound then begin
+              (* best-first: every remaining node is at least as bad *)
+              ignore (H.pop_min queue);
+              if Trace.enabled sink then
+                Trace.bound_pruned sink ~solver:"mip" ~node:!nodes
+                  ~bound:(of_score parent_bound)
+                  ~incumbent:(of_score (inc_score_now ()));
+              best_open_bound := min !best_open_bound parent_bound;
+              halt := true;
+              filling := false
+            end
+            else begin
+              ignore (H.pop_min queue);
+              incr nodes;
+              incr count;
+              Metrics.incr (Lazy.force m_nodes);
+              publish_bound_watermark parent_bound;
+              if Trace.enabled sink then begin
+                let w = Sampler.decide Sampler.Bb_node in
+                if w > 0 then
+                  Trace.bb_node sink ~sampled_of:w ~solver:"mip" ~node:!nodes
+                    ~depth:node.depth ~bound:(of_score parent_bound) ()
+              end;
+              let t_dive =
+                options.heuristic_period > 0
+                && (!nodes = 1 || !nodes mod options.heuristic_period = 0)
+              in
+              rev_tasks :=
+                {
+                  t_node = node;
+                  t_bound = parent_bound;
+                  t_num = !nodes;
+                  t_dive;
+                  t_tries = 0;
+                  t_outcome = O_pending;
+                }
+                :: !rev_tasks
+            end
+        done;
+        let tasks = List.rev !rev_tasks in
+        if tasks = [] && not !halt then searching := false
+        else begin
+          run_tasks tasks;
+          List.iter merge tasks;
+          if !halt then searching := false;
+          if
+            !searching
+            && options.checkpoint <> None
+            && Clock.now () -. !last_ck >= options.checkpoint_every
+          then write_checkpoint ()
+        end
       end
     done;
+    (* interrupted (budget, deadline or preemption): one final
+       checkpoint before the heap is drained, so a resume restarts
+       from exactly this barrier *)
+    if !stopped_at_limit then write_checkpoint ();
     (* fold any still-queued nodes into the bound *)
     if !stopped_at_limit then begin
       let rec drain () =
@@ -926,6 +1659,7 @@ let solve ?(options = default_options) model =
     let a_limit = Atomic.make false in
     let a_deadline = Atomic.make false in
     let a_unbounded = Atomic.make false in
+    let a_preempt = Atomic.make false in
     let a_feasible = Atomic.make false in
     let a_failure : exn option Atomic.t = Atomic.make None in
     let deques = Array.init jobs (fun _ -> Wsdeque.create ()) in
@@ -948,9 +1682,12 @@ let solve ?(options = default_options) model =
     let process_node w (node, parent_bound) =
       if Atomic.get a_halt then fold w parent_bound
       else if
-        Atomic.get a_nodes >= options.max_nodes || Deadline.expired deadline
+        Atomic.get a_nodes >= options.max_nodes
+        || Deadline.expired deadline
+        || Preempt.requested ()
       then begin
         if Deadline.expired deadline then Atomic.set a_deadline true;
+        if Preempt.requested () then Atomic.set a_preempt true;
         Atomic.set a_limit true;
         Atomic.set a_halt true;
         fold w parent_bound
@@ -1116,6 +1853,15 @@ let solve ?(options = default_options) model =
     nodes := Atomic.get a_nodes;
     if Atomic.get a_limit then stopped_at_limit := true;
     if Atomic.get a_deadline then deadline_stop := true;
+    if Atomic.get a_preempt then begin
+      (* no checkpoint in async mode: the tree shape is schedule-
+         dependent, so there is no consistent frontier to persist —
+         the incumbent and certified gap are still reported *)
+      preempted := true;
+      if Trace.enabled sink then
+        Trace.preempt_stop sink ~phase:"mip" ~nodes:!nodes;
+      Flightrec.trigger ~reason:"preempt"
+    end;
     if Atomic.get a_unbounded then root_unbounded := true;
     if Atomic.get a_feasible then infeasible_root := false;
     let fb = Array.fold_left min infinity folded in
@@ -1172,8 +1918,41 @@ let solve ?(options = default_options) model =
     nodes = !nodes;
     gap = (if status = Optimal then 0.0 else gap);
     deadline_hit = !deadline_stop;
+    preempted = !preempted;
   }
   end
+
+let solve ?(options = default_options) model =
+  solve_gen ~options ~restore:None model
+
+(* Options split on resume: the checkpoint owns everything that shapes
+   the search tree (branching rule, tolerances, heuristic period, warm
+   start, kernel, wave size) — honoring caller overrides there would
+   silently break the bit-identity contract. The caller keeps the
+   run-environment knobs: jobs (results are jobs-invariant), budgets,
+   logging and where the next checkpoint goes (defaulting to
+   overwriting the file being resumed). *)
+let resume ?(options = default_options) path =
+  let version, body = Ckpt.load ~path ~magic:ck_magic in
+  if version <> ck_version then
+    Error.parse_error ~file:path ~line:1
+      (Printf.sprintf
+         "unsupported checkpoint version %d (this build reads version %d)"
+         version ck_version);
+  let s = ck_decode ~path body in
+  let options =
+    {
+      s.s_options with
+      jobs = options.jobs;
+      max_nodes = options.max_nodes;
+      time_limit = options.time_limit;
+      log = options.log;
+      checkpoint =
+        (match options.checkpoint with None -> Some path | c -> c);
+      checkpoint_every = options.checkpoint_every;
+    }
+  in
+  solve_gen ~options ~restore:(Some s) s.s_model
 
 (* Shared by every caller that needs a typed error out of a result
    that carries no usable solution: infeasibility and unboundedness

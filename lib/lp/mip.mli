@@ -87,6 +87,20 @@ type options = {
           Larger waves expose more parallelism; the value changes which
           tree is explored but is independent of [jobs], so any fixed
           [wave] preserves the determinism contract. *)
+  checkpoint : string option;
+      (** write crash-recovery checkpoints of the search state to this
+          path (default [None]: no checkpoints). Deterministic mode
+          only — the async scheduler has no consistent frontier to
+          persist. Writes are atomic (tmp file + rename) and happen at
+          wave barriers, so a reader never sees a torn file and a
+          crash at any instant leaves either the previous or the new
+          checkpoint intact. A final checkpoint is written when the
+          solve stops at a limit or is preempted. See {!resume} and
+          DESIGN.md §16. *)
+  checkpoint_every : float;
+      (** minimum wall-clock seconds between periodic checkpoint
+          writes (default 60.; [0.] checkpoints at every wave — for
+          tests and crash drills; ignored when [checkpoint = None]) *)
   log : bool;  (** print a search trace to stderr *)
 }
 
@@ -151,12 +165,42 @@ type result = {
       (** the wall-clock [time_limit] expired (between nodes or inside
           a node LP) — distinguishes a time-bounded stop from a
           node-budget stop for the degradation ladder *)
+  preempted : bool;
+      (** the solve stopped cooperatively because
+          {!Monpos_resilience.Preempt.requested} became true (SIGINT /
+          SIGTERM with the handler installed). The incumbent, bound
+          and gap are still valid; with [checkpoint] set, a final
+          checkpoint captures the frontier for {!resume}. *)
 }
 
 val solve : ?options:options -> Model.t -> result
 (** Solve the model to optimality (or to its limits). Integrality of
     [Integer]/[Binary] variables is enforced; [Continuous] variables
     are free to take fractional values. *)
+
+val resume : ?options:options -> string -> result
+(** [resume path] loads the checkpoint at [path] and continues the
+    search to completion (or to this run's limits). The search-shaping
+    options are read from the checkpoint — branching rule, tolerances,
+    heuristic period, warm start, kernel, wave size — because honoring
+    overrides there would change the explored tree; [options] supplies
+    only the run-environment knobs: [jobs], [max_nodes], [time_limit]
+    (interpreted as the original run's total budget: the checkpoint's
+    recorded elapsed time is subtracted), [log], [checkpoint] (default:
+    overwrite [path]) and [checkpoint_every].
+
+    Determinism contract: for a deterministic-mode solve interrupted at
+    any wave barrier — including a [SIGKILL] between barriers, which
+    leaves the last atomic checkpoint — resuming yields bit-identical
+    [status]/[objective]/[solution]/[bound]/[gap] and the same total
+    [nodes] as the uninterrupted run, for any [jobs] value on both
+    sides. Floats round-trip through the file as hexadecimal literals
+    and the frontier heap is restored verbatim, so resumed arithmetic
+    starts from exactly the interrupted run's bits.
+
+    Raises {!Monpos_resilience.Error.Error}: [Io_error] when [path]
+    cannot be read, [Parse_error] (with a line number) on truncation,
+    checksum mismatch or an unsupported format version. *)
 
 val fail : ?options:options -> stage:string -> result -> 'a
 (** Raise the {!Monpos_resilience.Error.Error} that best describes why

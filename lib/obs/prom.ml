@@ -488,15 +488,20 @@ let content_type_prom = "text/plain; version=0.0.4; charset=utf-8"
 (* One request per connection, strictly sequential: a scrape endpoint
    for one Prometheus server does not need concurrency, and a
    single-threaded loop cannot corrupt the registry it snapshots. *)
-let serve ?max_requests ?namespace ~registry fd =
+let serve ?max_requests ?(should_stop = fun () -> false) ?namespace ~registry
+    fd =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let served = ref 0 in
   let continue () =
-    match max_requests with None -> true | Some m -> !served < m
+    (not (should_stop ()))
+    && match max_requests with None -> true | Some m -> !served < m
   in
   while continue () do
     match Unix.accept fd with
+    (* a signal (SIGINT/SIGTERM under graceful shutdown) interrupts
+       the blocking accept with EINTR; re-checking the loop condition
+       is what turns the signal into a clean exit *)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | client, _ ->
       Fun.protect
@@ -522,4 +527,5 @@ let serve ?max_requests ?namespace ~registry fd =
             respond client "404 Not Found" "text/plain"
               "try /metrics, /healthz or /statusz\n");
       incr served
-  done
+  done;
+  !served

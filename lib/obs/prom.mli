@@ -36,11 +36,22 @@ val bound_port : Unix.file_descr -> int
 (** The actual bound port (useful after [listen "127.0.0.1:0"]). *)
 
 val serve :
-  ?max_requests:int -> ?namespace:string -> registry:Metrics.t -> Unix.file_descr -> unit
+  ?max_requests:int ->
+  ?should_stop:(unit -> bool) ->
+  ?namespace:string ->
+  registry:Metrics.t ->
+  Unix.file_descr ->
+  int
 (** Single-threaded accept loop: answers [GET /metrics] (and [/]) with
     a fresh snapshot of [registry], [GET /healthz] with a liveness
     body, [GET /statusz] with the live {!Status.to_json} document
     (run manifest, uptime, phase, solver watermarks), and [404]
-    elsewhere. Runs forever unless [max_requests] bounds it (used by
-    tests and smoke jobs). Ignores [SIGPIPE] so dropped scrapes do not
-    kill the process. *)
+    elsewhere. Returns the number of requests served. Runs forever
+    unless [max_requests] bounds it (used by tests and smoke jobs) or
+    [should_stop] answers true — the predicate is re-checked after
+    every request and after any [EINTR]-interrupted accept, which is
+    how a SIGINT/SIGTERM handler that merely sets a flag (see
+    {!Monpos_resilience.Preempt} in the resilience layer) turns into a
+    graceful shutdown: the signal interrupts the blocking accept, the
+    loop re-checks, and the caller closes the socket and exits 0.
+    Ignores [SIGPIPE] so dropped scrapes do not kill the process. *)

@@ -95,6 +95,20 @@ let to_json ?(registry = Metrics.default) () =
             ("overhead_seconds", Json.Float (overhead ()));
             ("trace_sample_threshold", Json.Int (Sampler.threshold ()));
           ] );
+      (* checkpoint age is the operator's staleness signal: how much
+         search would be lost if the process died right now. [null]
+         until the first write of the run. *)
+      ( "checkpoint",
+        let writes = Metrics.sum_counter snap "checkpoint.writes" in
+        if writes = 0 then Json.Null
+        else
+          let age =
+            match Metrics.find snap "checkpoint.last_write_clock" with
+            | Some (Metrics.Gauge_value t) when Float.is_finite t ->
+              Json.Float (Float.max 0.0 (Clock.now () -. t))
+            | _ -> Json.Null
+          in
+          Json.Obj [ ("writes", Json.Int writes); ("age_seconds", age) ] );
     ]
 
 let healthz () = "ok\n"

@@ -327,3 +327,35 @@ let presolve_reduction s ~rows_dropped ~bounds_tightened ~fixed_vars =
         ("bounds_tightened", Json.Int bounds_tightened);
         ("fixed_vars", Json.Int fixed_vars);
       ]
+
+let checkpoint_write s ~path ~nodes ~frontier ~seconds =
+  if s.on then
+    emit s "checkpoint_write"
+      [
+        ("path", Json.String path);
+        ("nodes", Json.Int nodes);
+        ("frontier", Json.Int frontier);
+        ("seconds", Json.Float seconds);
+      ]
+
+let checkpoint_resume s ~path ~nodes ~frontier =
+  if s.on then
+    emit s "checkpoint_resume"
+      [
+        ("path", Json.String path);
+        ("nodes", Json.Int nodes);
+        ("frontier", Json.Int frontier);
+      ]
+
+let worker_failure s ~slot ~reason =
+  if s.on then
+    emit s "worker_failure"
+      [ ("slot", Json.Int slot); ("reason", Json.String reason) ]
+
+let preempt_stop s ~phase ~nodes =
+  if s.on then
+    emit s "preempt_stop"
+      [ ("phase", Json.String phase); ("nodes", Json.Int nodes) ]
+
+let server_shutdown s ~served =
+  if s.on then emit s "server_shutdown" [ ("served", Json.Int served) ]

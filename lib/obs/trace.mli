@@ -209,3 +209,26 @@ val deadline_hit : sink -> phase:string -> elapsed:float -> budget:float -> unit
 
 val presolve_reduction :
   sink -> rows_dropped:int -> bounds_tightened:int -> fixed_vars:int -> unit
+
+val checkpoint_write :
+  sink -> path:string -> nodes:int -> frontier:int -> seconds:float -> unit
+(** A branch-and-bound checkpoint was atomically written to [path]:
+    [nodes] nodes explored so far, [frontier] open nodes captured, the
+    write itself took [seconds]. *)
+
+val checkpoint_resume : sink -> path:string -> nodes:int -> frontier:int -> unit
+(** A search resumed from the checkpoint at [path], continuing from
+    [nodes] explored nodes with [frontier] open nodes restored. *)
+
+val worker_failure : sink -> slot:int -> reason:string -> unit
+(** A worker domain died inside the wave scheduler; the supervisor
+    marked slot [slot] dead and requeued its work. [reason] is the
+    printable form of the exception that killed it. *)
+
+val preempt_stop : sink -> phase:string -> nodes:int -> unit
+(** A cooperative preemption request (SIGINT/SIGTERM) stopped the
+    search at a wave barrier inside [phase] after [nodes] nodes. *)
+
+val server_shutdown : sink -> served:int -> unit
+(** The metrics scrape server shut down gracefully after serving
+    [served] requests (SIGINT/SIGTERM or request budget reached). *)

@@ -70,6 +70,16 @@ type event =
       chaos_seed : int option;
       argv : string list;
     }
+  | Checkpoint_write of {
+      path : string;
+      nodes : int;
+      frontier : int;
+      seconds : float;
+    }
+  | Checkpoint_resume of { path : string; nodes : int; frontier : int }
+  | Worker_failure of { slot : int; reason : string }
+  | Preempt_stop of { phase : string; nodes : int }
+  | Server_shutdown of { served : int }
   | Unknown of string
 
 (* [domain] is the emitting domain's id; the writer omits the field
@@ -97,6 +107,11 @@ let event_name = function
   | Chaos_inject _ -> "chaos_inject"
   | Stack_sample _ -> "stack_sample"
   | Run_info _ -> "run_info"
+  | Checkpoint_write _ -> "checkpoint_write"
+  | Checkpoint_resume _ -> "checkpoint_resume"
+  | Worker_failure _ -> "worker_failure"
+  | Preempt_stop _ -> "preempt_stop"
+  | Server_shutdown _ -> "server_shutdown"
   | Unknown ev -> ev
 
 (* Option-monad decoding: a known event missing a required field (or
@@ -260,6 +275,28 @@ let decode ~ev fields =
              chaos_seed = int "chaos_seed";
              argv;
            })
+    | "checkpoint_write" ->
+      let* path = str "path" in
+      let* nodes = int "nodes" in
+      let* frontier = int "frontier" in
+      let* seconds = num "seconds" in
+      Some (Checkpoint_write { path; nodes; frontier; seconds })
+    | "checkpoint_resume" ->
+      let* path = str "path" in
+      let* nodes = int "nodes" in
+      let* frontier = int "frontier" in
+      Some (Checkpoint_resume { path; nodes; frontier })
+    | "worker_failure" ->
+      let* slot = int "slot" in
+      let* reason = str "reason" in
+      Some (Worker_failure { slot; reason })
+    | "preempt_stop" ->
+      let* phase = str "phase" in
+      let* nodes = int "nodes" in
+      Some (Preempt_stop { phase; nodes })
+    | "server_shutdown" ->
+      let* served = int "served" in
+      Some (Server_shutdown { served })
     | _ -> None
   in
   match decoded with Some e -> e | None -> Unknown ev

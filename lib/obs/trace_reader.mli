@@ -95,6 +95,25 @@ type event =
       chaos_seed : int option;
       argv : string list;
     }  (** the run manifest stamped at the head of every traced run *)
+  | Checkpoint_write of {
+      path : string;
+      nodes : int;
+      frontier : int;
+      seconds : float;
+    }
+      (** a branch-and-bound checkpoint was atomically written:
+          [nodes] explored so far, [frontier] open nodes captured,
+          the write took [seconds] *)
+  | Checkpoint_resume of { path : string; nodes : int; frontier : int }
+      (** a search resumed from the checkpoint at [path] *)
+  | Worker_failure of { slot : int; reason : string }
+      (** a worker domain died; the supervisor marked [slot] dead and
+          requeued its work on the survivors *)
+  | Preempt_stop of { phase : string; nodes : int }
+      (** SIGINT/SIGTERM stopped the search cooperatively at a wave
+          barrier *)
+  | Server_shutdown of { served : int }
+      (** the scrape server exited gracefully after [served] requests *)
   | Unknown of string  (** carries the unrecognized event name *)
 
 type record = { ts : float; domain : int; event : event }

@@ -1,0 +1,29 @@
+(** Versioned, checksummed, atomically-replaced record files.
+
+    The container format under crash-safe solving: a header line
+    [<magic> <version>], caller-supplied body lines, and a trailer
+    [end <count> <fnv64-hex>] whose FNV-1a checksum covers the body
+    bytes. {!write} is atomic — the file is written to
+    [path ^ ".tmp"] and renamed over [path], so a reader (or a crash)
+    never observes a half-written checkpoint and the previous
+    checkpoint survives any failure before the rename. {!load}
+    verifies magic, line count and checksum, turning every corruption
+    mode (truncation, bit flips, concatenation, wrong file) into a
+    typed {!Error.Parse_error} instead of downstream garbage.
+
+    Version policy: the container only transports the version number;
+    accepting or rejecting it is the caller's job, so each consumer
+    (e.g. the MIP engine) can state its own compatibility rule. *)
+
+val write : path:string -> magic:string -> version:int -> string list -> unit
+(** [write ~path ~magic ~version lines] atomically replaces [path]
+    with a checkpoint containing [lines]. Body lines must not contain
+    newlines (raises [Invalid_argument] otherwise — a programming
+    error, not an I/O condition). Raises {!Error.Error} with
+    [Io_error] when the directory is missing or unwritable. *)
+
+val load : path:string -> magic:string -> int * string list
+(** [load ~path ~magic] reads a checkpoint back, returning
+    [(version, body_lines)]. Raises {!Error.Error} with [Io_error]
+    when the file cannot be read, and with [Parse_error] on bad magic,
+    truncation, line-count or checksum mismatch. *)

@@ -1,0 +1,29 @@
+(* Cooperative preemption: signal handlers only raise a flag; the
+   solver polls it at wave barriers where the frontier is consistent
+   and a final checkpoint can be written. A second signal escalates to
+   an immediate exit for operators who really mean it. *)
+
+let flag = Atomic.make false
+let installed = Atomic.make false
+
+let requested () = Atomic.get flag
+let request () = Atomic.set flag true
+let reset () = Atomic.set flag false
+
+let handle signo =
+  if Atomic.exchange flag true then
+    (* second signal: the cooperative stop is evidently not fast
+       enough for the operator; exit with the conventional
+       128 + signal code (130 for SIGINT, 143 for SIGTERM). *)
+    Stdlib.exit (128 + signo)
+
+let install () =
+  if not (Atomic.exchange installed true) then
+    List.iter
+      (fun signo ->
+        try Sys.set_signal signo (Sys.Signal_handle handle)
+        with Invalid_argument _ | Sys_error _ ->
+          (* platform without this signal: preemption simply stays
+             test-hook driven (request/reset) there *)
+          ())
+      [ Sys.sigint; Sys.sigterm ]

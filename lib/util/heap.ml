@@ -56,6 +56,8 @@ let push h key v =
   h.len <- h.len + 1;
   sift_up h (h.len - 1)
 
+let min h = if h.len = 0 then None else Some (h.keys.(0), h.data.(0))
+
 let pop_min h =
   if h.len = 0 then None
   else begin
@@ -70,3 +72,24 @@ let pop_min h =
   end
 
 let clear h = h.len <- 0
+
+(* The snapshot is the raw internal prefix, not a sorted drain: two
+   heaps with the same multiset of keys can still pop equal keys in
+   different orders depending on their internal layout, so a faithful
+   save/restore must preserve the array verbatim. *)
+let snapshot h = (Array.sub h.keys 0 h.len, Array.sub h.data 0 h.len)
+
+let restore h keys data =
+  let n = Array.length keys in
+  if Array.length data <> n then invalid_arg "Heap.restore: length mismatch";
+  if n = 0 then h.len <- 0
+  else begin
+    let cap = max 16 n in
+    let ks = Array.make cap 0.0 in
+    let ds = Array.make cap data.(0) in
+    Array.blit keys 0 ks 0 n;
+    Array.blit data 0 ds 0 n;
+    h.keys <- ks;
+    h.data <- ds;
+    h.len <- n
+  end

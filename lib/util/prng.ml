@@ -6,6 +6,10 @@ let create seed = { state = Int64.of_int seed; gamma = golden_gamma }
 
 let copy g = { state = g.state; gamma = g.gamma }
 
+let state g = (g.state, g.gamma)
+
+let of_state (state, gamma) = { state; gamma }
+
 (* SplitMix64 output function (Steele, Lea & Flood 2014). *)
 let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in

@@ -16,6 +16,16 @@ val create : int -> t
 val copy : t -> t
 (** [copy g] is an independent generator with the same current state. *)
 
+val state : t -> int64 * int64
+(** [state g] is the full serializable state [(state, gamma)] of [g].
+    Together with {!of_state} it round-trips the generator exactly:
+    [of_state (state g)] continues [g]'s stream from the same position.
+    Used by checkpoint/resume to persist stream positions. *)
+
+val of_state : int64 * int64 -> t
+(** [of_state (s, gamma)] rebuilds a generator from a {!state}
+    snapshot. *)
+
 val split : t -> t
 (** [split g] advances [g] (by two steps) and returns a new generator
     whose stream is statistically independent from the remainder of

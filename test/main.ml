@@ -6,6 +6,7 @@ let () =
       ("lp.simplex_prop", Test_simplex_prop.suite);
       ("lp.mip", Test_mip.suite);
       ("lp.parallel", Test_parallel.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("obs", Test_obs.suite);
       ("obs.reader", Test_obs_reader.suite);
       ("obs.prom", Test_prom.suite);

@@ -217,7 +217,7 @@ let test_serve_scrape () =
   let fd = Prom.listen "127.0.0.1:0" in
   let port = Prom.bound_port fd in
   let server =
-    Domain.spawn (fun () -> Prom.serve ~max_requests:2 ~registry:t fd)
+    Domain.spawn (fun () -> ignore (Prom.serve ~max_requests:2 ~registry:t fd : int))
   in
   let resp = http_get port "/metrics" in
   let missing = http_get port "/nope" in
@@ -266,7 +266,7 @@ let test_serve_health_and_status () =
   let fd = Prom.listen "127.0.0.1:0" in
   let port = Prom.bound_port fd in
   let server =
-    Domain.spawn (fun () -> Prom.serve ~max_requests:2 ~registry:t fd)
+    Domain.spawn (fun () -> ignore (Prom.serve ~max_requests:2 ~registry:t fd : int))
   in
   let health = http_get port "/healthz" in
   let status = http_get port "/statusz" in
@@ -293,6 +293,33 @@ let test_serve_health_and_status () =
     Alcotest.(check bool) "statusz carries the incumbent watermark" true
       (contains sbody "\"incumbent\":7")
   | Ok _ -> Alcotest.fail "statusz must be a json object"
+
+let test_serve_should_stop () =
+  (* the graceful-shutdown hook: the loop polls should_stop before
+     every accept, so a flag that flips after the first request ends
+     the loop without any max_requests budget — this is how
+     metrics-serve turns SIGINT/SIGTERM into a clean exit 0. The
+     callback runs on the server domain; counting its own calls keeps
+     the test deterministic (no cross-domain flag race). *)
+  let t = Metrics.create () in
+  let fd = Prom.listen "127.0.0.1:0" in
+  let port = Prom.bound_port fd in
+  let server =
+    Domain.spawn (fun () ->
+        let calls = ref 0 in
+        let should_stop () =
+          incr calls;
+          !calls > 1
+        in
+        Prom.serve ~should_stop ~registry:t fd)
+  in
+  let health = http_get port "/healthz" in
+  let served = Domain.join server in
+  Unix.close fd;
+  let hh, _ = header_body health in
+  Alcotest.(check bool) "request before the stop answered" true
+    (String.length hh >= 15 && String.sub hh 0 15 = "HTTP/1.1 200 OK");
+  Alcotest.(check int) "served count returned at shutdown" 1 served
 
 let test_listen_rejects_garbage () =
   Alcotest.(check bool) "no port" true
@@ -322,6 +349,8 @@ let suite =
       test_build_info_on_every_exposition;
     Alcotest.test_case "serve answers /healthz and /statusz" `Quick
       test_serve_health_and_status;
+    Alcotest.test_case "serve stops when should_stop flips" `Quick
+      test_serve_should_stop;
     Alcotest.test_case "listen rejects bad specs" `Quick
       test_listen_rejects_garbage;
   ]
